@@ -1,0 +1,69 @@
+"""Architecture contrast: PEFP vs plain level-synchronous BFS on device.
+
+Not a paper figure — it quantifies the *premise* of Section VI-B: a
+BFS-paradigm kernel without buffer-and-batch keeps whole levels resident
+and pays the overflow round trips that Batch-DFS exists to avoid.  Both
+engines share the verification pipeline and caches, so the measured gap
+is attributable to the intermediate-path management alone.
+"""
+
+import pytest
+
+from conftest import SEED
+from repro.core.config import PEFPConfig
+from repro.core.engine import PEFPEngine
+from repro.core.naive_engine import LevelBFSEngine
+from repro.datasets import load_dataset
+from repro.preprocess.prebfs import pre_bfs
+from repro.reporting.tables import render_table
+from repro.workloads.queries import generate_queries
+
+#: small on-chip budget so level overflow is reachable at stand-in scale.
+CONFIG = PEFPConfig(theta1=128, theta2=64, buffer_capacity_paths=256)
+
+
+def _run(engine_cls, graph, queries):
+    engine = engine_cls(CONFIG)
+    cycles = 0
+    peak = 0
+    paths = 0
+    for query in queries:
+        prep = pre_bfs(graph, query)
+        run = engine.run(prep.subgraph, prep.source, prep.target,
+                         query.max_hops, prep.barrier)
+        cycles += run.cycles
+        peak = max(peak, run.stats.peak_buffer_paths)
+        paths += run.num_paths
+    return cycles, peak, paths
+
+
+def test_architecture_contrast(benchmark):
+    def run():
+        rows = []
+        for key, k in (("rt", 4), ("sd", 4), ("wg", 4)):
+            graph = load_dataset(key)
+            queries = generate_queries(graph, k, 2, seed=SEED,
+                                       max_distance=2)
+            bfs_cycles, bfs_peak, bfs_paths = _run(LevelBFSEngine, graph,
+                                                   queries)
+            pefp_cycles, pefp_peak, pefp_paths = _run(PEFPEngine, graph,
+                                                      queries)
+            assert bfs_paths == pefp_paths
+            rows.append((key, k, bfs_cycles, pefp_cycles,
+                         f"{bfs_cycles / max(1, pefp_cycles):.2f}x",
+                         bfs_peak, pefp_peak))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(
+        ("dataset", "k", "level-BFS cycles", "PEFP cycles", "PEFP win",
+         "level-BFS peak paths", "PEFP peak paths"),
+        rows,
+        title="Architecture contrast (close-pair queries)",
+    ))
+    for key, k, bfs_cycles, pefp_cycles, _, bfs_peak, pefp_peak in rows:
+        # PEFP's frontier is never larger than the whole level
+        assert pefp_peak <= bfs_peak, key
+        # and the design never loses on time
+        assert pefp_cycles <= bfs_cycles * 1.05, key

@@ -1,0 +1,38 @@
+"""Fig. 8 — query processing time (T2), PEFP vs JOIN, sweeping k on all
+12 datasets.
+
+Expected shape (paper): PEFP wins T2 everywhere; speedups are largest at
+small k (expansion-dominated, fully pipelined) and shrink as k grows;
+times grow steeply with k except on the sparse long-diameter Amazon.
+"""
+
+from conftest import QUERIES_PER_POINT, SEED
+from repro.datasets import DATASETS, dataset_keys
+from repro.reporting import experiments as E
+from repro.reporting.charts import speedup_sparkline
+
+
+def test_fig8_query_time(experiment_runner):
+    result = experiment_runner(
+        E.fig8_query_time,
+        queries_per_point=QUERIES_PER_POINT,
+        seed=SEED,
+    )
+    rows = result.rows
+    print("\nspeedup trend over k per dataset:")
+    for key in dataset_keys():
+        short = DATASETS[key].short_name
+        series = [r[5] for r in rows if r[0] == short]
+        print(f"  {short}: {speedup_sparkline(series)}  "
+              + " ".join(f"{s:.0f}x" for s in series))
+    assert len(rows) == sum(len(DATASETS[k].k_range) for k in dataset_keys())
+    # headline: PEFP beats JOIN on T2 at every (dataset, k) point
+    for dataset, k, paths, join_t2, pefp_t2, speedup in rows:
+        assert speedup > 1.0, (dataset, k)
+    # "more than 1 order of magnitude by average"
+    finite = [r[5] for r in rows if r[2] > 0]
+    geomean = 1.0
+    for s in finite:
+        geomean *= s
+    geomean **= 1.0 / len(finite)
+    assert geomean > 10.0, f"geometric-mean speedup {geomean:.1f}x"

@@ -1,0 +1,26 @@
+"""Fig. 10 — total time (T = T1 + T2), PEFP vs JOIN, on AM/WT/SK/TS.
+
+Expected shape (paper): PEFP wins T everywhere; speedup is largest at
+small k (preprocessing-dominated) and then decreases / stabilises as the
+query-processing share grows.
+"""
+
+from conftest import QUERIES_PER_POINT, SEED
+from repro.datasets import DATASETS
+from repro.reporting import experiments as E
+
+
+def test_fig10_total_time(experiment_runner):
+    result = experiment_runner(
+        E.fig10_total_time,
+        queries_per_point=QUERIES_PER_POINT,
+        seed=SEED,
+    )
+    for dataset, k, join_t, pefp_t, speedup in result.rows:
+        assert speedup > 1.0, (dataset, k)
+    # the small-k point of each series carries the biggest speedup for the
+    # low-diameter graphs where preprocessing dominates (paper's WT/SK/TS)
+    for key in ("wt", "sk"):
+        short = DATASETS[key].short_name
+        series = [r for r in result.rows if r[0] == short]
+        assert series[0][4] >= series[-1][4] * 0.5, key

@@ -1,0 +1,31 @@
+"""Fig. 11 — average total time of all 12 datasets (k=5; k=8 for AM/TS),
+split into preprocessing (grey) and query (white) shares.
+
+Expected shape (paper): PEFP wins total time everywhere; totals are
+preprocessing-dominated on sparse graphs (AM, SK) while JOIN's total on
+twitter-social is query-dominated.
+"""
+
+from conftest import QUERIES_PER_POINT, SEED
+from repro.reporting import experiments as E
+
+
+def test_fig11_all_datasets(experiment_runner):
+    result = experiment_runner(
+        E.fig11_all_datasets,
+        queries_per_point=QUERIES_PER_POINT,
+        seed=SEED,
+    )
+    assert len(result.rows) == 12
+    for row in result.rows:
+        dataset, k = row[0], row[1]
+        speedup = row[8]
+        assert speedup > 1.0, (dataset, k)
+        if dataset in ("AM", "TS"):
+            assert k == 8
+        else:
+            assert k == 5
+    by_name = {row[0]: row for row in result.rows}
+    # PEFP total on sparse AM is preprocessing-dominated (paper narrative)
+    am = by_name["AM"]
+    assert am[5] > am[6], "AM: T1 should dominate PEFP's total"

@@ -1,0 +1,21 @@
+"""Fig. 12 — Pre-BFS ablation on BerkStan and Baidu (total time).
+
+Expected shape (paper): PEFP with Pre-BFS beats PEFP-No-Pre-BFS by 3-9x;
+the gain comes from the reduced search space and from the subgraph
+fitting the BRAM caches.
+"""
+
+from conftest import QUERIES_PER_POINT, SEED
+from repro.reporting import experiments as E
+
+
+def test_fig12_prebfs(experiment_runner):
+    result = experiment_runner(
+        E.fig12_prebfs,
+        queries_per_point=QUERIES_PER_POINT,
+        seed=SEED,
+    )
+    for dataset, k, base_t, pefp_t, speedup in result.rows:
+        assert speedup >= 1.0, (dataset, k)
+    best = max(r[4] for r in result.rows)
+    assert best > 2.0, f"peak Pre-BFS speedup only {best:.1f}x"

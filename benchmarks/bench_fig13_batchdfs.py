@@ -1,0 +1,24 @@
+"""Fig. 13 — Batch-DFS ablation on BerkStan and Baidu (query time).
+
+Expected shape (paper): stack-top (longest-first) batching beats FIFO
+(shortest-first) by 2-10x in the I/O-bound regime, because FIFO keeps
+whole BFS levels resident and pays the buffer-overflow round trips to
+DRAM.  At stand-in scale that regime appears on close-pair workloads
+(see the experiment's docstring); elsewhere the two tie, and FIFO must
+never win.
+"""
+
+from conftest import QUERIES_PER_POINT, SEED
+from repro.reporting import experiments as E
+
+
+def test_fig13_batchdfs(experiment_runner):
+    result = experiment_runner(
+        E.fig13_batchdfs,
+        queries_per_point=QUERIES_PER_POINT,
+        seed=SEED,
+    )
+    for dataset, k, fifo_t, pefp_t, speedup in result.rows:
+        assert speedup >= 0.99, (dataset, k, "FIFO must never win")
+    best = max(r[4] for r in result.rows)
+    assert best > 1.5, f"peak Batch-DFS speedup only {best:.1f}x"

@@ -1,0 +1,21 @@
+"""Fig. 14 — caching ablation on Reactome and web-google (query time).
+
+Expected shape (paper): BRAM caching of the graph, barrier and
+intermediate paths wins >= 2x on average and more on the denser graph
+(RT), whose expansion stream touches vertex/edge data hardest.
+"""
+
+from conftest import QUERIES_PER_POINT, SEED
+from repro.reporting import experiments as E
+
+
+def test_fig14_caching(experiment_runner):
+    result = experiment_runner(
+        E.fig14_caching,
+        queries_per_point=QUERIES_PER_POINT,
+        seed=SEED,
+    )
+    for dataset, k, nocache_t, pefp_t, speedup in result.rows:
+        assert speedup > 2.0, (dataset, k)
+    mean = sum(r[4] for r in result.rows) / len(result.rows)
+    assert mean > 2.0, f"mean caching speedup {mean:.1f}x"

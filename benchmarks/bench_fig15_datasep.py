@@ -1,0 +1,22 @@
+"""Fig. 15 — data-separation ablation on Reactome and web-google (query
+time).
+
+Expected shape (paper): separating the verification inputs per stage and
+running the three checks as dataflow processes wins up to ~3x (bounded by
+the initiation-interval ratio of the two designs).
+"""
+
+from conftest import QUERIES_PER_POINT, SEED
+from repro.reporting import experiments as E
+
+
+def test_fig15_datasep(experiment_runner):
+    result = experiment_runner(
+        E.fig15_datasep,
+        queries_per_point=QUERIES_PER_POINT,
+        seed=SEED,
+    )
+    for dataset, k, basic_t, pefp_t, speedup in result.rows:
+        assert 1.0 < speedup <= 3.5, (dataset, k)
+    best = max(r[4] for r in result.rows)
+    assert best > 2.0, f"peak data-separation speedup only {best:.1f}x"

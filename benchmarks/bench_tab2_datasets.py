@@ -1,0 +1,18 @@
+"""Table II — dataset statistics of the 12 stand-ins vs the paper."""
+
+from conftest import SEED
+from repro.datasets import DATASETS
+from repro.reporting import experiments as E
+
+
+def test_tab2_dataset_statistics(experiment_runner):
+    result = experiment_runner(E.tab2_dataset_statistics, samples=24,
+                               seed=SEED)
+    assert len(result.rows) == len(DATASETS) == 12
+    by_name = {row[0]: row for row in result.rows}
+    # density classes preserved: RT densest, TS/WT sparsest
+    assert by_name["RT"][3] > 2 * by_name["TS"][3]
+    assert by_name["WT"][3] < 6
+    # AM keeps the suite's longest effective diameter (paper: 15 vs 4-10)
+    am_d90 = by_name["AM"][5]
+    assert all(am_d90 >= row[5] for row in result.rows)

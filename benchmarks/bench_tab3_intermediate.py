@@ -1,0 +1,28 @@
+"""Table III — newly generated intermediate paths per 1,000 one-hop
+expansions, for path lengths l = 2..7 with k = 8 (BD, BS, WT, LJ).
+
+Expected shape (paper): counts rise from l=2 to l=3, fall once the hop
+constraint's pruning power bites (l > 3), and reach exactly 0 at
+l = k - 1 = 7 — the observation motivating Batch-DFS.
+"""
+
+from conftest import SEED
+from repro.reporting import experiments as E
+
+
+def test_tab3_intermediate_paths(experiment_runner):
+    result = experiment_runner(
+        E.tab3_intermediate_paths,
+        max_hops=8,
+        sample_size=1000,
+        level_cap=3000,
+        seed=SEED,
+    )
+    assert [row[0] for row in result.rows] == ["BD", "BS", "WT", "LJ"]
+    for row in result.rows:
+        dataset, counts = row[0], row[1:]
+        assert len(counts) == 6  # l = 2..7
+        assert counts[-1] == 0, f"{dataset}: l=k-1 must generate nothing"
+        assert max(counts) > 0, dataset
+        # pruning power strengthens late: the tail must be decreasing
+        assert counts[4] <= max(counts[:4]), dataset

@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper artifact (a table or a figure's data
+series) through :mod:`repro.reporting.experiments` and prints the rendered
+table, so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
+paper's evaluation section end to end on the synthetic stand-ins.
+
+Workload sizes (queries per point) are chosen so the full suite finishes
+in tens of minutes of simulation; the paper averages 1,000 queries per
+point on real hardware.
+"""
+
+import pytest
+
+#: queries averaged per (dataset, k) point; the paper uses 1,000.
+QUERIES_PER_POINT = 3
+
+#: deterministic workload seed shared by every benchmark.
+SEED = 7
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def experiment_runner(benchmark):
+    def runner(fn, **kwargs):
+        result = run_once(benchmark, fn, **kwargs)
+        print()
+        print(result.table())
+        return result
+
+    return runner

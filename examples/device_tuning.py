@@ -1,0 +1,66 @@
+"""Design-space exploration of the simulated accelerator.
+
+Sweeps the engine parameters the paper fixes (Θ2 batch size, buffer
+capacity, verification design, caching) and reports how the modelled
+kernel time responds — the kind of tuning pass an FPGA engineer would run
+before synthesis.
+
+Run:  python examples/device_tuning.py
+"""
+
+from repro import PEFPConfig, PEFPEngine, pre_bfs
+from repro.datasets import load_dataset
+from repro.reporting.tables import render_table
+from repro.workloads.queries import generate_queries
+
+
+def kernel_cycles(graph, queries, config: PEFPConfig) -> int:
+    engine = PEFPEngine(config)
+    total = 0
+    for query in queries:
+        prep = pre_bfs(graph, query)
+        run = engine.run(prep.subgraph, prep.source, prep.target,
+                         query.max_hops, prep.barrier)
+        total += run.cycles
+    return total
+
+
+def main() -> None:
+    graph = load_dataset("wg")
+    queries = generate_queries(graph, 4, 3, seed=17)
+    print(f"web-google stand-in: {graph}, {len(queries)} queries at k=4\n")
+
+    rows = []
+
+    # Θ2: processing-area batch size.
+    for theta2 in (16, 64, 256, 1024):
+        cfg = PEFPConfig(theta2=theta2)
+        rows.append((f"theta2={theta2}", kernel_cycles(graph, queries, cfg)))
+
+    # Buffer capacity: how much BRAM the intermediate stack gets.
+    for cap in (256, 1024, 4096):
+        cfg = PEFPConfig(theta1=min(256, cap), buffer_capacity_paths=cap)
+        rows.append((f"buffer={cap}", kernel_cycles(graph, queries, cfg)))
+
+    # The two pipeline designs and the cache toggle.
+    rows.append(("basic verification (no dataflow)",
+                 kernel_cycles(graph, queries,
+                               PEFPConfig(use_data_separation=False))))
+    rows.append(("no BRAM caching",
+                 kernel_cycles(graph, queries, PEFPConfig(use_cache=False))))
+    rows.append(("FIFO batching",
+                 kernel_cycles(graph, queries,
+                               PEFPConfig(use_batch_dfs=False))))
+    rows.append(("default config", kernel_cycles(graph, queries,
+                                                 PEFPConfig())))
+
+    base = rows[-1][1]
+    table_rows = [
+        (name, cycles, f"{cycles / base:.2f}x") for name, cycles in rows
+    ]
+    print(render_table(("configuration", "kernel cycles", "vs default"),
+                       table_rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""E-commerce fraud detection: real-time constrained cycle reporting.
+
+The paper's first motivating application (Section I): in a transaction
+network, a cycle through a new transaction often indicates fraudulent
+activity (money looping back to its origin).  Alibaba's production system
+answers this with s-t k-path enumeration — when a transaction ``t -> s``
+arrives, every existing simple path ``s ~> t`` with at most k hops closes
+a new cycle through the transaction.
+
+This example streams synthetic transactions into an account graph and
+uses the PEFP system to report every new k-constrained cycle online.
+
+Run:  python examples/fraud_detection.py
+"""
+
+import numpy as np
+
+from repro import DiGraph, PathEnumerationSystem, Query
+from repro.reporting.tables import format_seconds
+
+
+def build_account_network(num_accounts: int, num_transactions: int,
+                          seed: int) -> DiGraph:
+    """A transaction graph with a planted fraud ring."""
+    rng = np.random.default_rng(seed)
+    g = DiGraph(num_accounts)
+    for _ in range(num_transactions):
+        a = int(rng.integers(0, num_accounts))
+        b = int(rng.integers(0, num_accounts))
+        g.add_edge(a, b)
+    # Plant a fraud ring: money cycles 10 -> 11 -> 12 -> 13 (-> 10 later).
+    for a, b in ((10, 11), (11, 12), (12, 13)):
+        g.add_edge(a, b)
+    return g
+
+
+def detect_cycles(graph, transaction, max_hops):
+    """All new simple cycles closed by ``transaction = (payer, payee)``.
+
+    A transaction payer->payee closes one cycle per simple path
+    payee ~> payer of length <= max_hops.
+    """
+    payer, payee = transaction
+    system = PathEnumerationSystem(graph)
+    report = system.execute(Query(payee, payer, max_hops))
+    return report, [path + (payee,) for path in report.paths]
+
+
+def main() -> None:
+    k = 4
+    graph_builder = build_account_network(300, 1200, seed=11)
+
+    transactions = [
+        (13, 10),   # closes the planted ring
+        (50, 51),   # ordinary payment
+        (13, 12),   # closes a short loop inside the ring
+    ]
+
+    for payer, payee in transactions:
+        # The new transaction is checked *before* being added: report
+        # cycles it would close, then commit it to the graph.
+        graph = graph_builder.to_csr()
+        report, cycles = detect_cycles(graph, (payer, payee), k)
+        verdict = "SUSPICIOUS" if cycles else "ok"
+        print(f"transaction {payer} -> {payee}: {verdict} "
+              f"({len(cycles)} cycles, "
+              f"checked in {format_seconds(report.total_seconds)})")
+        for cycle in cycles[:5]:
+            print("    cycle: " + " -> ".join(str(v) for v in cycle))
+        graph_builder.add_edge(payer, payee)
+
+    maintain_hot_point_index(graph_builder, k)
+
+
+def maintain_hot_point_index(graph_builder: DiGraph, k: int) -> None:
+    """The production system's other half: the HP-Index is maintained
+    incrementally as transactions stream in, so hot-account paths are
+    always ready for the next cycle check."""
+    from repro.baselines import HPIndex
+
+    graph = graph_builder.to_csr()
+    hp = HPIndex(hot_fraction=0.03)
+    index = hp.build_index(graph, k)
+    print(f"\nhot-point index: {index.num_hot} hot accounts, "
+          f"{index.num_indexed_paths} indexed paths")
+
+    # Stream three more transactions, maintaining the index in place.
+    for payer, payee in ((10, 14), (14, 11), (60, 10)):
+        graph_builder.add_edge(payer, payee)
+        updated = graph_builder.to_csr()
+        added = index.insert_edge(updated, payer, payee)
+        print(f"  +tx {payer} -> {payee}: {added} new hot-to-hot paths "
+              f"indexed (total {index.num_indexed_paths})")
+
+
+if __name__ == "__main__":
+    main()

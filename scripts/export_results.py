@@ -1,0 +1,32 @@
+"""Export every experiment's rows as JSON for regression diffing.
+
+    python scripts/export_results.py results/
+
+Re-run after model changes and diff with
+:func:`repro.reporting.export.compare_rows` (or plain `git diff`) to see
+exactly which measured values moved.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.reporting import experiments as E
+from repro.reporting.export import dump_result
+
+SEED = 7
+
+
+def main(out_dir: str) -> None:
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for fn, kwargs in E.ALL_EXPERIMENTS:
+        result = fn(seed=SEED, **kwargs)
+        path = out / f"{result.experiment}.json"
+        dump_result(result, path)
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "results")

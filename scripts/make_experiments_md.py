@@ -1,0 +1,41 @@
+"""Regenerate the measured tables embedded in EXPERIMENTS.md.
+
+Runs every experiment at benchmark workload sizes and prints a markdown
+report to stdout:
+
+    python scripts/make_experiments_md.py > /tmp/experiments_body.md
+
+The curated EXPERIMENTS.md wraps this output with per-experiment
+commentary comparing against the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.reporting import experiments as E
+
+QUERIES = 3
+SEED = 7
+
+
+def emit(result, elapsed: float) -> None:
+    print(f"### {result.title}\n")
+    print("```")
+    print(result.table())
+    print("```")
+    print(f"\n*(workload: {QUERIES} queries per point, seed {SEED}; "
+          f"generated in {elapsed:.0f}s)*\n")
+    sys.stdout.flush()
+
+
+def main() -> None:
+    for fn, kwargs in E.ALL_EXPERIMENTS:
+        start = time.time()
+        result = fn(seed=SEED, **kwargs)
+        emit(result, time.time() - start)
+
+
+if __name__ == "__main__":
+    main()

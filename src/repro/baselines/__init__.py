@@ -1,0 +1,26 @@
+"""CPU-side path enumerators: naive DFS/BFS, T-DFS, T-DFS2, BC-DFS, JOIN,
+Yen's, HP-Index.  All implement :class:`repro.baselines.base.PathEnumerator` and
+return identical path sets (tested)."""
+
+from repro.baselines.base import PathEnumerator
+from repro.baselines.dfs_naive import NaiveDFS
+from repro.baselines.bfs_naive import NaiveBFS
+from repro.baselines.tdfs import TDFS
+from repro.baselines.tdfs2 import TDFS2
+from repro.baselines.bcdfs import BCDFS, bc_dfs
+from repro.baselines.join import Join
+from repro.baselines.yens import Yens
+from repro.baselines.hpindex import HPIndex
+
+__all__ = [
+    "PathEnumerator",
+    "NaiveDFS",
+    "NaiveBFS",
+    "TDFS",
+    "TDFS2",
+    "BCDFS",
+    "bc_dfs",
+    "Join",
+    "Yens",
+    "HPIndex",
+]

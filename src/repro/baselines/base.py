@@ -1,0 +1,28 @@
+"""Common interface for every s-t k-path enumerator in the package."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query, QueryResult
+
+
+class PathEnumerator(ABC):
+    """An algorithm that enumerates all k-hop constrained s-t simple paths.
+
+    Implementations must be *exhaustive and exact*: the returned
+    :class:`~repro.host.query.QueryResult` contains every simple path
+    ``s ~> t`` with at most ``k`` edges, each exactly once, as tuples of
+    original-graph vertex ids.
+    """
+
+    #: Human-readable algorithm name, used in reports and benchmarks.
+    name: str = "enumerator"
+
+    @abstractmethod
+    def enumerate_paths(self, graph: CSRGraph, query: Query) -> QueryResult:
+        """Run the query and return paths plus operation accounting."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,145 @@
+"""BC-DFS (Peng et al., VLDB'19): barrier-learning DFS, the core of JOIN.
+
+BC-DFS "never falls in the same trap twice".  Each vertex ``v`` carries a
+barrier ``bar[v]`` — a lower bound on the distance from ``v`` to ``t`` given
+the vertices currently on the DFS stack — initialised from the preprocessing
+BFS (``bar[v] = sd(v, t)``).  A successor ``u`` at depth ``d_u`` is only
+explored when ``d_u + bar[u] <= k``.  When the subtree under ``u`` produces
+no result, we learn ``bar[u] = k + 1 - d_u`` (paper Fig. 1:
+``u2.bar = k + 1 - len(S)``), which prunes every later attempt to enter
+``u`` at the same or greater depth while the same prefix is stacked.
+
+Scoping: a barrier learned for a failed child ``u`` of stack vertex ``v``
+states "no path from ``u`` avoiding the prefix ``s..v``" — it is valid
+exactly while ``v`` remains on the stack.  Each DFS frame therefore keeps an
+undo log of the barriers it learned for its own children and restores them
+just before it returns (i.e. when its vertex pops).  This is precisely the
+scope in which the paper's example reuses ``u2``'s barrier: ``u2`` is pruned
+by ``u3..u100`` "when s and u1 are in the stack".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.baselines.base import PathEnumerator
+from repro.graph.csr import CSRGraph
+from repro.host.cost_model import OpCounter
+from repro.host.query import Query, QueryResult
+from repro.preprocess.bfs import distances_with_default, k_hop_bfs
+
+
+def bc_dfs(
+    graph: CSRGraph,
+    source: int,
+    target: int,
+    max_hops: int,
+    barrier: np.ndarray,
+    ops: OpCounter,
+    emit: Callable[[tuple[int, ...]], None],
+    successors: Callable[[int], Sequence[int]] | None = None,
+) -> int:
+    """Run BC-DFS and feed every found path to ``emit``.
+
+    ``barrier`` must hold valid lower bounds on ``sd(v, target)`` (vertices
+    that cannot reach ``target`` within ``max_hops`` should carry
+    ``max_hops + 1``).  The search learns and unwinds barriers on an
+    internal copy; the caller's array is never mutated.  ``successors``
+    may override adjacency (used by JOIN's virtual vertices).  Returns the
+    number of paths emitted.
+    """
+    if successors is not None:
+        adjacency = None
+        succ = successors
+    else:
+        adjacency = graph.adjacency_lists()
+        succ = adjacency.__getitem__
+    # Work on a native-list copy: the hot loop avoids numpy scalar boxing
+    # and the caller's array is never mutated.
+    bar = [int(b) for b in barrier]
+    on_path = [False] * len(bar)
+    on_path[source] = True
+    path = [source]
+    count = 0
+    # op tallies kept in locals and flushed once (the dict updates would
+    # otherwise dominate the DFS)
+    edge_visits = barrier_checks = visited_checks = 0
+    barrier_updates = emitted_vertices = 0
+
+    def dfs() -> bool:
+        nonlocal count, edge_visits, barrier_checks, visited_checks
+        nonlocal barrier_updates, emitted_vertices
+        depth = len(path) - 1
+        tail = path[-1]
+        found = False
+        undo: list[tuple[int, int]] = []
+        budget = max_hops - depth - 1
+        for u in succ(tail):
+            edge_visits += 1
+            if u == target:
+                if budget >= 0:
+                    emit(tuple(path) + (target,))
+                    emitted_vertices += len(path) + 1
+                    count += 1
+                    found = True
+                continue
+            barrier_checks += 1
+            if bar[u] > budget:
+                continue
+            visited_checks += 1
+            if on_path[u]:
+                continue
+            on_path[u] = True
+            path.append(u)
+            child_found = dfs()
+            path.pop()
+            on_path[u] = False
+            if child_found:
+                found = True
+            else:
+                # Trap learned: no result through u at depth `depth + 1`
+                # while the current prefix is stacked.
+                learned = max_hops - depth
+                if learned > bar[u]:
+                    barrier_updates += 1
+                    undo.append((u, bar[u]))
+                    bar[u] = learned
+        # Our vertex is about to pop; the prefix these barriers were
+        # conditioned on is no longer fully stacked.
+        for v, old in reversed(undo):
+            bar[v] = old
+        return found
+
+    dfs()
+    ops.add("edge_visit", edge_visits)
+    ops.add("barrier_check", barrier_checks)
+    ops.add("visited_check", visited_checks)
+    ops.add("barrier_update", barrier_updates)
+    ops.add("path_emit_vertex", emitted_vertices)
+    return count
+
+
+class BCDFS(PathEnumerator):
+    """Standalone BC-DFS enumerator (JOIN without the split-and-join)."""
+
+    name = "bc-dfs"
+
+    def enumerate_paths(self, graph: CSRGraph, query: Query) -> QueryResult:
+        query.validate(graph)
+        result = QueryResult(query=query)
+        k = query.max_hops
+        sd_t = k_hop_bfs(graph.reverse(), query.target, k,
+                         result.preprocess_ops)
+        barrier = distances_with_default(sd_t, k + 1)
+        bc_dfs(
+            graph,
+            query.source,
+            query.target,
+            k,
+            barrier,
+            result.enumerate_ops,
+            result.paths.append,
+        )
+        return result

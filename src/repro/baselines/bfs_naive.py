@@ -1,0 +1,48 @@
+"""Naive breadth-first (level-synchronous) enumeration.
+
+Keeps *all* intermediate paths of the current level in memory — exactly the
+"huge intermediate results using BFS-based framework" the paper warns about.
+It exists as a second independent ground truth (a different traversal order
+than :class:`~repro.baselines.dfs_naive.NaiveDFS`) and as the conceptual
+starting point PEFP's buffer-and-batch design fixes.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PathEnumerator
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query, QueryResult
+
+
+class NaiveBFS(PathEnumerator):
+    """Ground-truth level-synchronous expansion enumerator."""
+
+    name = "naive-bfs"
+
+    def enumerate_paths(self, graph: CSRGraph, query: Query) -> QueryResult:
+        query.validate(graph)
+        result = QueryResult(query=query)
+        ops = result.enumerate_ops
+        s, t, k = query.source, query.target, query.max_hops
+
+        frontier: list[tuple[int, ...]] = [(s,)]
+        for depth in range(k):
+            next_frontier: list[tuple[int, ...]] = []
+            last_level = depth == k - 1
+            for path in frontier:
+                tail = path[-1]
+                for v in graph.successors(tail):
+                    u = int(v)
+                    ops.add("edge_visit")
+                    if u == t:
+                        result.paths.append(path + (t,))
+                        ops.add("path_emit_vertex", len(path) + 1)
+                        continue
+                    ops.add("visited_check")
+                    if last_level or u in path:
+                        continue
+                    next_frontier.append(path + (u,))
+            frontier = next_frontier
+            if not frontier:
+                break
+        return result

@@ -1,0 +1,53 @@
+"""Naive bounded depth-first enumeration.
+
+The textbook algorithm: DFS from ``s`` with a visited bitmap, emitting a
+path whenever ``t`` is reached within the hop budget.  No pruning beyond the
+visited check, so it explores every simple path prefix of length <= k that
+starts at ``s`` — the ground-truth oracle for all other enumerators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PathEnumerator
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query, QueryResult
+
+
+class NaiveDFS(PathEnumerator):
+    """Ground-truth bounded DFS enumerator."""
+
+    name = "naive-dfs"
+
+    def enumerate_paths(self, graph: CSRGraph, query: Query) -> QueryResult:
+        query.validate(graph)
+        result = QueryResult(query=query)
+        ops = result.enumerate_ops
+        s, t, k = query.source, query.target, query.max_hops
+
+        on_path = np.zeros(graph.num_vertices, dtype=bool)
+        on_path[s] = True
+        path = [s]
+
+        # Iterative DFS: stack of successor iterators, one per path vertex.
+        stack = [iter(graph.successors(s))]
+        while stack:
+            try:
+                u = int(next(stack[-1]))
+            except StopIteration:
+                stack.pop()
+                on_path[path.pop()] = False
+                continue
+            ops.add("edge_visit")
+            if u == t:
+                result.paths.append(tuple(path) + (t,))
+                ops.add("path_emit_vertex", len(path) + 1)
+                continue
+            ops.add("visited_check")
+            if on_path[u] or len(path) >= k:
+                continue
+            on_path[u] = True
+            path.append(u)
+            stack.append(iter(graph.successors(u)))
+        return result

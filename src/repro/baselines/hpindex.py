@@ -1,0 +1,283 @@
+"""HP-Index (Qiu et al., PVLDB'18): hot-point indexed enumeration.
+
+*Hot points* are the highest-degree vertices.  The index stores, for every
+ordered hot pair ``(h1, h2)``, all simple paths ``h1 ~> h2`` whose internal
+vertices are non-hot.  Any s-t k-path then decomposes uniquely at its
+internal hot vertices into
+
+    ``s ~> h1  |  h1 ~> h2  |  ...  |  hm ~> t``
+
+where the first and last segments have non-hot internals.  Query answering
+(paper Section III-B): (1) DFS from ``s`` recording segments that stop at
+hot points (and direct ``s ~> t`` paths); (2) reverse DFS from ``t``
+recording ``h ~> t`` segments; (3) look up indexed hot-to-hot paths;
+(4) concatenate, keeping combinations that are simple and within ``k`` hops.
+
+The unique decomposition guarantees the output is duplicate-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PathEnumerator
+from repro.graph.csr import CSRGraph
+from repro.host.cost_model import OpCounter
+from repro.host.query import Query, QueryResult
+
+
+class HPIndex(PathEnumerator):
+    """Hot-point index enumerator.
+
+    Parameters
+    ----------
+    hot_fraction:
+        Fraction of vertices (by descending total degree) treated as hot.
+    min_hot:
+        Lower bound on the number of hot points (when the graph is tiny).
+    """
+
+    name = "hp-index"
+
+    def __init__(self, hot_fraction: float = 0.05, min_hot: int = 2) -> None:
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in [0, 1]: {hot_fraction}")
+        self.hot_fraction = hot_fraction
+        self.min_hot = min_hot
+        # Keyed by id(graph) but holding a strong reference to the graph:
+        # a live entry's id can never be recycled for a different graph.
+        self._index_cache: dict[
+            tuple[int, int], tuple[CSRGraph, "_HotIndex"]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # index construction (query independent; cached per graph and k)
+    # ------------------------------------------------------------------
+    def build_index(self, graph: CSRGraph, max_hops: int,
+                    ops: OpCounter | None = None,
+                    hot_mask: np.ndarray | None = None) -> "_HotIndex":
+        """Build (or fetch the cached) hot-point index for ``graph``.
+
+        ``hot_mask`` overrides the degree-based hot selection — used when
+        maintaining an index across graph updates (the hot set is frozen
+        at first build, as in the original dynamic-graph system).
+        """
+        key = (id(graph), max_hops)
+        cached = self._index_cache.get(key)
+        if cached is not None and cached[0] is graph:
+            return cached[1]
+        ops = ops if ops is not None else OpCounter()
+        n = graph.num_vertices
+        if hot_mask is not None:
+            hot = np.asarray(hot_mask, dtype=bool).copy()
+        else:
+            num_hot = min(
+                n, max(self.min_hot, int(round(self.hot_fraction * n)))
+            )
+            total_degree = graph.out_degrees() + graph.reverse().out_degrees()
+            # Stable pick: degree descending, id ascending for ties.
+            order = np.lexsort((np.arange(n), -total_degree))
+            hot = np.zeros(n, dtype=bool)
+            hot[order[:num_hot]] = True
+
+        paths: dict[int, dict[int, list[tuple[int, ...]]]] = {}
+        for h in np.nonzero(hot)[0]:
+            for seg in _segments_from(graph, int(h), hot, max_hops, ops,
+                                      stop_at=None):
+                dest = seg[-1]
+                paths.setdefault(int(h), {}).setdefault(dest, []).append(seg)
+                ops.add("index_insert")
+        index = _HotIndex(hot=hot, paths=paths, max_hops=max_hops)
+        self._index_cache[key] = (graph, index)
+        return index
+
+    # ------------------------------------------------------------------
+    # query answering
+    # ------------------------------------------------------------------
+    def enumerate_paths(self, graph: CSRGraph, query: Query) -> QueryResult:
+        query.validate(graph)
+        result = QueryResult(query=query)
+        index = self.build_index(graph, query.max_hops,
+                                 result.preprocess_ops)
+        ops = result.enumerate_ops
+        s, t, k = query.source, query.target, query.max_hops
+        hot = index.hot
+
+        forward: dict[int, list[tuple[int, ...]]] = {}
+        for seg in _segments_from(graph, s, hot, k, ops, stop_at=t):
+            if seg[-1] == t:
+                result.paths.append(seg)  # direct path, no internal hot
+                ops.add("path_emit_vertex", len(seg))
+            else:
+                forward.setdefault(seg[-1], []).append(seg)
+
+        backward: dict[int, list[tuple[int, ...]]] = {}
+        for seg in _segments_from(graph.reverse(), t, hot, k - 1, ops,
+                                  stop_at=None):
+            rev = seg[::-1]  # h ~> t in forward orientation
+            backward.setdefault(rev[0], []).append(rev)
+
+        def chain(prefix: tuple[int, ...], used: set[int]) -> None:
+            """Extend ``prefix`` (ending at a hot vertex) to ``t``."""
+            h = prefix[-1]
+            budget = k - (len(prefix) - 1)
+            for tail in backward.get(h, ()):
+                ops.add("index_lookup")
+                if len(tail) - 1 <= budget and _internals_fresh(tail, used):
+                    result.paths.append(prefix + tail[1:])
+                    ops.add("path_emit_vertex", len(prefix) + len(tail) - 1)
+            for h2, mids in index.paths.get(h, {}).items():
+                ops.add("index_lookup")
+                for mid in mids:
+                    # Need at least one more hop after mid to reach t.
+                    if len(mid) - 1 + 1 > budget:
+                        continue
+                    ops.add("join_merge_vertex", len(mid))
+                    if not _internals_fresh(mid, used):
+                        continue
+                    new_used = used | set(mid[1:])
+                    chain(prefix + mid[1:], new_used)
+
+        for h1, segs in forward.items():
+            for seg in segs:
+                chain(seg, set(seg))
+        return result
+
+
+class _HotIndex:
+    """The materialised hot-to-hot segment index.
+
+    Supports incremental maintenance under edge insertion (the original
+    system's raison d'être: "continuously maintain the pairwise paths
+    among hot points" in a dynamic graph).  The hot set is frozen at
+    build time.
+    """
+
+    __slots__ = ("hot", "paths", "max_hops")
+
+    def __init__(self, hot: np.ndarray,
+                 paths: dict[int, dict[int, list[tuple[int, ...]]]],
+                 max_hops: int) -> None:
+        self.hot = hot
+        self.paths = paths
+        self.max_hops = max_hops
+
+    @property
+    def num_hot(self) -> int:
+        return int(np.count_nonzero(self.hot))
+
+    @property
+    def num_indexed_paths(self) -> int:
+        return sum(
+            len(plist)
+            for by_dest in self.paths.values()
+            for plist in by_dest.values()
+        )
+
+    def path_sets(self) -> dict[tuple[int, int], frozenset]:
+        """Index contents as comparable sets (for tests and diffing)."""
+        return {
+            (h1, h2): frozenset(plist)
+            for h1, by_dest in self.paths.items()
+            for h2, plist in by_dest.items()
+            if plist
+        }
+
+    def insert_edge(self, graph_after: CSRGraph, u: int, v: int,
+                    ops: OpCounter | None = None) -> int:
+        """Update the index after inserting edge ``(u, v)``.
+
+        ``graph_after`` must already contain the edge.  Every new indexed
+        path runs through ``(u, v)``: it is the concatenation of a
+        hot-to-``u`` prefix and a ``v``-to-hot suffix, both with non-hot
+        internals.  Returns how many paths were added.
+        """
+        ops = ops if ops is not None else OpCounter()
+        hot = self.hot
+        k = self.max_hops
+
+        # Prefixes h1 ~> u with non-hot internals.  A hot u contributes
+        # only the trivial prefix (otherwise u would be an internal hot).
+        if hot[u]:
+            prefixes: list[tuple[int, ...]] = [(u,)]
+        else:
+            prefixes = [
+                seg[::-1]
+                for seg in _segments_from(graph_after.reverse(), u, hot,
+                                          k - 1, ops, stop_at=None)
+            ]
+        if hot[v]:
+            suffixes: list[tuple[int, ...]] = [(v,)]
+        else:
+            suffixes = [
+                seg
+                for seg in _segments_from(graph_after, v, hot, k - 1, ops,
+                                          stop_at=None)
+            ]
+
+        added = 0
+        for prefix in prefixes:
+            prefix_set = set(prefix)
+            budget = k - (len(prefix) - 1) - 1  # minus the new edge
+            for suffix in suffixes:
+                if len(suffix) - 1 > budget:
+                    continue
+                if prefix_set & set(suffix):
+                    continue  # not simple
+                path = prefix + suffix
+                h1, h2 = path[0], path[-1]
+                self.paths.setdefault(h1, {}).setdefault(h2, []).append(path)
+                ops.add("index_insert")
+                added += 1
+        return added
+
+
+def _segments_from(
+    graph: CSRGraph,
+    start: int,
+    hot: np.ndarray,
+    max_hops: int,
+    ops: OpCounter,
+    stop_at: int | None,
+) -> list[tuple[int, ...]]:
+    """Simple paths from ``start`` that stop (inclusively) at hot vertices.
+
+    DFS that records a segment and backtracks whenever it meets a hot vertex
+    or the optional ``stop_at`` terminal; all internal vertices are non-hot.
+    Segments have between 1 and ``max_hops`` edges.
+    """
+    if max_hops < 1:
+        return []
+    segments: list[tuple[int, ...]] = []
+    on_path = {start}
+    path = [start]
+
+    def dfs() -> None:
+        tail = path[-1]
+        depth = len(path) - 1
+        for w in graph.successors(tail):
+            u = int(w)
+            ops.add("edge_visit")
+            if u in on_path:
+                continue
+            if u == stop_at or hot[u]:
+                segments.append(tuple(path) + (u,))
+                continue
+            if depth + 1 >= max_hops:
+                continue
+            on_path.add(u)
+            path.append(u)
+            dfs()
+            path.pop()
+            on_path.discard(u)
+
+    dfs()
+    return segments
+
+
+def _internals_fresh(segment: tuple[int, ...], used: set[int]) -> bool:
+    """True iff no vertex of ``segment`` after its first is already used."""
+    for v in segment[1:]:
+        if v in used:
+            return False
+    return True

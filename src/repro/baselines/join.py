@@ -1,0 +1,189 @@
+"""JOIN (Peng et al., VLDB'19) — the paper's state-of-the-art baseline.
+
+JOIN avoids duplicate DFS work by splitting every s-t k-path at its *middle
+vertex* and joining two half-path sets:
+
+1. compute the middle-vertex cut ``M`` (done in
+   :func:`repro.preprocess.join_pre.join_preprocess`);
+2. add a virtual target ``t'`` with an edge ``m -> t'`` for each ``m in M``
+   and run BC-DFS for ``s -> t'`` bounded by ``floor(k/2) + 1`` hops,
+   yielding the left halves ``s ~> m``;
+3. add a virtual source ``s'`` with edges ``s' -> m`` and run BC-DFS for
+   ``s' -> t`` bounded by ``ceil(k/2) + 1`` hops, yielding the right halves
+   ``m ~> t``;
+4. hash-join the halves on ``m``, keeping a pair iff the concatenation is
+   simple and ``m`` really is its middle vertex.
+
+Middle-vertex convention: for a path with vertex count ``n`` the middle is
+the ``floor(len/2) + 1``-th vertex (``len = n - 1``), i.e. a left half of
+``l1`` edges joins a right half of ``l2`` edges iff ``l2 in {l1, l1 + 1}``.
+Each result path then has exactly one valid decomposition, so the join is
+duplicate-free by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PathEnumerator
+from repro.baselines.bcdfs import bc_dfs
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query, QueryResult
+from repro.preprocess.bfs import multi_source_k_hop_bfs
+from repro.preprocess.join_pre import join_preprocess
+
+
+class Join(PathEnumerator):
+    """Middle-vertex split-and-join enumerator built on BC-DFS."""
+
+    name = "join"
+
+    def enumerate_paths(self, graph: CSRGraph, query: Query) -> QueryResult:
+        query.validate(graph)
+        result = QueryResult(query=query)
+        pre = join_preprocess(graph, query, result.preprocess_ops)
+        if pre.middles.size == 0:
+            return result
+
+        k = query.max_hops
+        l1_max = k // 2       # left-half hop bound (s ~> m)
+        l2_max = k - l1_max   # right-half hop bound (m ~> t)
+        ops = result.enumerate_ops
+
+        left = self._left_halves(graph, query, pre.middles, l1_max, result)
+        if not left:
+            return result
+        right = self._right_halves(graph, query, pre.middles, l2_max, result)
+
+        # Hash join on the middle vertex.
+        for m, lefts in left.items():
+            rights = right.get(m)
+            if not rights:
+                continue
+            ops.add("join_build", len(lefts))
+            by_len: dict[int, list[tuple[int, ...]]] = {}
+            for lp in lefts:
+                by_len.setdefault(len(lp) - 1, []).append(lp)
+            for rp in rights:
+                ops.add("join_probe")
+                l2 = len(rp) - 1
+                for l1 in (l2, l2 - 1):
+                    for lp in by_len.get(l1, ()):
+                        ops.add("join_merge_vertex", len(lp) + len(rp))
+                        if _disjoint_except_middle(lp, rp):
+                            result.paths.append(lp + rp[1:])
+                            ops.add("path_emit_vertex",
+                                    len(lp) + len(rp) - 1)
+        return result
+
+    # ------------------------------------------------------------------
+    # half-path computation
+    # ------------------------------------------------------------------
+    def _left_halves(
+        self,
+        graph: CSRGraph,
+        query: Query,
+        middles: np.ndarray,
+        l1_max: int,
+        result: QueryResult,
+    ) -> dict[int, list[tuple[int, ...]]]:
+        """BC-DFS ``s -> t'`` on the graph augmented with the virtual target."""
+        n = graph.num_vertices
+        virtual_t = n
+        middle_set = frozenset(int(m) for m in middles)
+        run_hops = l1_max + 1
+
+        # Barrier: sd(v, t') = 1 + sd(v, M); multi-source reverse BFS.
+        to_middle = multi_source_k_hop_bfs(
+            graph.reverse(), middles, l1_max, result.enumerate_ops
+        )
+        barrier = np.full(n + 1, run_hops + 1, dtype=np.int64)
+        reached = to_middle >= 0
+        barrier[:n][reached] = to_middle[reached] + 1
+        barrier[virtual_t] = 0
+
+        adjacency = graph.adjacency_lists()
+
+        def successors(v: int) -> tuple[int, ...]:
+            if v == virtual_t:
+                return ()
+            base = adjacency[v]
+            if v in middle_set:
+                return base + (virtual_t,)
+            return base
+
+        halves: dict[int, list[tuple[int, ...]]] = {}
+
+        def emit(path: tuple[int, ...]) -> None:
+            real = path[:-1]  # strip t'
+            halves.setdefault(real[-1], []).append(real)
+
+        bc_dfs(
+            graph,
+            query.source,
+            virtual_t,
+            run_hops,
+            barrier,
+            result.enumerate_ops,
+            emit,
+            successors=successors,
+        )
+        return halves
+
+    def _right_halves(
+        self,
+        graph: CSRGraph,
+        query: Query,
+        middles: np.ndarray,
+        l2_max: int,
+        result: QueryResult,
+    ) -> dict[int, list[tuple[int, ...]]]:
+        """BC-DFS ``s' -> t`` on the graph augmented with the virtual source."""
+        n = graph.num_vertices
+        virtual_s = n
+        run_hops = l2_max + 1
+
+        from_t = multi_source_k_hop_bfs(
+            graph.reverse(), np.array([query.target]), l2_max,
+            result.enumerate_ops,
+        )
+        barrier = np.full(n + 1, run_hops + 1, dtype=np.int64)
+        reached = from_t >= 0
+        barrier[:n][reached] = from_t[reached]
+
+        middle_list = tuple(int(m) for m in middles)
+        adjacency = graph.adjacency_lists()
+
+        def successors(v: int) -> tuple[int, ...]:
+            if v == virtual_s:
+                return middle_list
+            return adjacency[v]
+
+        halves: dict[int, list[tuple[int, ...]]] = {}
+
+        def emit(path: tuple[int, ...]) -> None:
+            real = path[1:]  # strip s'
+            halves.setdefault(real[0], []).append(real)
+
+        bc_dfs(
+            graph,
+            virtual_s,
+            query.target,
+            run_hops,
+            barrier,
+            result.enumerate_ops,
+            emit,
+            successors=successors,
+        )
+        return halves
+
+
+def _disjoint_except_middle(left: tuple[int, ...],
+                            right: tuple[int, ...]) -> bool:
+    """True iff ``left + right[1:]`` is a simple path (shared vertex only
+    the join key ``left[-1] == right[0]``)."""
+    left_set = set(left)
+    for v in right[1:]:
+        if v in left_set:
+            return False
+    return True

@@ -1,0 +1,100 @@
+"""T-DFS (Rizzi, Sacomoto, Sagot — IWOCA'14), the "never fall in the trap"
+enumerator.
+
+Before extending the current path ``p`` with a successor ``u``, T-DFS
+computes ``sd(u, t | p)`` — the shortest distance from ``u`` to ``t`` in the
+graph with ``V(p)`` removed — and only explores ``u`` when
+``len(p) + 1 + sd(u, t | p) <= k``.  Every search branch is therefore
+guaranteed to produce at least one result, at the price of one bounded BFS
+per extension (the "expensive verification cost" the paper attributes to it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.baselines.base import PathEnumerator
+from repro.graph.csr import CSRGraph
+from repro.host.cost_model import OpCounter
+from repro.host.query import Query, QueryResult
+
+
+def constrained_distance(
+    graph: CSRGraph,
+    source: int,
+    target: int,
+    blocked: np.ndarray,
+    max_hops: int,
+    ops: OpCounter,
+) -> int:
+    """``sd(source, target | blocked)`` bounded by ``max_hops``.
+
+    BFS from ``source`` that never enters a vertex with ``blocked[v]`` set.
+    Returns the distance, or ``max_hops + 1`` when no such path exists.
+    """
+    if source == target:
+        return 0
+    if max_hops <= 0:
+        return max_hops + 1
+    dist = {source: 0}
+    queue: deque[int] = deque([source])
+    while queue:
+        v = queue.popleft()
+        ops.add("vertex_visit")
+        dv = dist[v]
+        if dv >= max_hops:
+            continue
+        for w in graph.successors(v):
+            u = int(w)
+            ops.add("bfs_relax")
+            if u == target:
+                return dv + 1
+            if blocked[u] or u in dist:
+                continue
+            dist[u] = dv + 1
+            queue.append(u)
+    return max_hops + 1
+
+
+class TDFS(PathEnumerator):
+    """T-DFS: aggressive per-extension shortest-distance verification."""
+
+    name = "t-dfs"
+
+    def enumerate_paths(self, graph: CSRGraph, query: Query) -> QueryResult:
+        query.validate(graph)
+        result = QueryResult(query=query)
+        ops = result.enumerate_ops
+        s, t, k = query.source, query.target, query.max_hops
+
+        on_path = np.zeros(graph.num_vertices, dtype=bool)
+        on_path[s] = True
+        path = [s]
+
+        def dfs() -> None:
+            depth = len(path) - 1  # edges used so far
+            tail = path[-1]
+            for w in graph.successors(tail):
+                u = int(w)
+                ops.add("edge_visit")
+                if u == t:
+                    result.paths.append(tuple(path) + (t,))
+                    ops.add("path_emit_vertex", len(path) + 1)
+                    continue
+                ops.add("visited_check")
+                if on_path[u]:
+                    continue
+                budget = k - depth - 1
+                sd = constrained_distance(graph, u, t, on_path, budget, ops)
+                if sd > budget:
+                    continue
+                on_path[u] = True
+                path.append(u)
+                dfs()
+                path.pop()
+                on_path[u] = False
+
+        dfs()
+        return result

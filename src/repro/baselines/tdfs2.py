@@ -1,0 +1,73 @@
+"""T-DFS2 (Grossi, Marino, Versari — LATIN'18 variant).
+
+Same aggressive verification strategy as T-DFS, but it skips the shortest
+distance recomputation for vertices "associated with only one output":
+when vertex ``u`` was certified with ``sd(u, t | p) = d`` and ``u`` has a
+single out-neighbor ``w``, every ``u ~> t`` path goes through ``w``, hence
+``sd(w, t | p + u) = d - 1`` — no fresh BFS needed for ``w``.  Chains of
+out-degree-1 vertices are descended without any distance computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PathEnumerator
+from repro.baselines.tdfs import constrained_distance
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query, QueryResult
+
+
+class TDFS2(PathEnumerator):
+    """T-DFS with certified-distance propagation along out-degree-1 chains."""
+
+    name = "t-dfs2"
+
+    def enumerate_paths(self, graph: CSRGraph, query: Query) -> QueryResult:
+        query.validate(graph)
+        result = QueryResult(query=query)
+        ops = result.enumerate_ops
+        s, t, k = query.source, query.target, query.max_hops
+
+        on_path = np.zeros(graph.num_vertices, dtype=bool)
+        on_path[s] = True
+        path = [s]
+
+        def dfs(certified: int | None) -> None:
+            """Explore extensions of ``path``.
+
+            ``certified`` is ``sd(tail, t | path - tail)`` when already known
+            from the parent's verification, else ``None``.
+            """
+            depth = len(path) - 1
+            tail = path[-1]
+            successors = graph.successors(tail)
+            skip_bfs = certified is not None and successors.size == 1
+            for w in successors:
+                u = int(w)
+                ops.add("edge_visit")
+                if u == t:
+                    result.paths.append(tuple(path) + (t,))
+                    ops.add("path_emit_vertex", len(path) + 1)
+                    continue
+                ops.add("visited_check")
+                if on_path[u]:
+                    continue
+                budget = k - depth - 1
+                if skip_bfs:
+                    # Sole successor of a certified vertex: the certifying
+                    # path runs through u, so its distance is certified - 1.
+                    sd = certified - 1
+                else:
+                    sd = constrained_distance(graph, u, t, on_path, budget,
+                                              ops)
+                if sd > budget:
+                    continue
+                on_path[u] = True
+                path.append(u)
+                dfs(sd)
+                path.pop()
+                on_path[u] = False
+
+        dfs(None)
+        return result

@@ -1,0 +1,223 @@
+"""Command-line interface: query graphs and inspect datasets.
+
+Usage::
+
+    python -m repro query GRAPH.txt -s 0 -t 42 -k 4 [--algorithm pefp]
+    python -m repro stats GRAPH.txt
+    python -m repro datasets
+
+``GRAPH.txt`` is a SNAP-style edge list (one ``src dst`` pair per line,
+``#``/``%`` comments allowed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.baselines import BCDFS, HPIndex, Join, NaiveBFS, NaiveDFS, TDFS, TDFS2
+from repro.core.variants import VARIANTS
+from repro.datasets import DATASETS, load_dataset
+from repro.errors import ReproError
+from repro.graph import stats as graph_stats
+from repro.graph.io import read_edge_list
+from repro.host.cost_model import CpuCostModel
+from repro.host.query import Query
+from repro.host.system import PathEnumerationSystem
+from repro.reporting.tables import format_seconds, render_table
+
+_CPU_ALGORITHMS = {
+    "naive-dfs": NaiveDFS,
+    "naive-bfs": NaiveBFS,
+    "t-dfs": TDFS,
+    "t-dfs2": TDFS2,
+    "bc-dfs": BCDFS,
+    "join": Join,
+    "hp-index": HPIndex,
+}
+
+
+def _load_graph(path: str):
+    if path in DATASETS:
+        return load_dataset(path)
+    return read_edge_list(path)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    query = Query(args.source, args.target, args.max_hops)
+    device = None
+    if args.algorithm in _CPU_ALGORITHMS:
+        enumerator = _CPU_ALGORITHMS[args.algorithm]()
+        result = enumerator.enumerate_paths(graph, query)
+        cost = CpuCostModel()
+        t1 = cost.seconds(result.preprocess_ops)
+        t2 = cost.seconds(result.enumerate_ops)
+        paths = result.paths
+    else:
+        system = PathEnumerationSystem.for_variant(graph, args.algorithm)
+        report = system.execute(query)
+        t1, t2 = report.preprocess_seconds, report.query_seconds
+        paths = report.paths
+        device = report.device
+    print(f"{len(paths)} path(s) from {args.source} to {args.target} "
+          f"within {args.max_hops} hops  "
+          f"[T1={format_seconds(t1)} T2={format_seconds(t2)} "
+          f"T={format_seconds(t1 + t2)}]")
+    shown = paths if args.all else paths[: args.limit]
+    for p in shown:
+        print(" -> ".join(str(v) for v in p))
+    if not args.all and len(paths) > args.limit:
+        print(f"... {len(paths) - args.limit} more (use --all)")
+    if args.device_report:
+        if device is None:
+            print("(no device report: CPU algorithm)")
+        else:
+            from repro.fpga.report import device_report
+
+            print()
+            print(device_report(device).render())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    st = graph_stats.compute_stats(graph, samples=args.samples)
+    rows = [
+        ("|V|", st.num_vertices),
+        ("|E|", st.num_edges),
+        ("avg degree", f"{st.avg_degree:.2f}"),
+        ("diameter (sampled)", st.diameter),
+        ("90% effective diameter", f"{st.effective_diameter_90:.2f}"),
+    ]
+    print(render_table(("metric", "value"), rows))
+    return 0
+
+
+def _make_enumerator(name: str):
+    if name in _CPU_ALGORITHMS:
+        return _CPU_ALGORITHMS[name]()
+    from repro.host.system import PEFPEnumerator
+
+    return PEFPEnumerator(name)
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.validation import cross_check
+
+    graph = _load_graph(args.graph)
+    query = Query(args.source, args.target, args.max_hops)
+    report = cross_check(
+        graph, query, _make_enumerator(args.left),
+        _make_enumerator(args.right),
+    )
+    print(report.summary())
+    for p in sorted(report.only_left)[:10]:
+        print(f"  only {args.left}: " + " -> ".join(str(v) for v in p))
+    for p in sorted(report.only_right)[:10]:
+        print(f"  only {args.right}: " + " -> ".join(str(v) for v in p))
+    return 0 if report.ok else 2
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.reporting.experiments import experiment_by_name
+
+    try:
+        fn, kwargs = experiment_by_name(args.experiment)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    result = fn(seed=args.seed, **kwargs)
+    print(result.table())
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = [
+        (spec.key, spec.short_name, spec.paper_name, spec.description,
+         ",".join(str(k) for k in spec.k_range))
+        for spec in DATASETS.values()
+    ]
+    print(render_table(("key", "short", "paper dataset", "topology",
+                        "k sweep"), rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="k-hop constrained s-t simple path enumeration "
+                    "(PEFP reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("query", help="enumerate s-t k-paths on a graph")
+    q.add_argument("graph", help="edge-list file or a dataset key "
+                                 "(see `repro datasets`)")
+    q.add_argument("-s", "--source", type=int, required=True)
+    q.add_argument("-t", "--target", type=int, required=True)
+    q.add_argument("-k", "--max-hops", type=int, required=True)
+    q.add_argument(
+        "--algorithm",
+        default="pefp",
+        choices=sorted(_CPU_ALGORITHMS) + list(VARIANTS),
+        help="enumeration algorithm (default: pefp on the simulated FPGA)",
+    )
+    q.add_argument("--limit", type=int, default=20,
+                   help="max paths to print (default 20)")
+    q.add_argument("--all", action="store_true", help="print every path")
+    q.add_argument("--device-report", action="store_true",
+                   help="print BRAM/DRAM utilization after the query "
+                        "(FPGA variants only)")
+    q.set_defaults(func=_cmd_query)
+
+    s = sub.add_parser("stats", help="Table II statistics of a graph")
+    s.add_argument("graph")
+    s.add_argument("--samples", type=int, default=32,
+                   help="BFS sample size for diameter estimates")
+    s.set_defaults(func=_cmd_stats)
+
+    d = sub.add_parser("datasets", help="list the 12 built-in stand-ins")
+    d.set_defaults(func=_cmd_datasets)
+
+    c = sub.add_parser(
+        "compare",
+        help="run two algorithms on the same query and diff their answers",
+    )
+    c.add_argument("graph")
+    c.add_argument("-s", "--source", type=int, required=True)
+    c.add_argument("-t", "--target", type=int, required=True)
+    c.add_argument("-k", "--max-hops", type=int, required=True)
+    c.add_argument("--left", default="pefp",
+                   choices=sorted(_CPU_ALGORITHMS) + list(VARIANTS))
+    c.add_argument("--right", default="join",
+                   choices=sorted(_CPU_ALGORITHMS) + list(VARIANTS))
+    c.set_defaults(func=_cmd_compare)
+
+    b = sub.add_parser(
+        "bench",
+        help="regenerate one paper experiment (tab2, fig8..fig15, tab3)",
+    )
+    b.add_argument("experiment",
+                   help="experiment id, e.g. fig8, fig14, tab3")
+    b.add_argument("--seed", type=int, default=7)
+    b.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""PEFP: the paper's FPGA-side enumeration engine (Section VI).
+
+:class:`~repro.core.engine.PEFPEngine` runs the expand-and-verify loop of
+Algorithm 1 on the simulated device in :mod:`repro.fpga`, with Batch-DFS
+batching (Algorithm 4), BRAM caching and the data-separated verification
+pipeline.  :mod:`repro.core.variants` builds the paper's ablations.
+"""
+
+from repro.core.config import PEFPConfig, recommended_config
+from repro.core.engine import EngineStats, PEFPEngine
+from repro.core.naive_engine import LevelBFSEngine
+from repro.core.validation import cross_check, validate_paths
+from repro.core.variants import make_engine, VARIANTS
+
+__all__ = [
+    "PEFPConfig",
+    "recommended_config",
+    "PEFPEngine",
+    "LevelBFSEngine",
+    "EngineStats",
+    "make_engine",
+    "VARIANTS",
+    "validate_paths",
+    "cross_check",
+]

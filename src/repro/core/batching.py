@@ -1,0 +1,97 @@
+"""Batch scheduling: Batch-DFS (Algorithm 4) and the FIFO ablation.
+
+Batch-DFS treats the buffer area as a stack and fills the processing area
+from the *top* — "always process a batch of the longest paths first"
+(Observation 1: longer paths have stronger barrier pruning, so they spawn
+fewer intermediate paths and the buffer overflows to DRAM less often).
+
+Each path record carries ``next_ptr``/``last_ptr`` into the CSR edge array;
+a super-node whose degree exceeds the remaining processing capacity is
+scheduled partially and resumes in a later batch.
+"""
+
+from __future__ import annotations
+
+from repro.core.paths import BufferArea, PathRecord, ProcessingEntry
+from repro.errors import ConfigError
+
+
+def batch_dfs(buffer: BufferArea, theta: int) -> list[ProcessingEntry]:
+    """Draw up to ``theta`` one-hop expansions from the stack top.
+
+    Mutates ``buffer``: scheduled ranges advance each record's ``next_ptr``
+    and fully-exhausted records at the top are popped.  Returns the
+    processing-area entries (possibly fewer than ``theta`` expansions when
+    the buffer runs out).
+    """
+    if theta < 1:
+        raise ConfigError(f"batch size threshold must be >= 1, got {theta}")
+    entries: list[ProcessingEntry] = []
+    cnt = 0
+    i = buffer.top_index()
+    while i >= 0:
+        record = buffer.record_at(i)
+        ptr1 = record.next_ptr
+        ptr_last = record.last_ptr
+        if ptr1 + (theta - cnt) < ptr_last:
+            ptr2 = ptr1 + (theta - cnt)
+        else:
+            ptr2 = ptr_last
+        if ptr2 > ptr1:
+            entries.append(ProcessingEntry(record.vertices, ptr1, ptr2))
+        record.next_ptr = ptr2
+        cnt += ptr2 - ptr1
+        if cnt < theta:
+            i -= 1
+        else:
+            break
+    _pop_exhausted_top(buffer)
+    return entries
+
+
+def fifo_batch(buffer: BufferArea, theta: int) -> list[ProcessingEntry]:
+    """The no-Batch-DFS ablation: draw expansions from the *bottom*.
+
+    First-in-first-out order processes the shortest paths first — the
+    ordering the paper replaces ("always process a batch of the shortest
+    paths first") when evaluating Batch-DFS in Fig. 13.
+    """
+    if theta < 1:
+        raise ConfigError(f"batch size threshold must be >= 1, got {theta}")
+    entries: list[ProcessingEntry] = []
+    cnt = 0
+    while cnt < theta and not buffer.is_empty:
+        record = buffer.record_at(0)
+        ptr1 = record.next_ptr
+        ptr_last = record.last_ptr
+        if ptr1 + (theta - cnt) < ptr_last:
+            ptr2 = ptr1 + (theta - cnt)
+        else:
+            ptr2 = ptr_last
+        if ptr2 > ptr1:
+            entries.append(ProcessingEntry(record.vertices, ptr1, ptr2))
+        record.next_ptr = ptr2
+        cnt += ptr2 - ptr1
+        if record.exhausted:
+            buffer.pop_front()
+        else:
+            break  # capacity exhausted mid-record
+    return entries
+
+
+def _pop_exhausted_top(buffer: BufferArea) -> None:
+    """Remove the contiguous run of fully-scheduled records at the top."""
+    j = buffer.top_index()
+    while j >= 0 and buffer.record_at(j).exhausted:
+        j -= 1
+    buffer.pop_suffix(j + 1)
+
+
+def touched_records(entries: list[ProcessingEntry]) -> int:
+    """Number of buffer records a batch pulled from (for cycle charging)."""
+    return len(entries)
+
+
+def total_expansions(entries: list[ProcessingEntry]) -> int:
+    """Total one-hop expansions scheduled in a batch."""
+    return sum(e.num_expansions for e in entries)

@@ -1,0 +1,93 @@
+"""Engine configuration: area sizes, cache budgets and feature toggles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PEFPConfig:
+    """Tunable parameters of the PEFP engine.
+
+    Notation follows the paper: ``theta1`` (Θ1) is the number of paths
+    fetched from DRAM into the buffer area per refill, ``theta2`` (Θ2) is
+    the number of one-hop expansions scheduled into the processing area per
+    batch.  Capacities are counted in *paths* (the word footprint of a path
+    record is ``max_hops + 2``: a length field plus up to k+1 vertices).
+
+    Default sizes are scaled to the stand-in datasets the same way the
+    U200's 43 MB of on-chip memory relates to the paper's graphs (up to
+    172M edges): a Pre-BFS subgraph typically fits the caches entirely
+    while the full graph does not — the property Figs. 12 and 14 rely on.
+
+    Feature toggles correspond to the paper's ablations:
+
+    - ``use_batch_dfs``: Batch-DFS stack-top batching (Fig. 13's baseline is
+      FIFO batching, i.e. shortest-path-first);
+    - ``use_cache``: BRAM caching of intermediate paths and of the graph and
+      barrier arrays (Fig. 14's baseline reads everything from DRAM);
+    - ``use_data_separation``: dataflow-parallel verification stages
+      (Fig. 15's baseline chains the three checks serially).
+    """
+
+    theta1: int = 1024
+    theta2: int = 256
+    buffer_capacity_paths: int = 4096
+    graph_cache_words: int = 16_384
+    barrier_cache_words: int = 4_096
+    #: fixed control/fill cost charged once per processing batch.
+    batch_overhead_cycles: int = 8
+    use_batch_dfs: bool = True
+    use_cache: bool = True
+    use_data_separation: bool = True
+
+    def __post_init__(self) -> None:
+        if self.theta1 < 1:
+            raise ConfigError(f"theta1 must be >= 1, got {self.theta1}")
+        if self.theta2 < 1:
+            raise ConfigError(f"theta2 must be >= 1, got {self.theta2}")
+        if self.buffer_capacity_paths < 1:
+            raise ConfigError("buffer_capacity_paths must be >= 1")
+        if self.theta1 > self.buffer_capacity_paths:
+            raise ConfigError(
+                "theta1 (DRAM refill batch) cannot exceed the buffer capacity"
+            )
+        if self.graph_cache_words < 0 or self.barrier_cache_words < 0:
+            raise ConfigError("cache budgets must be non-negative")
+        if self.batch_overhead_cycles < 0:
+            raise ConfigError("batch_overhead_cycles must be non-negative")
+
+
+def recommended_config(
+    num_vertices: int,
+    num_edges: int,
+    bram_words: int = 262_144,
+    max_hops: int = 8,
+) -> PEFPConfig:
+    """Size the engine for a graph the way the paper sizes for the U200.
+
+    Splits the BRAM budget: enough cache for the *typical Pre-BFS
+    subgraph* (about a quarter of the full graph at the paper's k values,
+    capped to half the budget), a buffer area sized from the remainder,
+    and Θ1/Θ2 scaled to the buffer — preserving the design ratios of the
+    defaults rather than any absolute size.
+    """
+    if num_vertices < 0 or num_edges < 0:
+        raise ConfigError("graph dimensions must be non-negative")
+    graph_words = 2 * (num_vertices + 1) + num_edges
+    graph_cache = min(max(1024, graph_words // 4), bram_words // 2)
+    barrier_cache = min(max(256, (num_vertices + 1) // 4), bram_words // 8)
+    record = max_hops + 2
+    remaining = max(bram_words - graph_cache - barrier_cache, 4 * record)
+    buffer_paths = max(64, (remaining // record) * 3 // 4)
+    theta1 = max(16, min(buffer_paths // 4, 4096))
+    theta2 = max(8, theta1 // 4)
+    return PEFPConfig(
+        theta1=theta1,
+        theta2=theta2,
+        buffer_capacity_paths=buffer_paths,
+        graph_cache_words=graph_cache,
+        barrier_cache_words=barrier_cache,
+    )

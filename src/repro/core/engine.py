@@ -1,0 +1,418 @@
+"""PEFP main loop (Algorithm 1) on the simulated device.
+
+The engine is *functionally* a BFS-style expand-and-verify enumerator and
+*temporally* a cycle-accounting model.  The three path areas and their
+interaction implement Algorithms 1 and 3:
+
+- **processing area** ``P'`` (BRAM): the batch of expansions in flight;
+- **buffer area** ``P`` (BRAM): a stack of intermediate paths, flushed
+  wholesale to DRAM when full;
+- **memory area** ``P_D`` (DRAM): the overflow stack, refilled from its
+  tail in blocks of Θ1.
+
+Timing model
+------------
+Processing one batch is a dataflow region of five stages — batch load,
+edge fetch, barrier fetch, verification, write-back — exactly the structure
+the paper pipelines.  Stages overlap, so a batch costs
+
+    ``max(stage cycles) .. bounded below by .. sum(DRAM cycles)``
+
+plus a small fixed control overhead: on-chip stages run concurrently, but
+all off-chip traffic serialises on the single modelled DRAM channel.
+Buffer flushes and Θ1 refills stall the pipeline and are charged serially,
+which is what makes the Batch-DFS ablation (Fig. 13) visible: FIFO batching
+keeps whole BFS levels live and pays for every overflow round trip.
+
+With ``use_cache=False`` (the Fig. 14 ablation) the buffer area lives in
+DRAM — every intermediate path is written to and fetched from off-chip
+memory — and the CSR/barrier caches are disabled, so the fetch stages pay
+full DRAM latency per access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.batching import batch_dfs, fifo_batch
+from repro.core.cache import CachedArray
+from repro.core.config import PEFPConfig
+from repro.core.paths import BufferArea, DramArea, PathRecord, record_words
+from repro.core.verify import VerificationModule
+from repro.errors import QueryError
+from repro.fpga.clock import Clock
+from repro.fpga.device import Device, DeviceConfig
+from repro.fpga.pipeline import PipelineModel
+from repro.graph.csr import CSRGraph
+
+
+@dataclass
+class EngineStats:
+    """Counters describing one engine run."""
+
+    batches: int = 0
+    expansions: int = 0
+    results: int = 0
+    intermediate_paths: int = 0
+    rejected_barrier: int = 0
+    rejected_visited: int = 0
+    flushes: int = 0
+    flushed_paths: int = 0
+    refills: int = 0
+    refilled_paths: int = 0
+    peak_buffer_paths: int = 0
+    peak_dram_paths: int = 0
+    #: valid new intermediate paths keyed by the *parent* path length
+    #: (Table III counts newly generated paths per expanded length l).
+    new_paths_by_parent_length: dict[int, int] = field(default_factory=dict)
+    #: expansions scheduled keyed by parent path length.
+    expansions_by_parent_length: dict[int, int] = field(default_factory=dict)
+    #: raw (pre-overlap) cycle totals per dataflow stage plus the serial
+    #: events; `sum(stage_cycles.values())` exceeds the clock because the
+    #: five stages overlap — see the module docstring.
+    stage_cycles: dict[str, int] = field(default_factory=dict)
+
+    def add_stage_cycles(self, stage: str, cycles: int) -> None:
+        if cycles:
+            self.stage_cycles[stage] = (
+                self.stage_cycles.get(stage, 0) + cycles
+            )
+
+
+@dataclass
+class EngineRunResult:
+    """Paths found plus the device-time accounting of the run."""
+
+    paths: list[tuple[int, ...]]
+    cycles: int
+    seconds: float
+    stats: EngineStats
+    device: Device
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.paths)
+
+
+class _StageCost:
+    """Cycle cost of one dataflow stage, split by memory domain."""
+
+    __slots__ = ("bram", "dram", "compute")
+
+    def __init__(self) -> None:
+        self.bram = 0
+        self.dram = 0
+        self.compute = 0
+
+    @property
+    def total(self) -> int:
+        return self.bram + self.dram + self.compute
+
+
+class PEFPEngine:
+    """The FPGA-side enumerator.
+
+    One engine instance is reusable across queries; each :meth:`run`
+    simulates a fresh kernel invocation on its own :class:`Device`.
+    """
+
+    name = "pefp"
+
+    def __init__(
+        self,
+        config: PEFPConfig | None = None,
+        device_config: DeviceConfig | None = None,
+        pipeline: PipelineModel | None = None,
+    ) -> None:
+        self.config = config or PEFPConfig()
+        self.device_config = device_config or DeviceConfig()
+        self.pipeline = pipeline or PipelineModel()
+
+    def run(
+        self,
+        graph: CSRGraph,
+        source: int,
+        target: int,
+        max_hops: int,
+        barrier: np.ndarray,
+        on_result=None,
+        collect_paths: bool = True,
+    ) -> EngineRunResult:
+        """Enumerate all s-t k-paths of ``graph`` on the simulated device.
+
+        ``barrier`` must hold lower bounds on ``sd(v, target)`` (Pre-BFS
+        supplies exact distances; the no-Pre-BFS variant passes zeros).
+        Returned paths use ``graph``'s vertex ids.
+
+        ``on_result`` streams each found path as it is produced (the
+        device streams results over PCIe anyway); with
+        ``collect_paths=False`` the result list is not materialised —
+        for result sets too large to hold, pair it with ``on_result``.
+        """
+        if not 0 <= source < graph.num_vertices:
+            raise QueryError(f"source {source} not in graph")
+        if not 0 <= target < graph.num_vertices:
+            raise QueryError(f"target {target} not in graph")
+        if source == target:
+            raise QueryError("source equals target")
+        if max_hops < 1:
+            raise QueryError(f"hop constraint must be >= 1, got {max_hops}")
+        if len(barrier) != graph.num_vertices:
+            raise QueryError("barrier array size does not match graph")
+        # A simple path has at most |V| - 1 edges, so the path-record width
+        # (and every hop comparison) can be clamped without changing the
+        # answer; this keeps huge user-supplied k from inflating BRAM needs.
+        max_hops = min(max_hops, graph.num_vertices - 1)
+
+        cfg = self.config
+        device = Device(self.device_config)
+        bram, dram, clock = device.bram, device.dram, device.clock
+        stats = EngineStats()
+        rec_w = record_words(max_hops)
+
+        # --- static allocations ---------------------------------------
+        bram.allocate(cfg.theta2 * (rec_w + 2), "processing_area")
+        buffer_in_bram = cfg.use_cache
+        if buffer_in_bram:
+            bram.allocate(cfg.buffer_capacity_paths * rec_w, "buffer_area")
+            buffer = BufferArea(cfg.buffer_capacity_paths)
+        else:
+            # Buffer stack lives in DRAM: unbounded, every touch off-chip.
+            buffer = BufferArea(2**62)
+
+        vertex_budget = min(len(graph.indptr), cfg.graph_cache_words)
+        edge_budget = max(0, cfg.graph_cache_words - vertex_budget)
+        vertex_arr = CachedArray(graph.indptr, bram, dram, vertex_budget,
+                                 "vertex_arr", enabled=cfg.use_cache)
+        edge_arr = CachedArray(graph.indices, bram, dram, edge_budget,
+                               "edge_arr", enabled=cfg.use_cache)
+        bar_arr = CachedArray(barrier, bram, dram, cfg.barrier_cache_words,
+                              "bar_arr", enabled=cfg.use_cache)
+
+        verifier = VerificationModule(self.pipeline, cfg.use_data_separation)
+        batch_fn = batch_dfs if cfg.use_batch_dfs else fifo_batch
+        dram_area = DramArea()
+        results: list[tuple[int, ...]] = []
+
+        # --- seed: the path consisting of just `source` ----------------
+        lo = vertex_arr.read(source)
+        hi = vertex_arr.read(source + 1)
+        if lo < hi:
+            self._charge_push(bram, dram, rec_w, buffer_in_bram)
+            buffer.push(PathRecord((source,), lo, hi))
+
+        # --- main loop (Algorithms 1 and 3) ----------------------------
+        while True:
+            if buffer.is_empty:
+                if buffer_in_bram and not dram_area.is_empty:
+                    # Θ1 refill from the DRAM tail: a serial stall.
+                    before = clock.cycles
+                    block = dram_area.fetch_tail(cfg.theta1)
+                    dram.burst_read(len(block) * rec_w)
+                    bram.write(len(block) * rec_w)
+                    for rec in block:
+                        buffer.push(rec)
+                    stats.refills += 1
+                    stats.refilled_paths += len(block)
+                    stats.add_stage_cycles("refill", clock.cycles - before)
+                else:
+                    break
+            entries = batch_fn(buffer, cfg.theta2)
+            if not entries:
+                break  # defensive: cannot happen with a non-empty buffer
+            stats.batches += 1
+
+            costs: list[_StageCost] = []
+
+            # Stage 1: move the batch into the processing area.
+            load = self._stage(bram, dram, costs)
+            with bram.with_clock(load[0]), dram.with_clock(load[1]):
+                moved = len(entries) * rec_w
+                if buffer_in_bram:
+                    bram.read(moved)
+                else:
+                    dram.burst_read(moved)
+                    # neighbor-pointer updates of the scheduled records
+                    # also live off-chip in this configuration
+                    dram.random_write(2 * len(entries))
+                bram.write(moved)
+
+            # Stage 2: edge fetch — gather successor slices.
+            fetch = self._stage(bram, dram, costs)
+            successor_lists: list[np.ndarray] = []
+            n_items = 0
+            with bram.with_clock(fetch[0]), dram.with_clock(fetch[1]):
+                for entry in entries:
+                    plen = len(entry.vertices) - 1
+                    stats.expansions_by_parent_length[plen] = (
+                        stats.expansions_by_parent_length.get(plen, 0)
+                        + entry.num_expansions
+                    )
+                    nbrs = edge_arr.read_range(entry.nbr_lo, entry.nbr_hi)
+                    successor_lists.append(nbrs)
+                    n_items += nbrs.size
+            stats.expansions += n_items
+
+            # Stage 3: barrier fetch — one gather per expansion.
+            barf = self._stage(bram, dram, costs)
+            barrier_lists: list[np.ndarray] = []
+            with bram.with_clock(barf[0]), dram.with_clock(barf[1]):
+                for nbrs in successor_lists:
+                    barrier_lists.append(bar_arr.read_vector(nbrs))
+
+            # Stage 4: verification (Algorithm 2, vectorised; pipelined).
+            # Semantically identical to VerificationModule.verify_batch —
+            # only the per-batch latency model is shared with it.
+            batch_results: list[tuple[int, ...]] = []
+            valid_paths: list[tuple[int, ...]] = []
+            for entry, nbrs, bars in zip(entries, successor_lists,
+                                         barrier_lists):
+                if nbrs.size == 0:
+                    continue
+                parent = entry.vertices
+                hops = len(parent) - 1
+                is_target = nbrs == target
+                if is_target.any() and hops + 1 <= max_hops:
+                    full = parent + (target,)
+                    batch_results.extend(
+                        [full] * int(np.count_nonzero(is_target))
+                    )
+                rest = nbrs[~is_target]
+                rest_bars = bars[~is_target]
+                bar_ok = hops + 1 + rest_bars <= max_hops
+                stats.rejected_barrier += int(
+                    np.count_nonzero(~bar_ok)
+                )
+                candidates = rest[bar_ok]
+                if candidates.size:
+                    fresh = ~np.isin(candidates, parent)
+                    stats.rejected_visited += int(
+                        np.count_nonzero(~fresh)
+                    )
+                    for u in candidates[fresh]:
+                        valid_paths.append(parent + (int(u),))
+            verify_cost = _StageCost()
+            verify_cost.compute = verifier.batch_cycles(n_items)
+            costs.append(verify_cost)
+
+            # Stage 5: write-back — results to DRAM, survivors to buffer.
+            wb = self._stage(bram, dram, costs)
+            new_records: list[PathRecord] = []
+            with bram.with_clock(wb[0]), dram.with_clock(wb[1]):
+                if batch_results:
+                    if collect_paths:
+                        results.extend(batch_results)
+                    if on_result is not None:
+                        for p in batch_results:
+                            on_result(p)
+                    stats.results += len(batch_results)
+                    dram.burst_write(sum(len(p) + 1 for p in batch_results))
+                if valid_paths:
+                    tails = np.fromiter(
+                        (p[-1] for p in valid_paths), dtype=np.int64,
+                        count=len(valid_paths),
+                    )
+                    lows = vertex_arr.read_vector(tails)
+                    highs = vertex_arr.read_vector(tails + 1)
+                else:
+                    lows = highs = ()
+                for p, nlo, nhi in zip(valid_paths, lows, highs):
+                    plen = len(p) - 2  # parent length
+                    stats.new_paths_by_parent_length[plen] = (
+                        stats.new_paths_by_parent_length.get(plen, 0) + 1
+                    )
+                    stats.intermediate_paths += 1
+                    if nlo >= nhi:
+                        continue  # dead end: no successors, drop now
+                    self._charge_push(bram, dram, rec_w, buffer_in_bram)
+                    new_records.append(PathRecord(p, int(nlo), int(nhi)))
+
+            # Fold the overlapped stages into the device clock: concurrent
+            # on-chip stages; off-chip traffic shares the DRAM channels;
+            # fixed control cost per batch.
+            channels = self.device_config.dram_channels
+            dram_bound = -(-sum(c.dram for c in costs) // channels)
+            batch_cycles = max(
+                max(c.total for c in costs),
+                dram_bound,
+            ) + cfg.batch_overhead_cycles
+            clock.advance(batch_cycles)
+            for name, cost in zip(
+                ("load", "edge_fetch", "barrier_fetch", "verify",
+                 "writeback"), costs,
+            ):
+                stats.add_stage_cycles(name, cost.total)
+            stats.add_stage_cycles("overhead", cfg.batch_overhead_cycles)
+
+            # Apply the buffered pushes; overflow stalls the pipeline.
+            for rec in new_records:
+                if buffer_in_bram and buffer.is_full:
+                    before = clock.cycles
+                    self._flush(buffer, rec_w, bram, dram, dram_area, stats)
+                    stats.add_stage_cycles("flush", clock.cycles - before)
+                buffer.push(rec)
+
+        stats.peak_buffer_paths = buffer.peak_occupancy
+        stats.peak_dram_paths = dram_area.peak_occupancy
+        return EngineRunResult(
+            paths=results,
+            cycles=device.cycles,
+            seconds=device.elapsed_seconds(),
+            stats=stats,
+            device=device,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stage(bram, dram, costs: list[_StageCost]):
+        """Create meters for one stage and register its cost record."""
+        cost = _StageCost()
+        costs.append(cost)
+        bram_meter = _CostClock(cost, "bram")
+        dram_meter = _CostClock(cost, "dram")
+        return bram_meter, dram_meter
+
+    @staticmethod
+    def _charge_push(bram, dram, rec_w: int, buffer_in_bram: bool) -> None:
+        if buffer_in_bram:
+            bram.write(rec_w)
+        else:
+            dram.burst_write(rec_w)
+
+    @staticmethod
+    def _flush(
+        buffer: BufferArea,
+        rec_w: int,
+        bram,
+        dram,
+        dram_area: DramArea,
+        stats: EngineStats,
+    ) -> None:
+        """Spill the whole buffer area to the DRAM path area (Alg. 1 l.13)."""
+        records = buffer.drain()
+        words = len(records) * rec_w
+        bram.read(words)
+        dram.burst_write(words)
+        dram_area.append_block(records)
+        stats.flushes += 1
+        stats.flushed_paths += len(records)
+
+
+class _CostClock(Clock):
+    """A clock that accumulates into one field of a :class:`_StageCost`."""
+
+    __slots__ = ("_cost", "_domain")
+
+    def __init__(self, cost: _StageCost, domain: str) -> None:
+        super().__init__()
+        self._cost = cost
+        self._domain = domain
+
+    def advance(self, cycles: int) -> None:
+        super().advance(cycles)
+        setattr(self._cost, self._domain,
+                getattr(self._cost, self._domain) + cycles)

@@ -1,0 +1,144 @@
+"""Path records and the three path areas (processing / buffer / DRAM).
+
+A *path record* is the unit PEFP moves between memories: the vertex
+sequence plus the two neighbor pointers that make super-node expansion
+resumable (Algorithm 4).  ``next_ptr``/``last_ptr`` index into the CSR
+``edge_arr`` of the (sub)graph: ``[next_ptr, last_ptr)`` are the successors
+not yet scheduled into any processing batch.
+
+Word footprints (one 32-bit word per field):
+
+- record in the buffer or DRAM area: ``len + 1`` vertex slots are modelled
+  at the fixed width ``max_hops + 2`` (length field + k+1 vertices), the
+  hardware layout;
+- a processing-area entry additionally carries its scheduled range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CapacityError
+
+
+@dataclass
+class PathRecord:
+    """One intermediate path with its neighbor-scheduling pointers."""
+
+    vertices: tuple[int, ...]
+    next_ptr: int
+    last_ptr: int
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every successor has been scheduled."""
+        return self.next_ptr >= self.last_ptr
+
+    @property
+    def length(self) -> int:
+        """Hop count (edges) of the path."""
+        return len(self.vertices) - 1
+
+
+@dataclass(frozen=True)
+class ProcessingEntry:
+    """A path plus the slice of its successors to expand in this batch."""
+
+    vertices: tuple[int, ...]
+    nbr_lo: int
+    nbr_hi: int
+
+    @property
+    def num_expansions(self) -> int:
+        return self.nbr_hi - self.nbr_lo
+
+
+def record_words(max_hops: int) -> int:
+    """Fixed word footprint of one path record."""
+    return max_hops + 2
+
+
+class BufferArea:
+    """The BRAM buffer area ``P``: a bounded stack of path records."""
+
+    def __init__(self, capacity_paths: int) -> None:
+        if capacity_paths < 1:
+            raise CapacityError("buffer area needs capacity for >= 1 path")
+        self.capacity_paths = capacity_paths
+        self._stack: list[PathRecord] = []
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._stack) >= self.capacity_paths
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._stack
+
+    def push(self, record: PathRecord) -> None:
+        if self.is_full:
+            raise CapacityError(
+                f"buffer area overflow (capacity {self.capacity_paths}); "
+                "the engine must flush before pushing"
+            )
+        self._stack.append(record)
+        self.peak_occupancy = max(self.peak_occupancy, len(self._stack))
+
+    def record_at(self, index: int) -> PathRecord:
+        return self._stack[index]
+
+    def top_index(self) -> int:
+        return len(self._stack) - 1
+
+    def pop_suffix(self, from_index: int) -> None:
+        """Drop all records at positions ``>= from_index`` (consumed)."""
+        del self._stack[from_index:]
+
+    def drain(self) -> list[PathRecord]:
+        """Remove and return all records (bottom to top order)."""
+        drained = self._stack
+        self._stack = []
+        return drained
+
+    def pop_front(self) -> PathRecord:
+        """FIFO removal (the no-Batch-DFS ablation)."""
+        return self._stack.pop(0)
+
+
+class DramArea:
+    """The DRAM path area ``P_D``: an unbounded stack of path records.
+
+    Reads and writes both happen at the tail ("we simply fetch from its
+    tail ... to avoid memory fragmentation"), so it behaves as a stack of
+    flush blocks.
+    """
+
+    def __init__(self) -> None:
+        self._stack: list[PathRecord] = []
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._stack
+
+    def append_block(self, records: list[PathRecord]) -> None:
+        self._stack.extend(records)
+        self.peak_occupancy = max(self.peak_occupancy, len(self._stack))
+
+    def fetch_tail(self, max_paths: int) -> list[PathRecord]:
+        """Remove and return up to ``max_paths`` records from the tail."""
+        if max_paths < 1:
+            return []
+        take = min(max_paths, len(self._stack))
+        if take == 0:
+            return []
+        block = self._stack[-take:]
+        del self._stack[-take:]
+        return block

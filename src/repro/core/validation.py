@@ -1,0 +1,119 @@
+"""Result validation utilities.
+
+Downstream users integrating a new enumerator (or modifying the engine)
+need a way to certify answers.  :func:`validate_paths` checks the
+structural invariants of a result set against the graph;
+:func:`cross_check` runs two enumerators and diffs their path sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import PathEnumerator
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one result set."""
+
+    checked: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        if self.errors:
+            preview = "; ".join(self.errors[:5])
+            raise AssertionError(
+                f"{len(self.errors)} invalid path(s): {preview}"
+            )
+
+
+def validate_paths(
+    graph: CSRGraph, query: Query, paths, expect_unique: bool = True
+) -> ValidationReport:
+    """Check every structural invariant of a result set.
+
+    - each path starts at ``query.source`` and ends at ``query.target``;
+    - each path has between 1 and ``query.max_hops`` edges;
+    - paths are simple (no repeated vertex);
+    - every consecutive pair is an edge of ``graph``;
+    - (optionally) no duplicates across the set.
+    """
+    report = ValidationReport()
+    seen: set[tuple[int, ...]] = set()
+    for path in paths:
+        report.checked += 1
+        p = tuple(path)
+        if len(p) < 2:
+            report.errors.append(f"{p}: fewer than two vertices")
+            continue
+        if p[0] != query.source:
+            report.errors.append(f"{p}: does not start at {query.source}")
+        if p[-1] != query.target:
+            report.errors.append(f"{p}: does not end at {query.target}")
+        if len(p) - 1 > query.max_hops:
+            report.errors.append(
+                f"{p}: {len(p) - 1} hops exceeds k={query.max_hops}"
+            )
+        if len(set(p)) != len(p):
+            report.errors.append(f"{p}: repeats a vertex")
+        for u, v in zip(p, p[1:]):
+            if not graph.has_edge(int(u), int(v)):
+                report.errors.append(f"{p}: missing edge ({u}, {v})")
+                break
+        if expect_unique:
+            if p in seen:
+                report.errors.append(f"{p}: duplicate")
+            seen.add(p)
+    return report
+
+
+@dataclass
+class CrossCheckReport:
+    """Diff between two enumerators' answers on one query."""
+
+    left_name: str
+    right_name: str
+    num_agreed: int
+    only_left: frozenset[tuple[int, ...]]
+    only_right: frozenset[tuple[int, ...]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.only_left and not self.only_right
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"{self.left_name} == {self.right_name}: "
+                f"{self.num_agreed} paths"
+            )
+        return (
+            f"{self.left_name} vs {self.right_name}: {self.num_agreed} "
+            f"agreed, {len(self.only_left)} only in {self.left_name}, "
+            f"{len(self.only_right)} only in {self.right_name}"
+        )
+
+
+def cross_check(
+    graph: CSRGraph,
+    query: Query,
+    left: PathEnumerator,
+    right: PathEnumerator,
+) -> CrossCheckReport:
+    """Run two enumerators on the same query and diff the answers."""
+    left_set = left.enumerate_paths(graph, query).path_set()
+    right_set = right.enumerate_paths(graph, query).path_set()
+    return CrossCheckReport(
+        left_name=left.name,
+        right_name=right.name,
+        num_agreed=len(left_set & right_set),
+        only_left=frozenset(left_set - right_set),
+        only_right=frozenset(right_set - left_set),
+    )

@@ -1,0 +1,57 @@
+"""Factory for PEFP and its ablation variants (Figs. 12-15)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import PEFPConfig
+from repro.core.engine import PEFPEngine
+from repro.errors import ConfigError
+from repro.fpga.device import DeviceConfig
+from repro.fpga.pipeline import PipelineModel
+
+#: Recognised variant names.
+VARIANTS = (
+    "pefp",
+    "pefp-no-pre-bfs",
+    "pefp-no-batch-dfs",
+    "pefp-no-cache",
+    "pefp-no-datasep",
+)
+
+
+def make_engine(
+    variant: str = "pefp",
+    config: PEFPConfig | None = None,
+    device_config: DeviceConfig | None = None,
+    pipeline: PipelineModel | None = None,
+) -> PEFPEngine:
+    """Build an engine for ``variant``, overriding the relevant toggle.
+
+    ``pefp-no-pre-bfs`` is a *host-side* ablation (the engine itself is
+    unchanged; the system skips Pre-BFS and supplies zero barriers) — see
+    :func:`variant_uses_prebfs`.
+    """
+    if variant not in VARIANTS:
+        raise ConfigError(
+            f"unknown variant {variant!r}; expected one of {VARIANTS}"
+        )
+    base = config or PEFPConfig()
+    if variant == "pefp-no-batch-dfs":
+        base = replace(base, use_batch_dfs=False)
+    elif variant == "pefp-no-cache":
+        base = replace(base, use_cache=False)
+    elif variant == "pefp-no-datasep":
+        base = replace(base, use_data_separation=False)
+    engine = PEFPEngine(base, device_config, pipeline)
+    engine.name = variant
+    return engine
+
+
+def variant_uses_prebfs(variant: str) -> bool:
+    """Whether the host should run Pre-BFS for this variant."""
+    if variant not in VARIANTS:
+        raise ConfigError(
+            f"unknown variant {variant!r}; expected one of {VARIANTS}"
+        )
+    return variant != "pefp-no-pre-bfs"

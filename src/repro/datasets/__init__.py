@@ -1,0 +1,10 @@
+"""Synthetic stand-ins for the paper's 12 evaluation datasets (Table II)."""
+
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_keys,
+    load_dataset,
+)
+
+__all__ = ["DATASETS", "DatasetSpec", "dataset_keys", "load_dataset"]

@@ -1,0 +1,162 @@
+"""The 12 evaluation datasets as deterministic synthetic stand-ins.
+
+The paper's graphs come from SNAP/Konect; this environment has no network
+access, so each dataset is replaced by a generator recipe that preserves
+the properties the paper's analysis leans on:
+
+- the relative |V| ordering of the 12 graphs (scaled down ~100-1000x);
+- the average degree (hence density class);
+- the topology family the paper names when explaining each result:
+  Amazon is a long-diameter sparse mesh, twitter-social a low-diameter
+  social graph, Baidu has "extremely dense subgraphs", BerkStan combines a
+  giant diameter with a dense core, WikiTalk is dominated by a few
+  super-nodes, the web graphs are power-law.
+
+``paper_*`` fields record the original Table II row so reports can print
+the stand-in's measured statistics next to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import DatasetError
+from repro.graph import generators
+from repro.graph.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One dataset: its paper statistics and the stand-in recipe."""
+
+    key: str
+    paper_name: str
+    short_name: str
+    paper_vertices: int
+    paper_edges: int
+    paper_avg_degree: float
+    paper_diameter: int
+    paper_d90: float
+    build: Callable[[], CSRGraph]
+    #: the k values the paper sweeps for this dataset (scaled to what the
+    #: stand-in supports at simulation speed).
+    k_range: tuple[int, ...]
+    description: str
+
+
+def _rt() -> CSRGraph:
+    # Reactome: small, very dense biological network (d_avg 46.6).
+    return generators.chung_lu(630, 14700, exponent=2.6, seed=101)
+
+
+def _se() -> CSRGraph:
+    # soc-Epinions1: mid-size power-law social graph.
+    return generators.chung_lu(1500, 10100, exponent=2.2, seed=102)
+
+
+def _sd() -> CSRGraph:
+    # Slashdot0902: denser social graph.
+    return generators.chung_lu(1640, 18900, exponent=2.2, seed=103)
+
+
+def _am() -> CSRGraph:
+    # Amazon: sparse co-purchase mesh, diameter 44 — a grid with chords.
+    return generators.grid_graph(58, 58, seed=104, extra_edges=200)
+
+
+def _ts() -> CSRGraph:
+    # twitter-social: very sparse but low diameter (D90 = 4.96).
+    return generators.preferential_attachment(4650, 2, seed=105)
+
+
+def _bd() -> CSRGraph:
+    # Baidu: moderate size with extremely dense subgraphs.
+    return generators.community_graph(
+        50, 85, p_in=0.09, inter_edges=2200, seed=106
+    )
+
+
+def _bs() -> CSRGraph:
+    # BerkStan: web graph — huge diameter (pendant chains) + dense core.
+    skeleton = generators.hub_spoke(70, 97, hub_clique_p=0.5, seed=107)
+    overlay = generators.chung_lu(skeleton.num_vertices, 58000,
+                                  exponent=1.9, seed=1070)
+    return generators.graph_union(skeleton, overlay)
+
+
+def _wg() -> CSRGraph:
+    # web-google: large power-law web graph.
+    return generators.chung_lu(8750, 50700, exponent=2.1, seed=108)
+
+
+def _sk() -> CSRGraph:
+    # Skitter: internet topology, power-law, low effective diameter.
+    return generators.chung_lu(12000, 78400, exponent=2.1, seed=109)
+
+
+def _wt() -> CSRGraph:
+    # WikiTalk: sparse overall, a few enormous hubs (D90 = 4).
+    return generators.chung_lu(14000, 29400, exponent=1.85, seed=110)
+
+
+def _lj() -> CSRGraph:
+    # LiveJournal: the densest large social graph in the suite.
+    return generators.chung_lu(16000, 227000, exponent=2.3, seed=111)
+
+
+def _dp() -> CSRGraph:
+    # DBpedia: the largest graph of the suite.
+    return generators.chung_lu(20000, 188000, exponent=2.1, seed=112)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.key: spec
+    for spec in (
+        DatasetSpec("rt", "Reactome", "RT", 6_300, 147_000, 46.64, 24, 5.39,
+                    _rt, (3, 4, 5), "dense biological network"),
+        DatasetSpec("se", "soc-Epinions1", "SE", 75_000, 508_000, 13.42, 14,
+                    5.0, _se, (3, 4, 5), "power-law social graph"),
+        DatasetSpec("sd", "Slashdot0902", "SD", 82_000, 948_000, 23.08, 12,
+                    4.7, _sd, (3, 4, 5), "dense social graph"),
+        DatasetSpec("am", "Amazon", "AM", 334_000, 925_000, 6.76, 44, 15.0,
+                    _am, (8, 9, 10, 11), "sparse long-diameter mesh"),
+        DatasetSpec("ts", "twitter-social", "TS", 465_000, 834_000, 3.86, 8,
+                    4.96, _ts, (5, 6, 7, 8), "sparse low-diameter social"),
+        DatasetSpec("bd", "Baidu", "BD", 425_000, 3_000_000, 15.8, 32, 8.54,
+                    _bd, (3, 4, 5), "locally dense communities"),
+        DatasetSpec("bs", "BerkStan", "BS", 685_000, 7_000_000, 22.18, 208,
+                    9.79, _bs, (3, 4, 5), "web graph: chains + dense core"),
+        DatasetSpec("wg", "web-google", "WG", 875_000, 5_000_000, 11.6, 24,
+                    7.95, _wg, (3, 4, 5), "power-law web graph"),
+        DatasetSpec("sk", "Skitter", "SK", 1_600_000, 11_000_000, 13.08, 31,
+                    5.85, _sk, (3, 4, 5), "internet topology"),
+        # k sweep capped at 5 (paper: 3-6): at k=6 the stand-in's
+        # super-nodes put single queries beyond simulation budget.
+        DatasetSpec("wt", "WikiTalk", "WT", 2_000_000, 5_000_000, 4.2, 9,
+                    4.0, _wt, (3, 4, 5), "super-node dominated"),
+        DatasetSpec("lj", "LiveJournal", "LJ", 4_000_000, 68_000_000, 28.4,
+                    16, 6.5, _lj, (3, 4), "large dense social graph"),
+        DatasetSpec("dp", "DBpedia", "DP", 18_000_000, 172_000_000, 18.85,
+                    12, 4.98, _dp, (3, 4), "largest graph of the suite"),
+    )
+}
+
+_CACHE: dict[str, CSRGraph] = {}
+
+
+def dataset_keys() -> tuple[str, ...]:
+    """All dataset keys in the paper's Table II order."""
+    return tuple(DATASETS)
+
+
+def load_dataset(key: str) -> CSRGraph:
+    """Build (and cache) the stand-in graph for ``key``."""
+    spec = DATASETS.get(key)
+    if spec is None:
+        raise DatasetError(
+            f"unknown dataset {key!r}; known: {', '.join(DATASETS)}"
+        )
+    if key not in _CACHE:
+        _CACHE[key] = spec.build()
+    return _CACHE[key]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still distinguishing configuration mistakes from
+malformed inputs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A graph is malformed or an operation received an invalid vertex."""
+
+
+class VertexNotFoundError(GraphError):
+    """A vertex id is outside the graph's vertex range."""
+
+    def __init__(self, vertex: int, num_vertices: int) -> None:
+        super().__init__(
+            f"vertex {vertex} not in graph with {num_vertices} vertices"
+        )
+        self.vertex = vertex
+        self.num_vertices = num_vertices
+
+
+class QueryError(ReproError):
+    """A path query is invalid (bad hop constraint, bad endpoints)."""
+
+
+class ConfigError(ReproError):
+    """An engine or device configuration is inconsistent."""
+
+
+class CapacityError(ReproError):
+    """A fixed-capacity hardware structure would overflow."""
+
+
+class DatasetError(ReproError):
+    """An unknown dataset name or an unbuildable dataset recipe."""

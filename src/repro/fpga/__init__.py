@@ -1,0 +1,32 @@
+"""Cycle-approximate FPGA substrate.
+
+The paper's contribution is a hardware pipeline on a Xilinx Alveo U200.
+Without the card, we simulate the device at the level its performance
+arguments live at: a cycle counter, BRAM vs DRAM latency (1 vs 7-8 cycles),
+burst transfer amortisation, pipelined-loop cost algebra (initiation
+interval + fill/drain), and a PCIe DMA model.  The PEFP engine in
+:mod:`repro.core` computes functionally in Python while charging every
+memory access and pipeline activation to this substrate.
+"""
+
+from repro.fpga.clock import Clock
+from repro.fpga.memory import Bram, Dram, MemoryPort
+from repro.fpga.pipeline import PipelineModel, dataflow_cycles, pipelined_loop_cycles
+from repro.fpga.pcie import PcieModel
+from repro.fpga.device import Device, DeviceConfig
+from repro.fpga.report import DeviceReport, device_report
+
+__all__ = [
+    "DeviceReport",
+    "device_report",
+    "Clock",
+    "Bram",
+    "Dram",
+    "MemoryPort",
+    "PipelineModel",
+    "pipelined_loop_cycles",
+    "dataflow_cycles",
+    "PcieModel",
+    "Device",
+    "DeviceConfig",
+]

@@ -1,0 +1,40 @@
+"""The device clock: a monotone cycle counter."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class Clock:
+    """Counts elapsed device cycles.
+
+    All simulator components charge their latency here, so
+    ``clock.cycles / frequency`` is the modelled kernel execution time.
+    """
+
+    __slots__ = ("_cycles",)
+
+    def __init__(self) -> None:
+        self._cycles = 0
+
+    @property
+    def cycles(self) -> int:
+        return self._cycles
+
+    def advance(self, cycles: int) -> None:
+        """Charge ``cycles`` of latency (must be non-negative)."""
+        if cycles < 0:
+            raise ConfigError(f"cannot advance the clock by {cycles} cycles")
+        self._cycles += cycles
+
+    def reset(self) -> None:
+        self._cycles = 0
+
+    def seconds(self, frequency_hz: float) -> float:
+        """Elapsed wall time at the given clock frequency."""
+        if frequency_hz <= 0:
+            raise ConfigError(f"frequency must be positive: {frequency_hz}")
+        return self._cycles / frequency_hz
+
+    def __repr__(self) -> str:
+        return f"Clock(cycles={self._cycles})"

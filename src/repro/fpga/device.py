@@ -1,0 +1,87 @@
+"""The simulated accelerator card: clock + BRAM + DRAM + PCIe.
+
+Defaults approximate an Alveo U200 (300 MHz kernel clock, banked on-chip
+memory, off-chip DDR4) *scaled to the stand-in datasets*: the paper's
+graphs are ~100-1000x larger than ours, so capacities shrink by the same
+factor to preserve the on-chip/off-chip fit ratios the design exploits.
+A *word* is one 32-bit element — vertex id, CSR offset or barrier entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.fpga.clock import Clock
+from repro.fpga.memory import Bram, Dram
+from repro.fpga.pcie import PcieModel
+
+#: Bytes per simulated machine word (32-bit ids everywhere).
+WORD_BYTES = 4
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Static resources of the simulated card."""
+
+    frequency_hz: float = 300.0e6
+    bram_words: int = 262_144           # on-chip memory (scaled U200)
+    bram_port_words: int = 8            # banked on-chip ports (256-bit)
+    dram_words: int = 64_000_000        # off-chip DDR4 (scaled U200)
+    dram_read_latency: int = 8
+    dram_write_latency: int = 8
+    dram_burst_words: int = 16
+    #: independent off-chip channels; concurrent dataflow stages spread
+    #: their traffic across them (the U200 has four DDR4 banks).  Serial
+    #: events (flush/refill bursts) are single streams and use one.
+    dram_channels: int = 1
+    pcie: PcieModel = PcieModel()
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        if self.bram_words < 0 or self.dram_words < 0:
+            raise ConfigError("memory capacities must be non-negative")
+        if self.dram_channels < 1:
+            raise ConfigError("dram_channels must be >= 1")
+
+
+class Device:
+    """One simulated accelerator instance.
+
+    All components share a single :class:`Clock`; the elapsed kernel time is
+    ``device.elapsed_seconds()``.
+    """
+
+    def __init__(self, config: DeviceConfig | None = None) -> None:
+        self.config = config or DeviceConfig()
+        self.clock = Clock()
+        self.bram = Bram(self.clock, self.config.bram_words, "bram",
+                         port_words=self.config.bram_port_words)
+        self.dram = Dram(
+            self.clock,
+            self.config.dram_words,
+            "dram",
+            read_latency=self.config.dram_read_latency,
+            write_latency=self.config.dram_write_latency,
+            burst_words=self.config.dram_burst_words,
+        )
+        self.pcie = self.config.pcie
+
+    @property
+    def cycles(self) -> int:
+        return self.clock.cycles
+
+    def elapsed_seconds(self) -> float:
+        """Modelled kernel execution time so far."""
+        return self.clock.seconds(self.config.frequency_hz)
+
+    def dma_to_device_seconds(self, num_words: int) -> float:
+        """Host -> FPGA DRAM transfer time for ``num_words`` words."""
+        return self.pcie.transfer_seconds(num_words * WORD_BYTES)
+
+    def __repr__(self) -> str:
+        return (
+            f"Device(freq={self.config.frequency_hz / 1e6:.0f}MHz, "
+            f"cycles={self.cycles})"
+        )

@@ -1,0 +1,34 @@
+"""PCIe DMA transfer model (host DRAM <-> FPGA DRAM).
+
+Section VII-A reports 100-300 ms to ship 1,000 preprocessed queries, i.e.
+~0.1-0.3 ms per query, dominated by per-transfer setup.  We model a DMA
+transfer as fixed setup latency plus bytes over sustained bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PcieModel:
+    """A PCIe 3.0 x16 style DMA link."""
+
+    bandwidth_bytes_per_s: float = 12.0e9
+    setup_latency_s: float = 1.0e-4
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigError("PCIe bandwidth must be positive")
+        if self.setup_latency_s < 0:
+            raise ConfigError("PCIe setup latency must be non-negative")
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Seconds to DMA ``num_bytes`` in one transfer."""
+        if num_bytes < 0:
+            raise ConfigError(f"negative transfer size: {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        return self.setup_latency_s + num_bytes / self.bandwidth_bytes_per_s

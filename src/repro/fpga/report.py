@@ -1,0 +1,123 @@
+"""Device utilization and traffic reports.
+
+After a kernel run, FPGA engineers read two vendor reports: resource
+utilization (how much BRAM each structure reserved) and memory traffic
+(words moved per interface, achieved bandwidth).  This module produces
+both for the simulated device, plus a bandwidth-utilisation figure that
+tells you whether a run was compute- or memory-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.device import Device, WORD_BYTES
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Capacity and traffic of one memory."""
+
+    name: str
+    capacity_words: int
+    allocated_words: int
+    read_words: int
+    write_words: int
+    stall_cycles: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity reserved by structures."""
+        if self.capacity_words == 0:
+            return 0.0
+        return self.allocated_words / self.capacity_words
+
+    @property
+    def total_words(self) -> int:
+        return self.read_words + self.write_words
+
+
+@dataclass(frozen=True)
+class DeviceReport:
+    """Utilization + traffic snapshot of a device after a run."""
+
+    cycles: int
+    frequency_hz: float
+    bram: MemoryReport
+    dram: MemoryReport
+    bram_allocations: dict[str, int]
+    dram_allocations: dict[str, int]
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.cycles / self.frequency_hz
+
+    def dram_bandwidth_bytes_per_s(self) -> float:
+        """Achieved off-chip bandwidth over the run."""
+        if self.cycles == 0:
+            return 0.0
+        return (
+            self.dram.total_words * WORD_BYTES
+            / (self.cycles / self.frequency_hz)
+        )
+
+    def dram_occupancy(self) -> float:
+        """Fraction of cycles the DRAM interface was busy (1 word/cycle
+        channel model) — near 1.0 means the run was memory-bound."""
+        if self.cycles == 0:
+            return 0.0
+        busy = self.dram.total_words + self.dram.stall_cycles
+        return min(1.0, busy / self.cycles)
+
+    def render(self) -> str:
+        """Vendor-style plain-text report."""
+        lines = [
+            f"device report @ {self.frequency_hz / 1e6:.0f} MHz, "
+            f"{self.cycles} cycles ({self.elapsed_seconds * 1e3:.3f} ms)",
+            "",
+            "on-chip (BRAM) allocation:",
+        ]
+        for label, words in sorted(self.bram_allocations.items()):
+            share = words / max(1, self.bram.capacity_words)
+            lines.append(f"  {label:<24} {words:>10} words  ({share:6.1%})")
+        lines.append(
+            f"  {'total':<24} {self.bram.allocated_words:>10} words  "
+            f"({self.bram.utilization:6.1%} of "
+            f"{self.bram.capacity_words})"
+        )
+        lines.append("")
+        lines.append("traffic:")
+        for mem in (self.bram, self.dram):
+            lines.append(
+                f"  {mem.name}: read {mem.read_words} words, "
+                f"write {mem.write_words} words, "
+                f"stalls {mem.stall_cycles} cycles"
+            )
+        lines.append(
+            f"  dram occupancy {self.dram_occupancy():.1%}, "
+            f"achieved {self.dram_bandwidth_bytes_per_s() / 1e9:.2f} GB/s"
+        )
+        return "\n".join(lines)
+
+
+def device_report(device: Device) -> DeviceReport:
+    """Snapshot ``device`` into a :class:`DeviceReport`."""
+
+    def snap(mem) -> MemoryReport:
+        return MemoryReport(
+            name=mem.name,
+            capacity_words=mem.capacity_words,
+            allocated_words=mem.allocated_words,
+            read_words=mem.port.read_words,
+            write_words=mem.port.write_words,
+            stall_cycles=mem.port.stall_cycles,
+        )
+
+    return DeviceReport(
+        cycles=device.cycles,
+        frequency_hz=device.config.frequency_hz,
+        bram=snap(device.bram),
+        dram=snap(device.dram),
+        bram_allocations=device.bram.allocations(),
+        dram_allocations=device.dram.allocations(),
+    )

@@ -1,0 +1,25 @@
+"""Directed-graph substrate: builders, CSR storage, IO, generators, stats."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.csr import CSRGraph
+from repro.graph.io import (
+    load_npz,
+    parse_edge_lines,
+    read_edge_list,
+    save_npz,
+    write_edge_list,
+)
+from repro.graph import generators
+from repro.graph import stats
+
+__all__ = [
+    "DiGraph",
+    "CSRGraph",
+    "read_edge_list",
+    "write_edge_list",
+    "parse_edge_lines",
+    "save_npz",
+    "load_npz",
+    "generators",
+    "stats",
+]

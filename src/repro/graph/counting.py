@@ -1,0 +1,113 @@
+"""Walk and path counting.
+
+Two roles in the reproduction:
+
+- :func:`count_walks_up_to_k` gives the number of ``s -> t`` *walks* of at
+  most k hops (dynamic programming over the adjacency structure).  Every
+  simple path is a walk, so this is a cheap upper bound used by tests and
+  by capacity planning (the paper's Challenge 1: "the number of results
+  grows exponentially w.r.t k").
+- :func:`count_simple_paths_dag` counts simple paths *exactly* on acyclic
+  graphs (where walk = simple path per vertex subset DP is unnecessary),
+  giving tests a second closed-form oracle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import GraphError, VertexNotFoundError
+from repro.graph.csr import CSRGraph
+
+
+def count_walks_up_to_k(
+    graph: CSRGraph, source: int, target: int, max_hops: int
+) -> int:
+    """Number of walks ``source -> target`` with 1..max_hops edges.
+
+    Exact integer DP (python ints, no overflow):
+    ``W[h][v] = sum over predecessors u of W[h-1][u]``.
+    """
+    n = graph.num_vertices
+    for v in (source, target):
+        if not 0 <= v < n:
+            raise VertexNotFoundError(v, n)
+    counts = [0] * n
+    counts[source] = 1
+    total = 0
+    adjacency = graph.adjacency_lists()
+    for _ in range(max_hops):
+        nxt = [0] * n
+        for u, c in enumerate(counts):
+            if c:
+                for v in adjacency[u]:
+                    nxt[v] += c
+        total += nxt[target]
+        counts = nxt
+        if not any(counts):
+            break
+    return total
+
+
+def topological_order(graph: CSRGraph) -> np.ndarray:
+    """Kahn topological order; raises :class:`GraphError` on a cycle."""
+    n = graph.num_vertices
+    indegree = np.zeros(n, dtype=np.int64)
+    for _, v in graph.edges():
+        indegree[v] += 1
+    queue: deque[int] = deque(int(v) for v in np.nonzero(indegree == 0)[0])
+    order = []
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in graph.successors(u):
+            indegree[v] -= 1
+            if indegree[v] == 0:
+                queue.append(int(v))
+    if len(order) != n:
+        raise GraphError("graph has a cycle; not a DAG")
+    return np.array(order, dtype=np.int64)
+
+
+def is_acyclic(graph: CSRGraph) -> bool:
+    """True iff the graph has no directed cycle."""
+    try:
+        topological_order(graph)
+    except GraphError:
+        return False
+    return True
+
+
+def count_simple_paths_dag(
+    graph: CSRGraph,
+    source: int,
+    target: int,
+    max_hops: int | None = None,
+) -> int:
+    """Exact count of simple paths on a DAG (optionally hop-bounded).
+
+    On a DAG every walk is simple, so a hop-indexed DP in topological
+    order is exact.  Raises :class:`GraphError` on cyclic input.
+    """
+    n = graph.num_vertices
+    for v in (source, target):
+        if not 0 <= v < n:
+            raise VertexNotFoundError(v, n)
+    order = topological_order(graph)
+    bound = max_hops if max_hops is not None else n - 1
+    # paths[v][h] = number of source -> v paths with exactly h edges
+    paths = [[0] * (bound + 1) for _ in range(n)]
+    paths[source][0] = 1
+    adjacency = graph.adjacency_lists()
+    for u in order:
+        row = paths[u]
+        if not any(row):
+            continue
+        for v in adjacency[u]:
+            dest = paths[v]
+            for h in range(bound):
+                if row[h]:
+                    dest[h + 1] += row[h]
+    return sum(paths[target][1:])

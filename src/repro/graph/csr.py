@@ -1,0 +1,196 @@
+"""Immutable Compressed Sparse Row graph.
+
+This is the storage format the paper ships to FPGA DRAM (Section V): a
+``vertex_arr`` of row offsets (``indptr``) and an ``edge_arr`` of neighbor
+ids (``indices``).  All enumeration algorithms in this package operate on
+:class:`CSRGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import GraphError, VertexNotFoundError
+
+
+class CSRGraph:
+    """A directed graph in CSR form.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; the successors of vertex ``u``
+        live in ``indices[indptr[u]:indptr[u + 1]]``, sorted ascending.
+    indices:
+        ``int64`` array of length ``m`` holding neighbor ids.
+    """
+
+    __slots__ = ("indptr", "indices", "_rev", "_adj")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphError("indptr and indices must be 1-D arrays")
+        if indptr.size == 0 or indptr[0] != 0:
+            raise GraphError("indptr must start with 0")
+        if indptr[-1] != indices.size:
+            raise GraphError(
+                f"indptr[-1]={indptr[-1]} does not match |indices|={indices.size}"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        n = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise GraphError("edge endpoint outside vertex range")
+        self.indptr = indptr
+        self.indices = indices
+        self._rev: CSRGraph | None = None
+        self._adj: tuple[tuple[int, ...], ...] | None = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, num_vertices: int, edges: Iterable[tuple[int, int]]
+    ) -> "CSRGraph":
+        """Build from an edge iterable, deduplicating and dropping self loops."""
+        pairs = {(u, v) for u, v in edges if u != v}
+        if pairs:
+            arr = np.array(sorted(pairs), dtype=np.int64)
+            if arr.min() < 0 or arr.max() >= num_vertices:
+                bad = int(arr.min()) if arr.min() < 0 else int(arr.max())
+                raise VertexNotFoundError(bad, num_vertices)
+            srcs, dsts = arr[:, 0], arr[:, 1]
+        else:
+            srcs = dsts = np.empty(0, dtype=np.int64)
+        counts = np.bincount(srcs, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dsts)
+
+    @classmethod
+    def empty(cls, num_vertices: int = 0) -> "CSRGraph":
+        return cls(np.zeros(num_vertices + 1, dtype=np.int64),
+                   np.empty(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.indices.size
+
+    def successors(self, u: int) -> np.ndarray:
+        """Sorted out-neighbors of ``u`` (a read-only view)."""
+        self._check(u)
+        return self.indices[self.indptr[u]:self.indptr[u + 1]]
+
+    def out_degree(self, u: int) -> int:
+        self._check(u)
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check(v)
+        row = self.successors(u)
+        pos = int(np.searchsorted(row, v))
+        return pos < row.size and row[pos] == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for u in range(self.num_vertices):
+            for v in self.successors(u):
+                yield (u, int(v))
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex as an array."""
+        return np.diff(self.indptr)
+
+    def adjacency_lists(self) -> tuple[tuple[int, ...], ...]:
+        """Successors as native int tuples (cached).
+
+        The DFS-heavy CPU baselines iterate adjacency millions of times;
+        native tuples avoid per-element numpy scalar boxing.
+        """
+        if self._adj is None:
+            indices = self.indices.tolist()
+            indptr = self.indptr.tolist()
+            self._adj = tuple(
+                tuple(indices[indptr[u]:indptr[u + 1]])
+                for u in range(self.num_vertices)
+            )
+        return self._adj
+
+    def _check(self, v: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise VertexNotFoundError(int(v), self.num_vertices)
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "CSRGraph":
+        """The reverse graph ``G_rev`` (cached after first call)."""
+        if self._rev is None:
+            n = self.num_vertices
+            srcs = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+            order = np.lexsort((srcs, self.indices))
+            rev_srcs = self.indices[order]
+            rev_dsts = srcs[order]
+            counts = np.bincount(rev_srcs, minlength=n)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._rev = CSRGraph(indptr, rev_dsts)
+        return self._rev
+
+    def induced_subgraph(
+        self, nodes: Iterable[int]
+    ) -> tuple["CSRGraph", np.ndarray, np.ndarray]:
+        """Subgraph induced by ``nodes``.
+
+        Returns ``(subgraph, old_of_new, new_of_old)`` where
+        ``old_of_new[i]`` is the original id of subgraph vertex ``i`` and
+        ``new_of_old[v]`` is the subgraph id of original vertex ``v``
+        (or ``-1`` if ``v`` was dropped).
+        """
+        keep = np.unique(np.fromiter(nodes, dtype=np.int64))
+        if keep.size and (keep[0] < 0 or keep[-1] >= self.num_vertices):
+            bad = int(keep[0]) if keep[0] < 0 else int(keep[-1])
+            raise VertexNotFoundError(bad, self.num_vertices)
+        new_of_old = np.full(self.num_vertices, -1, dtype=np.int64)
+        new_of_old[keep] = np.arange(keep.size, dtype=np.int64)
+
+        sub_indptr = np.zeros(keep.size + 1, dtype=np.int64)
+        rows: list[np.ndarray] = []
+        for new_u, old_u in enumerate(keep):
+            nbrs = self.successors(int(old_u))
+            mapped = new_of_old[nbrs]
+            mapped = mapped[mapped >= 0]
+            rows.append(mapped)
+            sub_indptr[new_u + 1] = sub_indptr[new_u] + mapped.size
+        sub_indices = (
+            np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+        )
+        return CSRGraph(sub_indptr, sub_indices), keep, new_of_old
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.indptr.tobytes(), self.indices.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

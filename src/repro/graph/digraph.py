@@ -1,0 +1,122 @@
+"""Mutable directed graph used to build inputs before freezing to CSR.
+
+The enumeration engines all operate on the immutable
+:class:`repro.graph.csr.CSRGraph`; :class:`DiGraph` exists so that loaders,
+generators and tests can assemble edges incrementally and then call
+:meth:`DiGraph.to_csr`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import GraphError, VertexNotFoundError
+
+
+class DiGraph:
+    """A simple adjacency-set directed graph builder.
+
+    Vertices are dense integer ids ``0..n-1``.  Self loops are rejected
+    (a simple path can never use one) and parallel edges are collapsed.
+    """
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"negative vertex count: {num_vertices}")
+        self._succ: list[set[int]] = [set() for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def add_vertex(self) -> int:
+        """Append a new isolated vertex and return its id."""
+        self._succ.append(set())
+        return len(self._succ) - 1
+
+    def ensure_vertex(self, v: int) -> None:
+        """Grow the vertex range so that ``v`` is a valid id."""
+        if v < 0:
+            raise VertexNotFoundError(v, self.num_vertices)
+        while len(self._succ) <= v:
+            self._succ.append(set())
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add edge ``u -> v``; return ``True`` if it was new.
+
+        Vertices are created on demand.  Self loops are ignored (they can
+        never appear on a simple path) and return ``False``.
+        """
+        if u < 0 or v < 0:
+            raise VertexNotFoundError(min(u, v), self.num_vertices)
+        if u == v:
+            return False
+        self.ensure_vertex(max(u, v))
+        if v in self._succ[u]:
+            return False
+        self._succ[u].add(v)
+        self._num_edges += 1
+        return True
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> int:
+        """Add many edges; return how many were new."""
+        added = 0
+        for u, v in edges:
+            if self.add_edge(u, v):
+                added += 1
+        return added
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove edge ``u -> v``; return ``True`` if it existed."""
+        self._check(u)
+        self._check(v)
+        if v not in self._succ[u]:
+            return False
+        self._succ[u].discard(v)
+        self._num_edges -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check(u)
+        self._check(v)
+        return v in self._succ[u]
+
+    def successors(self, u: int) -> frozenset[int]:
+        self._check(u)
+        return frozenset(self._succ[u])
+
+    def out_degree(self, u: int) -> int:
+        self._check(u)
+        return len(self._succ[u])
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for u, nbrs in enumerate(self._succ):
+            for v in sorted(nbrs):
+                yield (u, v)
+
+    def _check(self, v: int) -> None:
+        if not 0 <= v < len(self._succ):
+            raise VertexNotFoundError(v, self.num_vertices)
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+    def to_csr(self) -> "CSRGraph":
+        """Freeze to an immutable CSR graph."""
+        from repro.graph.csr import CSRGraph
+
+        return CSRGraph.from_edges(self.num_vertices, self.edges())
+
+    def __repr__(self) -> str:
+        return f"DiGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

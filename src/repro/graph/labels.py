@@ -1,0 +1,81 @@
+"""Vertex labels and label-constrained graph filtering.
+
+The paper (Section I) notes that PEFP extends to labelled graphs by
+handling label constraints in the preprocessing stage: vertices whose
+label is not allowed are filtered out *before* Pre-BFS, and the unlabelled
+machinery runs unchanged on the filtered graph.  This module provides the
+label store and that filtering step.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+
+class VertexLabels:
+    """Dense integer label per vertex.
+
+    Labels are arbitrary hashable values mapped to dense ids internally.
+    """
+
+    def __init__(self, labels: Iterable[object]) -> None:
+        values = list(labels)
+        self._vocab: dict[object, int] = {}
+        ids = np.empty(len(values), dtype=np.int64)
+        for i, value in enumerate(values):
+            ids[i] = self._vocab.setdefault(value, len(self._vocab))
+        self._ids = ids
+        self._values = {v: k for k, v in self._vocab.items()}
+
+    def __len__(self) -> int:
+        return self._ids.size
+
+    @property
+    def num_labels(self) -> int:
+        return len(self._vocab)
+
+    def label_of(self, vertex: int) -> object:
+        return self._values[int(self._ids[vertex])]
+
+    def mask_for(self, allowed: Iterable[object]) -> np.ndarray:
+        """Boolean mask of vertices whose label is in ``allowed``.
+
+        Unknown labels are ignored (they match no vertex).
+        """
+        allowed_ids = {
+            self._vocab[a] for a in allowed if a in self._vocab
+        }
+        if not allowed_ids:
+            return np.zeros(self._ids.size, dtype=bool)
+        return np.isin(self._ids, np.fromiter(allowed_ids, dtype=np.int64))
+
+
+def filter_by_labels(
+    graph: CSRGraph,
+    labels: VertexLabels,
+    allowed: Iterable[object],
+    keep: Iterable[int] = (),
+) -> tuple[CSRGraph, np.ndarray, np.ndarray]:
+    """Induced subgraph on vertices with an allowed label.
+
+    ``keep`` lists vertices retained regardless of label (the query
+    endpoints: the constraint applies to intermediate hops).  Returns
+    ``(subgraph, old_of_new, new_of_old)`` like
+    :meth:`CSRGraph.induced_subgraph`.
+    """
+    if len(labels) != graph.num_vertices:
+        raise GraphError(
+            f"label count {len(labels)} does not match |V|="
+            f"{graph.num_vertices}"
+        )
+    mask = labels.mask_for(allowed)
+    for v in keep:
+        if not 0 <= v < graph.num_vertices:
+            raise GraphError(f"keep vertex {v} outside graph")
+        mask[v] = True
+    return graph.induced_subgraph(np.nonzero(mask)[0])

@@ -1,0 +1,14 @@
+"""Host-side runtime: queries, the CPU cost model and the CPU-FPGA system."""
+
+from repro.host.query import Query, QueryResult
+from repro.host.cost_model import OpCounter, CpuCostModel, DEFAULT_OP_CYCLES
+from repro.host.system import PathEnumerationSystem
+
+__all__ = [
+    "Query",
+    "QueryResult",
+    "OpCounter",
+    "CpuCostModel",
+    "DEFAULT_OP_CYCLES",
+    "PathEnumerationSystem",
+]

@@ -1,0 +1,57 @@
+"""Query and result types shared by all enumerators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.graph.csr import CSRGraph
+from repro.host.cost_model import OpCounter
+
+
+@dataclass(frozen=True)
+class Query:
+    """A k-hop constrained s-t simple path enumeration request."""
+
+    source: int
+    target: int
+    max_hops: int
+
+    def validate(self, graph: CSRGraph) -> None:
+        """Raise :class:`QueryError` if this query is invalid on ``graph``."""
+        n = graph.num_vertices
+        if not 0 <= self.source < n:
+            raise QueryError(f"source {self.source} not in graph (|V|={n})")
+        if not 0 <= self.target < n:
+            raise QueryError(f"target {self.target} not in graph (|V|={n})")
+        if self.source == self.target:
+            raise QueryError(
+                "source equals target: s-t k-path enumeration requires s != t"
+            )
+        if self.max_hops < 1:
+            raise QueryError(f"hop constraint must be >= 1, got {self.max_hops}")
+
+
+@dataclass
+class QueryResult:
+    """Paths found for one query plus accounting of the work performed.
+
+    ``paths`` holds vertex tuples ``(s, ..., t)`` in original graph ids.
+    ``preprocess_ops`` / ``enumerate_ops`` record CPU-side operation counts;
+    ``fpga_cycles`` is nonzero only for engines that ran on the simulated
+    device.
+    """
+
+    query: Query
+    paths: list[tuple[int, ...]] = field(default_factory=list)
+    preprocess_ops: OpCounter = field(default_factory=OpCounter)
+    enumerate_ops: OpCounter = field(default_factory=OpCounter)
+    fpga_cycles: int = 0
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.paths)
+
+    def path_set(self) -> frozenset[tuple[int, ...]]:
+        """The result as a set, for cross-algorithm equivalence checks."""
+        return frozenset(self.paths)

@@ -1,0 +1,14 @@
+"""Host-side preprocessing: k-hop BFS, Pre-BFS (ours) and JOIN's scheme."""
+
+from repro.preprocess.bfs import k_hop_bfs, distances_with_default
+from repro.preprocess.prebfs import PreBFSResult, pre_bfs
+from repro.preprocess.join_pre import JoinPreprocessResult, join_preprocess
+
+__all__ = [
+    "k_hop_bfs",
+    "distances_with_default",
+    "PreBFSResult",
+    "pre_bfs",
+    "JoinPreprocessResult",
+    "join_preprocess",
+]

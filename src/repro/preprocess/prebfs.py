@@ -1,0 +1,91 @@
+"""Pre-BFS: the paper's host-side preprocessing (Section V).
+
+A ``(k-1)``-hop bidirectional BFS computes ``sd_s`` (forward from ``s``) and
+``sd_t`` (backward from ``t`` on the reverse graph).  Only vertices with
+``sd_s[u] + sd_t[u] <= k`` can lie on an s-t k-path (Theorem 1), and the
+paper proves ``(k-1)`` hops suffice because the only valid vertices a k-th
+hop could add are ``s`` and ``t`` themselves — so those two are force-kept.
+
+The result carries the induced subgraph, the remapped endpoints, and the
+*barrier* array ``bar[u] = sd(u, t)`` that PEFP's barrier check uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.host.cost_model import OpCounter
+from repro.host.query import Query
+from repro.preprocess.bfs import k_hop_bfs
+
+
+@dataclass
+class PreBFSResult:
+    """Everything the host ships to FPGA DRAM for one query."""
+
+    subgraph: CSRGraph
+    source: int
+    target: int
+    max_hops: int
+    barrier: np.ndarray
+    old_of_new: np.ndarray
+    new_of_old: np.ndarray
+    ops: OpCounter
+
+    @property
+    def is_empty(self) -> bool:
+        """True when preprocessing already proved there is no s-t k-path."""
+        return self.subgraph.num_edges == 0
+
+    def translate_path(self, path: tuple[int, ...]) -> tuple[int, ...]:
+        """Map a subgraph-id path back to original graph ids."""
+        return tuple(int(self.old_of_new[v]) for v in path)
+
+
+def pre_bfs(graph: CSRGraph, query: Query,
+            counter: OpCounter | None = None) -> PreBFSResult:
+    """Run Pre-BFS for ``query`` on ``graph``.
+
+    Steps (paper, Section V): (1) ``(k-1)``-hop BFS from ``s`` on ``G``;
+    (2) ``(k-1)``-hop BFS from ``t`` on ``G_rev``; (3) keep vertices with
+    ``sd_s[u] + sd_t[u] <= k`` (plus ``s`` and ``t``); (4) return the induced
+    subgraph in CSR form together with the barrier ``sd_t``.
+    """
+    query.validate(graph)
+    ops = counter if counter is not None else OpCounter()
+    k = query.max_hops
+    s, t = query.source, query.target
+
+    sd_s = k_hop_bfs(graph, s, k - 1, ops)
+    sd_t = k_hop_bfs(graph.reverse(), t, k - 1, ops)
+
+    reachable = (sd_s >= 0) & (sd_t >= 0)
+    within = np.zeros(graph.num_vertices, dtype=bool)
+    within[reachable] = sd_s[reachable] + sd_t[reachable] <= k
+    # (k-1)-hop sufficiency: the only valid vertices a k-th BFS hop could
+    # discover are s (when sd(s,t) = k) and t — keep them unconditionally.
+    within[s] = True
+    within[t] = True
+    keep = np.nonzero(within)[0]
+    ops.add("set_insert", int(keep.size))
+
+    subgraph, old_of_new, new_of_old = graph.induced_subgraph(keep)
+    ops.add("csr_build_edge", subgraph.num_edges)
+
+    # Barrier in subgraph id space.  Unreached within k-1 hops can only be
+    # s itself (then the true distance is >= k, so k is a valid lower bound).
+    barrier = sd_t[old_of_new].copy()
+    barrier[barrier < 0] = k
+    return PreBFSResult(
+        subgraph=subgraph,
+        source=int(new_of_old[s]),
+        target=int(new_of_old[t]),
+        max_hops=k,
+        barrier=barrier,
+        old_of_new=old_of_new,
+        new_of_old=new_of_old,
+        ops=ops,
+    )

@@ -1,0 +1,89 @@
+"""Plain-text charts for terminal reports.
+
+The paper's figures are log-scale bar/line charts; these helpers render
+the same series as ASCII so `pytest benchmarks/ -s` output and
+EXPERIMENTS.md stay self-contained.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    log_scale: bool = False,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return "(empty chart)"
+    if any(v < 0 for v in values):
+        raise ValueError("bar_chart values must be non-negative")
+
+    def transform(v: float) -> float:
+        if not log_scale:
+            return v
+        return math.log10(1.0 + v)
+
+    scaled = [transform(v) for v in values]
+    peak = max(scaled) or 1.0
+    label_w = max(len(lbl) for lbl in labels)
+    lines = []
+    for lbl, raw, s in zip(labels, values, scaled):
+        bar = "#" * max(1 if raw > 0 else 0, round(width * s / peak))
+        value_txt = f"{raw:.3g}{unit}"
+        lines.append(f"{lbl.ljust(label_w)} |{bar.ljust(width)}| {value_txt}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    x_labels: Sequence[object],
+    series: dict[str, Sequence[float]],
+    width: int = 40,
+    log_scale: bool = True,
+    unit: str = "s",
+) -> str:
+    """Grouped comparison (the shape of the paper's per-k figures):
+    one block per x value, one bar per series."""
+    lines = []
+    flat = [v for vs in series.values() for v in vs]
+    if not flat:
+        return "(empty chart)"
+
+    def transform(v: float) -> float:
+        return math.log10(1.0 + v / min(x for x in flat if x > 0)) \
+            if log_scale else v
+
+    peak = max(transform(v) for v in flat) or 1.0
+    name_w = max(len(n) for n in series)
+    for i, x in enumerate(x_labels):
+        lines.append(f"{x}:")
+        for name, values in series.items():
+            v = values[i]
+            bar = "#" * max(1 if v > 0 else 0,
+                            round(width * transform(v) / peak))
+            lines.append(
+                f"  {name.ljust(name_w)} |{bar.ljust(width)}| {v:.3g}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def speedup_sparkline(speedups: Sequence[float]) -> str:
+    """Compact one-line trend of speedups across a k sweep."""
+    if not speedups:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    peak = max(speedups)
+    low = min(speedups)
+    span = (peak - low) or 1.0
+    return "".join(
+        blocks[min(len(blocks) - 1,
+                   int((s - low) / span * (len(blocks) - 1)))]
+        for s in speedups
+    )

@@ -1,0 +1,453 @@
+"""One function per paper artifact: Figs. 8-15 and Tables II-III.
+
+Every function returns an :class:`ExperimentResult` — raw rows plus a
+rendered table — so the benchmark harness, the tests and EXPERIMENTS.md all
+consume the same code path.  Workload sizes default to values that finish
+in seconds on the scaled-down stand-ins; the benchmarks pass their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.config import PEFPConfig
+from repro.baselines.join import Join
+from repro.datasets.registry import DATASETS, dataset_keys, load_dataset
+from repro.graph import stats as graph_stats
+from repro.host.cost_model import CpuCostModel
+from repro.host.system import PathEnumerationSystem
+from repro.reporting.tables import format_seconds, format_speedup, render_table
+from repro.workloads.intermediate import newly_generated_by_length
+from repro.workloads.queries import generate_queries
+from repro.workloads.runner import (
+    AggregateTiming,
+    aggregate,
+    time_enumerator,
+    time_system,
+)
+
+#: Fig. 11 uses k=5 everywhere except the two sparse graphs.
+FIG11_K_OVERRIDES = {"am": 8, "ts": 8}
+
+#: Ablation experiments use a smaller buffer/batch so that overflow
+#: behaviour (what Batch-DFS exists to avoid) is visible at stand-in scale.
+ABLATION_CONFIG = PEFPConfig(
+    theta1=256,
+    theta2=128,
+    buffer_capacity_paths=512,
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Raw rows plus presentation for one experiment."""
+
+    experiment: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    formatted_rows: list[tuple[str, ...]] = field(default_factory=list)
+
+    def table(self) -> str:
+        return render_table(
+            self.headers, self.formatted_rows or self.rows, title=self.title
+        )
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _queries(key: str, k: int, count: int, seed: int,
+             max_distance: int | None = None):
+    graph = load_dataset(key)
+    return graph, generate_queries(graph, k, count, seed=seed,
+                                   max_distance=max_distance)
+
+
+#: memo for comparison points — figs. 8-11 share their (dataset, k)
+#: computations and every run is deterministic, so caching is sound.
+_COMPARE_CACHE: dict[tuple, tuple[AggregateTiming, AggregateTiming]] = {}
+
+
+def _compare(
+    key: str,
+    k: int,
+    count: int,
+    seed: int,
+    variant: str = "pefp",
+    baseline_variant: str | None = None,
+    config: PEFPConfig | None = None,
+    max_distance: int | None = None,
+) -> tuple[AggregateTiming, AggregateTiming]:
+    """Aggregate timings of (baseline, PEFP-variant) on one dataset/k.
+
+    With ``baseline_variant`` set, the baseline is another PEFP variant
+    (for the ablation figures); otherwise it is JOIN.
+    """
+    cache_key = (key, k, count, seed, variant, baseline_variant, config,
+                 max_distance)
+    cached = _COMPARE_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    graph, queries = _queries(key, k, count, seed, max_distance)
+    kwargs = {"config": config} if config is not None else {}
+    system = PathEnumerationSystem.for_variant(graph, variant, **kwargs)
+    pefp_agg = aggregate(variant, k, time_system(system, queries))
+    if baseline_variant is None:
+        base_agg = aggregate(
+            "join", k, time_enumerator(Join(), graph, queries, CpuCostModel())
+        )
+    else:
+        base_system = PathEnumerationSystem.for_variant(
+            graph, baseline_variant, **kwargs
+        )
+        base_agg = aggregate(
+            baseline_variant, k, time_system(base_system, queries)
+        )
+    _COMPARE_CACHE[cache_key] = (base_agg, pefp_agg)
+    return base_agg, pefp_agg
+
+
+# ----------------------------------------------------------------------
+# Table II — dataset statistics
+# ----------------------------------------------------------------------
+def tab2_dataset_statistics(
+    keys: Sequence[str] | None = None, samples: int = 32, seed: int = 7
+) -> ExperimentResult:
+    """Stand-in statistics next to the paper's Table II values."""
+    result = ExperimentResult(
+        "tab2",
+        "Table II — dataset statistics (stand-in | paper)",
+        ("name", "|V|", "|E|", "d_avg", "D", "D90",
+         "paper |V|", "paper |E|", "paper d_avg", "paper D", "paper D90"),
+    )
+    for key in keys or dataset_keys():
+        spec = DATASETS[key]
+        graph = load_dataset(key)
+        st = graph_stats.compute_stats(graph, samples=samples, seed=seed)
+        row = (
+            spec.short_name, st.num_vertices, st.num_edges,
+            round(st.avg_degree, 2), st.diameter,
+            round(st.effective_diameter_90, 2),
+            spec.paper_vertices, spec.paper_edges, spec.paper_avg_degree,
+            spec.paper_diameter, spec.paper_d90,
+        )
+        result.rows.append(row)
+        result.formatted_rows.append(tuple(_fmt(v) for v in row))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — query processing time (T2), PEFP vs JOIN, sweeping k
+# ----------------------------------------------------------------------
+def fig8_query_time(
+    keys: Sequence[str] | None = None,
+    queries_per_point: int = 5,
+    seed: int = 7,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig8",
+        "Fig. 8 — query processing time vs k (PEFP vs JOIN)",
+        ("dataset", "k", "paths", "JOIN T2", "PEFP T2", "speedup"),
+    )
+    for key in keys or dataset_keys():
+        for k in DATASETS[key].k_range:
+            join_agg, pefp_agg = _compare(key, k, queries_per_point, seed)
+            speedup = _ratio(join_agg.mean_query_seconds,
+                             pefp_agg.mean_query_seconds)
+            row = (
+                DATASETS[key].short_name, k, pefp_agg.total_paths,
+                join_agg.mean_query_seconds, pefp_agg.mean_query_seconds,
+                speedup,
+            )
+            result.rows.append(row)
+            result.formatted_rows.append((
+                row[0], str(k), str(row[2]),
+                format_seconds(row[3]), format_seconds(row[4]),
+                format_speedup(row[5]),
+            ))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — preprocessing time (T1) on AM, WT, SK, TS
+# ----------------------------------------------------------------------
+FIG9_DATASETS = ("am", "wt", "sk", "ts")
+
+
+def fig9_preprocessing(
+    keys: Sequence[str] = FIG9_DATASETS,
+    queries_per_point: int = 5,
+    seed: int = 7,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig9",
+        "Fig. 9 — preprocessing time vs k (PEFP Pre-BFS vs JOIN)",
+        ("dataset", "k", "JOIN T1", "PEFP T1", "speedup"),
+    )
+    for key in keys:
+        for k in DATASETS[key].k_range:
+            join_agg, pefp_agg = _compare(key, k, queries_per_point, seed)
+            speedup = _ratio(join_agg.mean_preprocess_seconds,
+                             pefp_agg.mean_preprocess_seconds)
+            row = (
+                DATASETS[key].short_name, k,
+                join_agg.mean_preprocess_seconds,
+                pefp_agg.mean_preprocess_seconds, speedup,
+            )
+            result.rows.append(row)
+            result.formatted_rows.append((
+                row[0], str(k), format_seconds(row[2]),
+                format_seconds(row[3]), format_speedup(row[4]),
+            ))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — total time (T) on AM, WT, SK, TS
+# ----------------------------------------------------------------------
+def fig10_total_time(
+    keys: Sequence[str] = FIG9_DATASETS,
+    queries_per_point: int = 5,
+    seed: int = 7,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig10",
+        "Fig. 10 — total time vs k (PEFP vs JOIN)",
+        ("dataset", "k", "JOIN T", "PEFP T", "speedup"),
+    )
+    for key in keys:
+        for k in DATASETS[key].k_range:
+            join_agg, pefp_agg = _compare(key, k, queries_per_point, seed)
+            speedup = _ratio(join_agg.mean_total_seconds,
+                             pefp_agg.mean_total_seconds)
+            row = (
+                DATASETS[key].short_name, k, join_agg.mean_total_seconds,
+                pefp_agg.mean_total_seconds, speedup,
+            )
+            result.rows.append(row)
+            result.formatted_rows.append((
+                row[0], str(k), format_seconds(row[2]),
+                format_seconds(row[3]), format_speedup(row[4]),
+            ))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 — total time of all datasets (k=5; k=8 for AM and TS)
+# ----------------------------------------------------------------------
+def fig11_all_datasets(
+    keys: Sequence[str] | None = None,
+    queries_per_point: int = 5,
+    seed: int = 7,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig11",
+        "Fig. 11 — total time, all datasets (grey=T1, white=T2 in paper)",
+        ("dataset", "k", "JOIN T1", "JOIN T2", "JOIN T",
+         "PEFP T1", "PEFP T2", "PEFP T", "speedup"),
+    )
+    for key in keys or dataset_keys():
+        k = FIG11_K_OVERRIDES.get(key, 5)
+        join_agg, pefp_agg = _compare(key, k, queries_per_point, seed)
+        speedup = _ratio(join_agg.mean_total_seconds,
+                         pefp_agg.mean_total_seconds)
+        row = (
+            DATASETS[key].short_name, k,
+            join_agg.mean_preprocess_seconds, join_agg.mean_query_seconds,
+            join_agg.mean_total_seconds,
+            pefp_agg.mean_preprocess_seconds, pefp_agg.mean_query_seconds,
+            pefp_agg.mean_total_seconds, speedup,
+        )
+        result.rows.append(row)
+        result.formatted_rows.append((
+            row[0], str(k),
+            *(format_seconds(v) for v in row[2:8]),
+            format_speedup(speedup),
+        ))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figs. 12-15 — ablations
+# ----------------------------------------------------------------------
+def _ablation(
+    experiment: str,
+    title: str,
+    baseline_variant: str,
+    keys: Sequence[str],
+    metric: str,
+    queries_per_point: int,
+    seed: int,
+    config: PEFPConfig | None,
+    k_overrides: dict[str, tuple[int, ...]] | None = None,
+    max_distance: int | None = None,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment, title,
+        ("dataset", "k", f"{baseline_variant} {metric}", f"pefp {metric}",
+         "speedup"),
+    )
+    attr = {
+        "T1": "mean_preprocess_seconds",
+        "T2": "mean_query_seconds",
+        "T": "mean_total_seconds",
+    }[metric]
+    for key in keys:
+        k_values = (k_overrides or {}).get(key, DATASETS[key].k_range)
+        for k in k_values:
+            base_agg, pefp_agg = _compare(
+                key, k, queries_per_point, seed,
+                baseline_variant=baseline_variant, config=config,
+                max_distance=max_distance,
+            )
+            base_v = getattr(base_agg, attr)
+            pefp_v = getattr(pefp_agg, attr)
+            speedup = _ratio(base_v, pefp_v)
+            row = (DATASETS[key].short_name, k, base_v, pefp_v, speedup)
+            result.rows.append(row)
+            result.formatted_rows.append((
+                row[0], str(k), format_seconds(base_v),
+                format_seconds(pefp_v), format_speedup(speedup),
+            ))
+    return result
+
+
+def fig12_prebfs(
+    keys: Sequence[str] = ("bs", "bd"),
+    queries_per_point: int = 5,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Pre-BFS ablation: PEFP vs PEFP-No-Pre-BFS (total time)."""
+    return _ablation(
+        "fig12", "Fig. 12 — Pre-BFS ablation (total time)",
+        "pefp-no-pre-bfs", keys, "T", queries_per_point, seed, None,
+    )
+
+
+#: k sweeps for Fig. 13 — small enough to simulate, large enough for the
+#: intermediate-path population to stress the buffer.
+FIG13_K = {"bs": (3, 4), "bd": (5, 6)}
+
+
+def fig13_batchdfs(
+    keys: Sequence[str] = ("bs", "bd"),
+    queries_per_point: int = 5,
+    seed: int = 7,
+    config: PEFPConfig = ABLATION_CONFIG,
+) -> ExperimentResult:
+    """Batch-DFS ablation: stack-top batching vs FIFO (query time).
+
+    Runs on close-pair queries (``max_distance=2``): at stand-in scale
+    these produce the I/O-bound regime (intermediate sets large relative to
+    expansion work) that the paper's full-size k=8 workloads exhibit —
+    Table III's 9-17 new paths per expanded path implies survival rates our
+    down-scaled random queries only reach near the source.
+    """
+    return _ablation(
+        "fig13", "Fig. 13 — Batch-DFS ablation (query time)",
+        "pefp-no-batch-dfs", keys, "T2", queries_per_point, seed, config,
+        k_overrides=FIG13_K, max_distance=2,
+    )
+
+
+def fig14_caching(
+    keys: Sequence[str] = ("rt", "wg"),
+    queries_per_point: int = 5,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Caching ablation: BRAM caches vs all-DRAM (query time)."""
+    return _ablation(
+        "fig14", "Fig. 14 — caching ablation (query time)",
+        "pefp-no-cache", keys, "T2", queries_per_point, seed, None,
+    )
+
+
+def fig15_datasep(
+    keys: Sequence[str] = ("rt", "wg"),
+    queries_per_point: int = 5,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Data-separation ablation: dataflow vs serial checks (query time)."""
+    return _ablation(
+        "fig15", "Fig. 15 — data separation ablation (query time)",
+        "pefp-no-datasep", keys, "T2", queries_per_point, seed, None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table III — newly generated intermediate paths per path length
+# ----------------------------------------------------------------------
+def tab3_intermediate_paths(
+    keys: Sequence[str] = ("bd", "bs", "wt", "lj"),
+    max_hops: int = 8,
+    sample_size: int = 1000,
+    level_cap: int = 4000,
+    seed: int = 7,
+) -> ExperimentResult:
+    lengths = tuple(range(2, max_hops))
+    result = ExperimentResult(
+        "tab3",
+        f"Table III — new intermediate paths per 1,000 expansions (k={max_hops})",
+        ("dataset", *(f"l={l}" for l in lengths)),
+    )
+    for key in keys:
+        graph = load_dataset(key)
+        queries = generate_queries(graph, max_hops, 1, seed=seed)
+        counts = newly_generated_by_length(
+            graph, queries[0], sample_size=sample_size,
+            level_cap=level_cap, seed=seed,
+        )
+        row = (
+            DATASETS[key].short_name,
+            *(counts[l].per_thousand if l in counts else 0 for l in lengths),
+        )
+        result.rows.append(row)
+        result.formatted_rows.append(tuple(str(v) for v in row))
+    return result
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    if denominator <= 0:
+        return float("inf") if numerator > 0 else 1.0
+    return numerator / denominator
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+#: every experiment with its benchmark-scale keyword arguments, in the
+#: paper's presentation order.  Consumed by the scripts and the CLI.
+ALL_EXPERIMENTS: tuple[tuple, ...] = (
+    (tab2_dataset_statistics, {"samples": 24}),
+    (fig8_query_time, {"queries_per_point": 3}),
+    (fig9_preprocessing, {"queries_per_point": 3}),
+    (fig10_total_time, {"queries_per_point": 3}),
+    (fig11_all_datasets, {"queries_per_point": 3}),
+    (fig12_prebfs, {"queries_per_point": 3}),
+    (tab3_intermediate_paths,
+     {"max_hops": 8, "sample_size": 1000, "level_cap": 3000}),
+    (fig13_batchdfs, {"queries_per_point": 3}),
+    (fig14_caching, {"queries_per_point": 3}),
+    (fig15_datasep, {"queries_per_point": 3}),
+)
+
+
+def experiment_by_name(name: str):
+    """Look up one experiment (``tab2``, ``fig8``, ... ``fig15``)."""
+    for fn, kwargs in ALL_EXPERIMENTS:
+        result_name = fn.__name__.split("_")[0]
+        if result_name == name:
+            return fn, dict(kwargs)
+    known = sorted({fn.__name__.split("_")[0] for fn, _ in ALL_EXPERIMENTS})
+    raise KeyError(f"unknown experiment {name!r}; known: {', '.join(known)}")
+
+
+def run_all(seed: int = 7):
+    """Yield every experiment's result at benchmark workload sizes."""
+    for fn, kwargs in ALL_EXPERIMENTS:
+        yield fn(seed=seed, **kwargs)

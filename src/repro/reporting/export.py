@@ -1,0 +1,95 @@
+"""Structured export of experiment results.
+
+Benchmarks print tables for humans; this module serialises the same
+:class:`~repro.reporting.experiments.ExperimentResult` rows to JSON so
+EXPERIMENTS.md regeneration and regression diffing can consume them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any
+
+from repro.reporting.experiments import ExperimentResult
+
+#: format version for the exported documents.
+SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+    return value
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Plain-dict form of one experiment result."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": result.experiment,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [[_jsonable(cell) for cell in row] for row in result.rows],
+    }
+
+
+def dump_result(result: ExperimentResult,
+                path: str | os.PathLike[str]) -> None:
+    """Write one experiment result as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle, indent=2)
+        handle.write("\n")
+
+
+def load_result(path: str | os.PathLike[str]) -> dict:
+    """Read an exported result back (as a plain dict)."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {document.get('schema_version')!r}"
+        )
+    return document
+
+
+def compare_rows(
+    baseline: dict,
+    current: ExperimentResult,
+    numeric_tolerance: float = 0.0,
+) -> list[str]:
+    """Diff a stored result against a fresh run.
+
+    Returns human-readable difference descriptions (empty = identical up
+    to ``numeric_tolerance`` on floats).  Intended for catching silent
+    regressions in the performance model between versions.
+    """
+    diffs: list[str] = []
+    if baseline["headers"] != list(current.headers):
+        diffs.append(
+            f"headers changed: {baseline['headers']} -> "
+            f"{list(current.headers)}"
+        )
+        return diffs
+    old_rows = baseline["rows"]
+    new_rows = [[_jsonable(c) for c in row] for row in current.rows]
+    if len(old_rows) != len(new_rows):
+        diffs.append(f"row count {len(old_rows)} -> {len(new_rows)}")
+        return diffs
+    for i, (old, new) in enumerate(zip(old_rows, new_rows)):
+        for j, (a, b) in enumerate(zip(old, new)):
+            if isinstance(a, float) and isinstance(b, float):
+                scale = max(abs(a), abs(b), 1e-30)
+                if abs(a - b) / scale > numeric_tolerance:
+                    diffs.append(
+                        f"row {i} col {current.headers[j]!r}: {a} -> {b}"
+                    )
+            elif a != b:
+                diffs.append(
+                    f"row {i} col {current.headers[j]!r}: {a!r} -> {b!r}"
+                )
+    return diffs

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_seconds(seconds: float) -> str:
+    """Human scale: us / ms / s with three significant digits."""
+    if seconds == 0:
+        return "0"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g}ms"
+    return f"{seconds:.3g}s"
+
+
+def format_speedup(ratio: float) -> str:
+    return f"{ratio:.1f}x"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Fixed-width table with a header rule; cells are str()-ed."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Query workload generation and timing runners."""
+
+from repro.workloads.queries import generate_queries, reachable_targets
+from repro.workloads.intermediate import (
+    ExpansionCount,
+    newly_generated_by_length,
+)
+from repro.workloads.runner import (
+    AggregateTiming,
+    QueryTiming,
+    aggregate,
+    time_enumerator,
+    time_system,
+)
+
+__all__ = [
+    "generate_queries",
+    "reachable_targets",
+    "ExpansionCount",
+    "newly_generated_by_length",
+    "QueryTiming",
+    "AggregateTiming",
+    "aggregate",
+    "time_enumerator",
+    "time_system",
+]

@@ -1,0 +1,111 @@
+"""Named query-workload profiles.
+
+The paper's workload is one profile ("uniform": random reachable pairs).
+Reproducing its ablation figures at stand-in scale also needs the regimes
+those figures live in (see Fig. 13's discussion), so profiles are named,
+reusable objects rather than ad-hoc parameter sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query
+from repro.workloads.queries import generate_queries, reachable_targets
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A reproducible recipe for sampling queries from a graph."""
+
+    name: str
+    description: str
+    #: restrict sd(s, t); None = anywhere within k hops (paper's setup).
+    max_distance: int | None = None
+    #: restrict sources to the top-degree fraction (hub-heavy traffic).
+    source_top_degree_fraction: float | None = None
+
+    def sample(
+        self,
+        graph: CSRGraph,
+        max_hops: int,
+        count: int,
+        seed: int = 0,
+    ) -> list[Query]:
+        """Draw ``count`` queries deterministically."""
+        if self.source_top_degree_fraction is None:
+            return generate_queries(
+                graph, max_hops, count, seed=seed,
+                max_distance=self.max_distance,
+            )
+        return self._sample_hub_sources(graph, max_hops, count, seed)
+
+    def _sample_hub_sources(
+        self, graph: CSRGraph, max_hops: int, count: int, seed: int
+    ) -> list[Query]:
+        rng = np.random.default_rng(seed)
+        n = graph.num_vertices
+        if n < 2:
+            raise DatasetError("graph too small to generate queries")
+        degrees = graph.out_degrees() + graph.reverse().out_degrees()
+        num_hot = max(1, int(n * self.source_top_degree_fraction))
+        hot = np.argsort(degrees)[::-1][:num_hot]
+        bound = (max_hops if self.max_distance is None
+                 else min(max_hops, self.max_distance))
+        queries: list[Query] = []
+        attempts = 0
+        while len(queries) < count:
+            attempts += 1
+            if attempts > 50 * count:
+                raise DatasetError(
+                    f"profile {self.name!r}: could not sample {count} "
+                    f"queries"
+                )
+            source = int(hot[rng.integers(0, hot.size)])
+            targets = reachable_targets(graph, source, bound)
+            if targets.size == 0:
+                continue
+            target = int(targets[rng.integers(0, targets.size)])
+            queries.append(Query(source, target, max_hops))
+        return queries
+
+
+#: The paper's workload: uniform random reachable pairs (Section VII-A).
+UNIFORM = WorkloadProfile(
+    name="uniform",
+    description="random reachable (s, t) pairs, the paper's query model",
+)
+
+#: Close pairs: sd(s, t) <= 2.  Locally dense Pre-BFS subgraphs — the
+#: I/O-bound regime where Batch-DFS matters (Fig. 13 at stand-in scale).
+CLOSE_PAIR = WorkloadProfile(
+    name="close-pair",
+    description="targets within 2 hops of the source",
+    max_distance=2,
+)
+
+#: Hub sources: queries starting at the highest-degree vertices, the
+#: fraud-detection pattern (merchants/aggregator accounts).
+HUB_SOURCE = WorkloadProfile(
+    name="hub-source",
+    description="sources drawn from the top-5% degree vertices",
+    source_top_degree_fraction=0.05,
+)
+
+PROFILES: dict[str, WorkloadProfile] = {
+    p.name: p for p in (UNIFORM, CLOSE_PAIR, HUB_SOURCE)
+}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    profile = PROFILES.get(name)
+    if profile is None:
+        raise DatasetError(
+            f"unknown workload profile {name!r}; known: "
+            f"{', '.join(PROFILES)}"
+        )
+    return profile

@@ -1,0 +1,107 @@
+"""Timing runners: execute query batches and aggregate the paper's metrics.
+
+Per query the paper reports preprocessing time ``T1``, query processing
+time ``T2`` and total ``T = T1 + T2``.  For PEFP variants ``T1`` comes from
+the CPU cost model over Pre-BFS's operations and ``T2`` from the simulated
+device; for CPU baselines both come from the cost model over the
+algorithm's operation counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import PathEnumerator
+from repro.graph.csr import CSRGraph
+from repro.host.cost_model import CpuCostModel
+from repro.host.query import Query
+from repro.host.system import PathEnumerationSystem
+
+
+@dataclass(frozen=True)
+class QueryTiming:
+    """One query's outcome under one algorithm."""
+
+    query: Query
+    num_paths: int
+    preprocess_seconds: float
+    query_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.preprocess_seconds + self.query_seconds
+
+
+@dataclass(frozen=True)
+class AggregateTiming:
+    """Mean timings of a query batch (the unit every figure plots)."""
+
+    algorithm: str
+    max_hops: int
+    num_queries: int
+    total_paths: int
+    mean_preprocess_seconds: float
+    mean_query_seconds: float
+
+    @property
+    def mean_total_seconds(self) -> float:
+        return self.mean_preprocess_seconds + self.mean_query_seconds
+
+
+def time_system(
+    system: PathEnumerationSystem, queries: list[Query]
+) -> list[QueryTiming]:
+    """Run every query through a PEFP system."""
+    timings = []
+    for query in queries:
+        report = system.execute(query)
+        timings.append(
+            QueryTiming(
+                query=query,
+                num_paths=report.num_paths,
+                preprocess_seconds=report.preprocess_seconds,
+                query_seconds=report.query_seconds,
+            )
+        )
+    return timings
+
+
+def time_enumerator(
+    enumerator: PathEnumerator,
+    graph: CSRGraph,
+    queries: list[Query],
+    cost_model: CpuCostModel | None = None,
+) -> list[QueryTiming]:
+    """Run every query through a CPU baseline under the cost model."""
+    cost = cost_model or CpuCostModel()
+    timings = []
+    for query in queries:
+        result = enumerator.enumerate_paths(graph, query)
+        timings.append(
+            QueryTiming(
+                query=query,
+                num_paths=result.num_paths,
+                preprocess_seconds=cost.seconds(result.preprocess_ops),
+                query_seconds=cost.seconds(result.enumerate_ops),
+            )
+        )
+    return timings
+
+
+def aggregate(
+    algorithm: str, max_hops: int, timings: list[QueryTiming]
+) -> AggregateTiming:
+    """Mean of a timing batch (the paper averages 1,000 queries)."""
+    n = len(timings)
+    if n == 0:
+        return AggregateTiming(algorithm, max_hops, 0, 0, 0.0, 0.0)
+    return AggregateTiming(
+        algorithm=algorithm,
+        max_hops=max_hops,
+        num_queries=n,
+        total_paths=sum(t.num_paths for t in timings),
+        mean_preprocess_seconds=(
+            sum(t.preprocess_seconds for t in timings) / n
+        ),
+        mean_query_seconds=sum(t.query_seconds for t in timings) / n,
+    )

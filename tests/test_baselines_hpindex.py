@@ -1,0 +1,149 @@
+"""Tests for HP-Index (hot-point indexed enumeration)."""
+
+import pytest
+
+from conftest import brute_force_paths
+from repro.baselines import HPIndex
+from repro.graph import generators as G
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query
+
+
+class TestIndexConstruction:
+    def test_hot_points_are_high_degree(self):
+        g = G.hub_spoke(3, 8, hub_clique_p=1.0, seed=1)
+        hp = HPIndex(hot_fraction=0.1, min_hot=3)
+        index = hp.build_index(g, max_hops=4)
+        hubs = {h * 9 for h in range(3)}
+        hot_ids = {int(i) for i in range(g.num_vertices) if index.hot[i]}
+        assert hubs <= hot_ids
+
+    def test_index_paths_have_no_hot_internals(self):
+        g = G.chung_lu(40, 220, seed=4)
+        hp = HPIndex(hot_fraction=0.15)
+        index = hp.build_index(g, max_hops=4)
+        for h1, by_dest in index.paths.items():
+            for h2, paths in by_dest.items():
+                for p in paths:
+                    assert p[0] == h1 and p[-1] == h2
+                    for internal in p[1:-1]:
+                        assert not index.hot[internal]
+
+    def test_index_cached_per_graph_and_k(self):
+        g = G.cycle_graph(8)
+        hp = HPIndex()
+        assert hp.build_index(g, 4) is hp.build_index(g, 4)
+        assert hp.build_index(g, 4) is not hp.build_index(g, 5)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            HPIndex(hot_fraction=1.5)
+
+
+class TestIncrementalMaintenance:
+    """insert_edge must leave the index identical to a fresh rebuild."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_rebuild(self, seed):
+        import numpy as np
+
+        full = G.gnm_random(25, 120, seed=40 + seed)
+        edges = list(full.edges())
+        removed = edges[seed * 3 % len(edges)]
+        before = CSRGraph.from_edges(
+            25, [e for e in edges if e != removed]
+        )
+        k = 5
+        hp = HPIndex(hot_fraction=0.15, min_hot=2)
+        # freeze the hot set from the final graph so both sides agree
+        hot_graph_index = hp.build_index(full, k)
+        hot_mask = hot_graph_index.hot
+
+        hp2 = HPIndex(hot_fraction=0.15, min_hot=2)
+        incremental = hp2.build_index(before, k, hot_mask=hot_mask)
+        incremental.insert_edge(full, removed[0], removed[1])
+
+        assert incremental.path_sets() == hot_graph_index.path_sets(), (
+            seed, removed,
+        )
+
+    def test_hot_hot_edge(self):
+        g_before = CSRGraph.from_edges(4, [(0, 1), (1, 2)])
+        g_after = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 0)])
+        import numpy as np
+
+        hot = np.array([True, False, True, False])
+        hp = HPIndex()
+        index = hp.build_index(g_before, 4, hot_mask=hot)
+        added = index.insert_edge(g_after, 2, 0)
+        assert added >= 1
+        assert (2, 0) in index.path_sets()[(2, 0)]
+
+    def test_counts_added_paths(self):
+        g_before = CSRGraph.from_edges(5, [(0, 1), (2, 3), (3, 4)])
+        g_after = CSRGraph.from_edges(
+            5, [(0, 1), (1, 2), (2, 3), (3, 4)]
+        )
+        import numpy as np
+
+        hot = np.array([True, False, False, False, True])
+        index = HPIndex().build_index(g_before, 4, hot_mask=hot)
+        assert index.num_indexed_paths == 0
+        added = index.insert_edge(g_after, 1, 2)
+        # new hot-to-hot path 0 -> 1 -> 2 -> 3 -> 4
+        assert added == 1
+        assert (0, 1, 2, 3, 4) in index.path_sets()[(0, 4)]
+
+
+class TestCorrectness:
+    def test_diamond(self, diamond_graph):
+        result = HPIndex().enumerate_paths(diamond_graph, Query(0, 3, 3))
+        assert result.path_set() == frozenset(
+            {(0, 1, 3), (0, 2, 3), (0, 4, 5, 3)}
+        )
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.1, 0.3, 1.0])
+    def test_any_hot_fraction_is_correct(self, fraction):
+        """Correctness must not depend on where the hot cut falls."""
+        g = G.chung_lu(35, 180, seed=9)
+        expected = brute_force_paths(g, 0, 7, 5)
+        hp = HPIndex(hot_fraction=fraction, min_hot=1)
+        result = hp.enumerate_paths(g, Query(0, 7, 5))
+        assert result.path_set() == expected, fraction
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_matches_oracle(self, seed):
+        g = G.gnm_random(35, 180, seed=seed)
+        expected = brute_force_paths(g, 2, 9, 5)
+        result = HPIndex(hot_fraction=0.1).enumerate_paths(g, Query(2, 9, 5))
+        assert result.path_set() == expected
+
+    def test_hot_source_and_target(self):
+        """s or t being hot must not change semantics."""
+        g = G.hub_spoke(4, 5, hub_clique_p=1.0, seed=3)
+        hubs = [h * 6 for h in range(4)]
+        query = Query(hubs[0], hubs[2], 4)
+        expected = brute_force_paths(g, query.source, query.target, 4)
+        result = HPIndex(hot_fraction=0.2).enumerate_paths(g, query)
+        assert result.path_set() == expected
+
+    def test_no_duplicates(self):
+        g = G.chung_lu(30, 200, seed=2)
+        result = HPIndex(hot_fraction=0.2).enumerate_paths(g, Query(0, 5, 5))
+        assert len(result.paths) == len(set(result.paths))
+
+    def test_path_through_multiple_hot_points(self):
+        """Exercise chains of >= 2 indexed segments."""
+        # 0 -> h1 -> h2 -> 4 where h1, h2 are the top-degree vertices
+        edges = [(0, 1), (1, 2), (2, 4)]
+        # inflate degrees of 1 and 2
+        edges += [(1, v) for v in range(5, 12)]
+        edges += [(v, 2) for v in range(5, 12)]
+        g = CSRGraph.from_edges(12, edges)
+        hp = HPIndex(hot_fraction=0.2, min_hot=2)
+        index = hp.build_index(g, 4)
+        assert index.hot[1] and index.hot[2]
+        expected = brute_force_paths(g, 0, 4, 4)
+        result = hp.enumerate_paths(g, Query(0, 4, 4))
+        assert result.path_set() == expected
+        assert (0, 1, 2, 4) in result.path_set()

@@ -1,0 +1,76 @@
+"""Tests for JOIN (middle-vertex split and join)."""
+
+import pytest
+
+from conftest import brute_force_paths
+from repro.baselines import Join
+from repro.graph import generators as G
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query
+
+
+class TestCorrectness:
+    def test_single_edge(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        result = Join().enumerate_paths(g, Query(0, 1, 1))
+        assert result.path_set() == frozenset({(0, 1)})
+
+    def test_diamond(self, diamond_graph):
+        result = Join().enumerate_paths(diamond_graph, Query(0, 3, 3))
+        assert result.path_set() == frozenset(
+            {(0, 1, 3), (0, 2, 3), (0, 4, 5, 3)}
+        )
+
+    def test_even_and_odd_k(self, cycle6):
+        for k in (3, 4, 5, 6):
+            expected = brute_force_paths(cycle6, 0, 3, k)
+            result = Join().enumerate_paths(cycle6, Query(0, 3, k))
+            assert result.path_set() == expected, k
+
+    def test_complete_graph(self, complete5):
+        for k in (1, 2, 3, 4):
+            expected = brute_force_paths(complete5, 0, 1, k)
+            result = Join().enumerate_paths(complete5, Query(0, 1, k))
+            assert result.path_set() == expected, k
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_matches_oracle(self, seed):
+        g = G.chung_lu(50, 280, seed=seed)
+        for k in (3, 4, 5):
+            expected = brute_force_paths(g, 0, 9, k)
+            result = Join().enumerate_paths(g, Query(0, 9, k))
+            assert result.path_set() == expected, (seed, k)
+
+    def test_no_duplicates_emitted(self):
+        """The middle-vertex decomposition must be duplicate-free."""
+        g = G.gnm_random(30, 200, seed=12)
+        result = Join().enumerate_paths(g, Query(0, 7, 6))
+        assert len(result.paths) == len(set(result.paths))
+
+    def test_unreachable(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        result = Join().enumerate_paths(g, Query(0, 3, 5))
+        assert result.num_paths == 0
+
+
+class TestHalfPathBounds:
+    def test_path_longer_than_half_not_missed(self):
+        """A k=5 path of length 5 splits as (2, 3); both halves must be
+        produced within their bounds."""
+        g = CSRGraph.from_edges(6, [(i, i + 1) for i in range(5)])
+        result = Join().enumerate_paths(g, Query(0, 5, 5))
+        assert result.path_set() == frozenset({(0, 1, 2, 3, 4, 5)})
+
+    def test_k1_direct_edge(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        result = Join().enumerate_paths(g, Query(0, 2, 1))
+        assert result.path_set() == frozenset({(0, 2)})
+
+
+class TestAccounting:
+    def test_preprocess_and_enumerate_ops_separate(self, random_graph):
+        result = Join().enumerate_paths(random_graph, Query(0, 5, 4))
+        assert result.preprocess_ops.count("bfs_relax") > 0
+        assert result.preprocess_ops.count("set_insert") > 0
+        # enumeration side must record DFS and join work
+        assert result.enumerate_ops.count("edge_visit") > 0

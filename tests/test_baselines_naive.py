@@ -1,0 +1,81 @@
+"""Tests for the two ground-truth enumerators (naive DFS and BFS)."""
+
+import pytest
+
+from conftest import assert_valid_paths, brute_force_paths
+from repro.baselines import NaiveBFS, NaiveDFS
+from repro.errors import QueryError
+from repro.graph import generators as G
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query
+
+
+@pytest.fixture(params=[NaiveDFS, NaiveBFS], ids=["dfs", "bfs"])
+def enumerator(request):
+    return request.param()
+
+
+class TestSmallGraphs:
+    def test_diamond(self, enumerator, diamond_graph):
+        result = enumerator.enumerate_paths(diamond_graph, Query(0, 3, 3))
+        assert result.path_set() == frozenset(
+            {(0, 1, 3), (0, 2, 3), (0, 4, 5, 3)}
+        )
+
+    def test_diamond_tight_k(self, enumerator, diamond_graph):
+        result = enumerator.enumerate_paths(diamond_graph, Query(0, 3, 2))
+        assert result.path_set() == frozenset({(0, 1, 3), (0, 2, 3)})
+
+    def test_line(self, enumerator, line_graph):
+        result = enumerator.enumerate_paths(line_graph, Query(0, 4, 4))
+        assert result.path_set() == frozenset({(0, 1, 2, 3, 4)})
+        result = enumerator.enumerate_paths(line_graph, Query(0, 4, 3))
+        assert result.num_paths == 0
+
+    def test_single_edge_k1(self, enumerator):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        result = enumerator.enumerate_paths(g, Query(0, 1, 1))
+        assert result.path_set() == frozenset({(0, 1)})
+
+    def test_cycle_graph_simplicity(self, enumerator, cycle6):
+        # on a 6-cycle there is exactly one simple path 0 ~> 3
+        result = enumerator.enumerate_paths(cycle6, Query(0, 3, 6))
+        assert result.path_set() == frozenset({(0, 1, 2, 3)})
+
+    def test_complete_graph_counts(self, enumerator, complete5):
+        # paths 0->1 in K5 with k=4: 1 + 3 + 3*2 + 3*2*1 = 16
+        result = enumerator.enumerate_paths(complete5, Query(0, 1, 4))
+        assert result.num_paths == 16
+        assert_valid_paths(result.paths, 0, 1, 4)
+
+    def test_no_duplicates(self, enumerator, complete5):
+        result = enumerator.enumerate_paths(complete5, Query(0, 1, 4))
+        assert len(result.paths) == len(set(result.paths))
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random(self, enumerator, seed):
+        g = G.gnm_random(25, 110, seed=seed)
+        query = Query(0, 5, 4)
+        expected = brute_force_paths(g, 0, 5, 4)
+        result = enumerator.enumerate_paths(g, query)
+        assert result.path_set() == expected
+
+
+class TestValidation:
+    def test_equal_endpoints(self, enumerator, diamond_graph):
+        with pytest.raises(QueryError):
+            enumerator.enumerate_paths(diamond_graph, Query(2, 2, 3))
+
+    def test_zero_hops(self, enumerator, diamond_graph):
+        with pytest.raises(QueryError):
+            enumerator.enumerate_paths(diamond_graph, Query(0, 3, 0))
+
+    def test_missing_vertex(self, enumerator, diamond_graph):
+        with pytest.raises(QueryError):
+            enumerator.enumerate_paths(diamond_graph, Query(0, 77, 3))
+
+    def test_ops_recorded(self, enumerator, diamond_graph):
+        result = enumerator.enumerate_paths(diamond_graph, Query(0, 3, 3))
+        assert result.enumerate_ops.count("edge_visit") > 0

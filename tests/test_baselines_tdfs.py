@@ -1,0 +1,106 @@
+"""Tests for T-DFS and T-DFS2 (aggressive distance verification)."""
+
+import pytest
+
+from conftest import brute_force_paths
+from repro.baselines import NaiveDFS, TDFS, TDFS2
+from repro.baselines.tdfs import constrained_distance
+from repro.graph import generators as G
+from repro.graph.csr import CSRGraph
+from repro.host.cost_model import OpCounter
+from repro.host.query import Query
+
+import numpy as np
+
+
+class TestConstrainedDistance:
+    def test_plain_distance(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        blocked = np.zeros(4, dtype=bool)
+        assert constrained_distance(g, 0, 3, blocked, 5, OpCounter()) == 3
+
+    def test_blocked_vertex_forces_detour(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (1, 4), (0, 2), (2, 3), (3, 4)])
+        blocked = np.zeros(5, dtype=bool)
+        blocked[1] = True
+        assert constrained_distance(g, 0, 4, blocked, 5, OpCounter()) == 3
+
+    def test_unreachable_returns_over_budget(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        blocked = np.zeros(3, dtype=bool)
+        assert constrained_distance(g, 0, 2, blocked, 4, OpCounter()) == 5
+
+    def test_budget_zero(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        blocked = np.zeros(2, dtype=bool)
+        assert constrained_distance(g, 0, 1, blocked, 0, OpCounter()) == 1
+
+    def test_source_equals_target(self):
+        g = CSRGraph.from_edges(2, [(0, 1)])
+        blocked = np.zeros(2, dtype=bool)
+        assert constrained_distance(g, 1, 1, blocked, 3, OpCounter()) == 0
+
+
+@pytest.fixture(params=[TDFS, TDFS2], ids=["tdfs", "tdfs2"])
+def enumerator(request):
+    return request.param()
+
+
+class TestCorrectness:
+    def test_diamond(self, enumerator, diamond_graph):
+        result = enumerator.enumerate_paths(diamond_graph, Query(0, 3, 3))
+        assert result.path_set() == frozenset(
+            {(0, 1, 3), (0, 2, 3), (0, 4, 5, 3)}
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_matches_oracle(self, enumerator, seed):
+        g = G.chung_lu(40, 200, seed=seed)
+        expected = brute_force_paths(g, 1, 6, 5)
+        result = enumerator.enumerate_paths(g, Query(1, 6, 5))
+        assert result.path_set() == expected
+
+
+class TestNeverFallInTrap:
+    def test_every_branch_yields_a_result(self):
+        """T-DFS's guarantee: it explores no dead-end branches, so its
+        edge_visit count stays proportional to output, unlike naive DFS on
+        a trap-heavy graph."""
+        edges = [(0, 1), (1, 2)]
+        # vertex 1 also leads into a big trap blob that cannot reach 2
+        trap = range(3, 40)
+        edges += [(1, v) for v in trap]
+        edges += [(u, v) for u in trap for v in trap if u != v and (u + v) % 3 == 0]
+        g = CSRGraph.from_edges(40, edges)
+        query = Query(0, 2, 6)
+
+        tdfs_result = TDFS().enumerate_paths(g, query)
+        naive_result = NaiveDFS().enumerate_paths(g, query)
+        assert tdfs_result.path_set() == naive_result.path_set()
+        assert (
+            tdfs_result.enumerate_ops.count("edge_visit")
+            < naive_result.enumerate_ops.count("edge_visit")
+        )
+
+
+class TestTdfs2Optimisation:
+    def test_chain_skips_bfs(self):
+        """On a pure chain T-DFS2 certifies once and never re-runs BFS."""
+        n = 12
+        g = CSRGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+        query = Query(0, n - 1, n - 1)
+        r1 = TDFS().enumerate_paths(g, query)
+        r2 = TDFS2().enumerate_paths(g, query)
+        assert r1.path_set() == r2.path_set()
+        assert (
+            r2.enumerate_ops.count("bfs_relax")
+            < r1.enumerate_ops.count("bfs_relax")
+        )
+
+    def test_same_answers_on_skewed_graph(self):
+        g = G.hub_spoke(4, 6, seed=2)
+        query = Query(1, 5, 6)
+        assert (
+            TDFS().enumerate_paths(g, query).path_set()
+            == TDFS2().enumerate_paths(g, query).path_set()
+        )

@@ -1,0 +1,61 @@
+"""Tests for the Yen's-algorithm enumerator (the related-work baseline)."""
+
+import pytest
+
+from conftest import brute_force_paths
+from repro.baselines import BCDFS
+from repro.baselines.yens import Yens
+from repro.graph import generators as G
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query
+
+
+class TestCorrectness:
+    def test_diamond(self, diamond_graph):
+        result = Yens().enumerate_paths(diamond_graph, Query(0, 3, 3))
+        assert result.path_set() == frozenset(
+            {(0, 1, 3), (0, 2, 3), (0, 4, 5, 3)}
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_matches_oracle(self, seed):
+        g = G.gnm_random(25, 110, seed=seed)
+        expected = brute_force_paths(g, 0, 5, 4)
+        result = Yens().enumerate_paths(g, Query(0, 5, 4))
+        assert result.path_set() == expected
+
+    def test_complete_graph(self, complete5):
+        result = Yens().enumerate_paths(complete5, Query(0, 1, 4))
+        assert result.num_paths == 16
+
+    def test_unreachable(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert Yens().enumerate_paths(g, Query(0, 3, 4)).num_paths == 0
+
+    def test_no_duplicates(self):
+        g = G.chung_lu(25, 140, seed=4)
+        result = Yens().enumerate_paths(g, Query(0, 5, 5))
+        assert len(result.paths) == len(set(result.paths))
+
+
+class TestLengthOrder:
+    """Yen's defining property — and the reason the paper dismisses it:
+    results come out in non-decreasing length order."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sorted_by_length(self, seed):
+        g = G.gnm_random(22, 100, seed=30 + seed)
+        result = Yens().enumerate_paths(g, Query(0, 5, 5))
+        lengths = [len(p) - 1 for p in result.paths]
+        assert lengths == sorted(lengths)
+
+    def test_costlier_than_bcdfs(self):
+        """The ordering overhead the paper calls out: Yen's pays more
+        operations than BC-DFS for the same answer."""
+        g = G.chung_lu(40, 240, seed=9)
+        query = Query(0, 7, 5)
+        yens = Yens().enumerate_paths(g, query)
+        bc = BCDFS().enumerate_paths(g, query)
+        assert yens.path_set() == bc.path_set()
+        if yens.num_paths >= 5:
+            assert yens.enumerate_ops.total() > bc.enumerate_ops.total()

@@ -1,0 +1,59 @@
+"""Tests for batched query execution with amortised DMA."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.host.system import PathEnumerationSystem
+from repro.workloads.queries import generate_queries
+
+
+@pytest.fixture(scope="module")
+def system_and_queries():
+    graph = load_dataset("se")
+    system = PathEnumerationSystem(graph)
+    queries = generate_queries(graph, 4, 6, seed=13)
+    return system, queries
+
+
+class TestExecuteBatch:
+    def test_same_answers_as_individual(self, system_and_queries):
+        system, queries = system_and_queries
+        batch = system.execute_batch(queries)
+        singles = [system.execute(q) for q in queries]
+        assert [r.num_paths for r in batch.reports] == [
+            r.num_paths for r in singles
+        ]
+
+    def test_transfer_amortises(self, system_and_queries):
+        """One batched DMA beats N individual transfers (setup latency is
+        paid once)."""
+        system, queries = system_and_queries
+        batch = system.execute_batch(queries)
+        individual_total = sum(r.transfer_seconds for r in batch.reports)
+        assert batch.batch_transfer_seconds < individual_total
+
+    def test_per_query_transfer_in_paper_window(self, system_and_queries):
+        """Section VII-A: ~0.1-0.3 ms per query once amortised (and small
+        relative to T1 + T2 at full scale); here the key check is that the
+        amortised share shrinks with batch size."""
+        system, queries = system_and_queries
+        small = system.execute_batch(queries[:2])
+        large = system.execute_batch(queries)
+        assert (
+            large.transfer_seconds_per_query
+            <= small.transfer_seconds_per_query
+        )
+
+    def test_means(self, system_and_queries):
+        system, queries = system_and_queries
+        batch = system.execute_batch(queries)
+        assert batch.num_queries == len(queries)
+        assert batch.mean_preprocess_seconds > 0
+        assert batch.mean_query_seconds >= 0
+
+    def test_empty_batch(self, system_and_queries):
+        system, _ = system_and_queries
+        batch = system.execute_batch([])
+        assert batch.num_queries == 0
+        assert batch.transfer_seconds_per_query == 0.0
+        assert batch.mean_preprocess_seconds == 0.0

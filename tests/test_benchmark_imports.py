@@ -1,0 +1,51 @@
+"""The benchmark modules must at least import (their heavy work only runs
+under `pytest benchmarks/`)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_FILES = sorted(p for p in BENCH_DIR.glob("bench_*.py"))
+
+
+def test_benchmarks_cover_every_paper_artifact():
+    names = {p.stem for p in BENCH_FILES}
+    expected = {
+        "bench_tab2_datasets",
+        "bench_fig08_query_time",
+        "bench_fig09_preprocessing",
+        "bench_fig10_total_time",
+        "bench_fig11_all_datasets",
+        "bench_fig12_prebfs",
+        "bench_fig13_batchdfs",
+        "bench_fig14_caching",
+        "bench_fig15_datasep",
+        "bench_tab3_intermediate",
+    }
+    assert expected <= names
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+def test_benchmark_module_imports(path, monkeypatch):
+    # The bench modules import the *benchmarks* conftest; shadow the test
+    # session's own conftest module for the duration of the import.
+    monkeypatch.syspath_prepend(str(BENCH_DIR))
+    saved_conftest = sys.modules.pop("conftest", None)
+    saved_module = sys.modules.get(path.stem)
+    try:
+        spec = importlib.util.spec_from_file_location(path.stem, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop("conftest", None)
+        if saved_conftest is not None:
+            sys.modules["conftest"] = saved_conftest
+        if saved_module is not None:
+            sys.modules[path.stem] = saved_module
+        else:
+            sys.modules.pop(path.stem, None)
+    # every benchmark exposes at least one test function
+    assert any(name.startswith("test_") for name in dir(module))

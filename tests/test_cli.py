@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import generators
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = generators.gnm_random(30, 140, seed=4)
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    return str(path)
+
+
+class TestQueryCommand:
+    def test_query_pefp(self, graph_file, capsys):
+        rc = main(["query", graph_file, "-s", "0", "-t", "5", "-k", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "path(s) from 0 to 5" in out
+        assert "T1=" in out and "T2=" in out
+
+    def test_query_cpu_algorithm(self, graph_file, capsys):
+        rc = main(["query", graph_file, "-s", "0", "-t", "5", "-k", "4",
+                   "--algorithm", "join"])
+        assert rc == 0
+        assert "path(s)" in capsys.readouterr().out
+
+    def test_algorithms_agree(self, graph_file, capsys):
+        counts = []
+        for algo in ("pefp", "bc-dfs", "naive-dfs"):
+            main(["query", graph_file, "-s", "0", "-t", "5", "-k", "4",
+                  "--algorithm", algo, "--all"])
+            out = capsys.readouterr().out
+            counts.append(int(out.split()[0]))
+        assert counts[0] == counts[1] == counts[2]
+
+    def test_dataset_key_accepted(self, capsys):
+        rc = main(["query", "rt", "-s", "0", "-t", "5", "-k", "3"])
+        assert rc == 0
+
+    def test_invalid_query_reports_error(self, graph_file, capsys):
+        rc = main(["query", graph_file, "-s", "0", "-t", "0", "-k", "3"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        rc = main(["query", "/no/such/file", "-s", "0", "-t", "1", "-k", "2"])
+        assert rc == 1
+
+    def test_limit_truncates(self, capsys):
+        main(["query", "rt", "-s", "0", "-t", "5", "-k", "4", "--limit", "1"])
+        out = capsys.readouterr().out
+        if "more (use --all)" in out:
+            assert out.count("->") <= 4  # one path line only
+
+
+class TestStatsCommand:
+    def test_stats(self, graph_file, capsys):
+        rc = main(["stats", graph_file, "--samples", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "|V|" in out and "avg degree" in out
+
+
+class TestCompareCommand:
+    def test_agreeing_algorithms(self, graph_file, capsys):
+        rc = main(["compare", graph_file, "-s", "0", "-t", "5", "-k", "4",
+                   "--left", "pefp", "--right", "bc-dfs"])
+        assert rc == 0
+        assert "==" in capsys.readouterr().out
+
+    def test_cpu_vs_cpu(self, graph_file, capsys):
+        rc = main(["compare", graph_file, "-s", "0", "-t", "5", "-k", "4",
+                   "--left", "naive-dfs", "--right", "join"])
+        assert rc == 0
+
+
+class TestDatasetsCommand:
+    def test_lists_twelve(self, capsys):
+        rc = main(["datasets"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for short in ("RT", "LJ", "DP"):
+            assert short in out
+
+
+class TestBenchCommand:
+    def test_runs_tab3(self, capsys):
+        rc = main(["bench", "tab3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "l=7" in out
+
+    def test_unknown_experiment(self, capsys):
+        rc = main(["bench", "fig99"])
+        assert rc == 1
+        assert "unknown experiment" in capsys.readouterr().err

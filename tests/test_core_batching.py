@@ -1,0 +1,137 @@
+"""Unit tests for Batch-DFS (Algorithm 4) and the FIFO ablation.
+
+The invariant both schedulers must uphold: across successive batches,
+every (path, successor-index) pair is scheduled exactly once.
+"""
+
+import pytest
+
+from repro.core.batching import batch_dfs, fifo_batch, total_expansions
+from repro.core.paths import BufferArea, PathRecord
+from repro.errors import ConfigError
+
+
+def push(buf, vid, lo, hi):
+    buf.push(PathRecord((vid,), lo, hi))
+
+
+class TestBatchDfs:
+    def test_takes_from_top(self):
+        buf = BufferArea(10)
+        push(buf, 0, 0, 2)
+        push(buf, 1, 10, 12)
+        entries = batch_dfs(buf, 2)
+        assert [e.vertices for e in entries] == [(1,)]
+        assert entries[0].nbr_lo == 10 and entries[0].nbr_hi == 12
+        assert len(buf) == 1  # the top record was exhausted and popped
+
+    def test_spans_multiple_records(self):
+        buf = BufferArea(10)
+        push(buf, 0, 0, 3)
+        push(buf, 1, 5, 7)
+        entries = batch_dfs(buf, 5)
+        assert total_expansions(entries) == 5
+        assert [e.vertices for e in entries] == [(1,), (0,)]
+        assert buf.is_empty
+
+    def test_super_node_split_across_batches(self):
+        """A record with more successors than Θ is consumed in slices."""
+        buf = BufferArea(10)
+        push(buf, 7, 0, 10)
+        first = batch_dfs(buf, 4)
+        assert total_expansions(first) == 4
+        assert first[0].nbr_lo == 0 and first[0].nbr_hi == 4
+        assert len(buf) == 1  # partially consumed, stays
+        second = batch_dfs(buf, 4)
+        assert second[0].nbr_lo == 4 and second[0].nbr_hi == 8
+        third = batch_dfs(buf, 4)
+        assert third[0].nbr_lo == 8 and third[0].nbr_hi == 10
+        assert buf.is_empty
+
+    def test_partial_record_keeps_lower_records_untouched(self):
+        buf = BufferArea(10)
+        push(buf, 0, 0, 5)
+        push(buf, 1, 0, 5)
+        batch_dfs(buf, 3)  # only slices record 1
+        assert len(buf) == 2
+        assert buf.record_at(0).next_ptr == 0
+
+    def test_exactly_theta(self):
+        buf = BufferArea(10)
+        push(buf, 0, 0, 4)
+        entries = batch_dfs(buf, 4)
+        assert total_expansions(entries) == 4
+        assert buf.is_empty
+
+    def test_empty_buffer(self):
+        assert batch_dfs(BufferArea(4), 8) == []
+
+    def test_invalid_theta(self):
+        with pytest.raises(ConfigError):
+            batch_dfs(BufferArea(4), 0)
+
+    def test_conservation(self):
+        """Every successor index is scheduled exactly once overall."""
+        buf = BufferArea(16)
+        ranges = {0: (0, 7), 1: (10, 13), 2: (20, 29), 3: (40, 41)}
+        for vid, (lo, hi) in ranges.items():
+            buf.push(PathRecord((vid,), lo, hi))
+        scheduled = {vid: [] for vid in ranges}
+        while True:
+            entries = batch_dfs(buf, 5)
+            if not entries:
+                break
+            for e in entries:
+                scheduled[e.vertices[0]].extend(range(e.nbr_lo, e.nbr_hi))
+        for vid, (lo, hi) in ranges.items():
+            assert sorted(scheduled[vid]) == list(range(lo, hi)), vid
+
+
+class TestFifoBatch:
+    def test_takes_from_bottom(self):
+        buf = BufferArea(10)
+        push(buf, 0, 0, 2)
+        push(buf, 1, 10, 12)
+        entries = fifo_batch(buf, 2)
+        assert [e.vertices for e in entries] == [(0,)]
+        assert len(buf) == 1
+        assert buf.record_at(0).vertices == (1,)
+
+    def test_super_node_split(self):
+        buf = BufferArea(10)
+        push(buf, 7, 0, 9)
+        first = fifo_batch(buf, 4)
+        assert first[0].nbr_hi == 4
+        assert len(buf) == 1
+        second = fifo_batch(buf, 100)
+        assert second[0].nbr_lo == 4 and second[0].nbr_hi == 9
+        assert buf.is_empty
+
+    def test_conservation(self):
+        buf = BufferArea(16)
+        ranges = {0: (0, 6), 1: (6, 14), 2: (14, 15)}
+        for vid, (lo, hi) in ranges.items():
+            buf.push(PathRecord((vid,), lo, hi))
+        scheduled = []
+        while True:
+            entries = fifo_batch(buf, 4)
+            if not entries:
+                break
+            for e in entries:
+                scheduled.extend(range(e.nbr_lo, e.nbr_hi))
+        assert sorted(scheduled) == list(range(15))
+
+    def test_invalid_theta(self):
+        with pytest.raises(ConfigError):
+            fifo_batch(BufferArea(4), -1)
+
+
+class TestOrderingContrast:
+    def test_longest_first_vs_shortest_first(self):
+        """Batch-DFS serves the newest (longest) record; FIFO the oldest."""
+        buf1, buf2 = BufferArea(8), BufferArea(8)
+        for buf in (buf1, buf2):
+            buf.push(PathRecord((0,), 0, 1))          # short path, pushed 1st
+            buf.push(PathRecord((0, 1, 2), 5, 6))     # long path, pushed last
+        assert batch_dfs(buf1, 1)[0].vertices == (0, 1, 2)
+        assert fifo_batch(buf2, 1)[0].vertices == (0,)

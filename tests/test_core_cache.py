@@ -1,0 +1,121 @@
+"""Unit tests for the BRAM prefix caches."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CachedArray
+from repro.errors import ConfigError
+from repro.fpga.clock import Clock
+from repro.fpga.memory import Bram, Dram
+
+
+@pytest.fixture
+def memories():
+    clock = Clock()
+    return clock, Bram(clock, 4096, port_words=1), Dram(clock, 1 << 20)
+
+
+class TestCachedArray:
+    def test_hit_is_one_cycle(self, memories):
+        clock, bram, dram = memories
+        arr = CachedArray(np.arange(100), bram, dram, 100, "a")
+        assert arr.read(5) == 5
+        assert clock.cycles == 1
+        assert arr.hits == 1
+
+    def test_miss_pays_dram_latency(self, memories):
+        clock, bram, dram = memories
+        arr = CachedArray(np.arange(100), bram, dram, 10, "a")
+        assert arr.read(50) == 50
+        assert clock.cycles == dram.read_latency
+        assert arr.misses == 1
+
+    def test_disabled_cache_all_misses(self, memories):
+        clock, bram, dram = memories
+        arr = CachedArray(np.arange(10), bram, dram, 10, "a", enabled=False)
+        arr.read(0)
+        assert arr.cached_len == 0
+        assert arr.misses == 1
+
+    def test_fully_cached_flag(self, memories):
+        _, bram, dram = memories
+        arr = CachedArray(np.arange(10), bram, dram, 100, "a")
+        assert arr.fully_cached
+        arr2 = CachedArray(np.arange(100), bram, dram, 10, "b")
+        assert not arr2.fully_cached
+
+    def test_allocations_registered(self, memories):
+        _, bram, dram = memories
+        CachedArray(np.arange(20), bram, dram, 8, "name")
+        assert bram.allocations() == {"name(bram)": 8}
+        assert dram.allocations() == {"name(dram)": 20}
+
+    def test_negative_budget(self, memories):
+        _, bram, dram = memories
+        with pytest.raises(ConfigError):
+            CachedArray(np.arange(4), bram, dram, -1, "x")
+
+
+class TestReadRange:
+    def test_fully_cached_range(self, memories):
+        clock, bram, dram = memories
+        arr = CachedArray(np.arange(50), bram, dram, 50, "a")
+        got = arr.read_range(10, 20)
+        assert list(got) == list(range(10, 20))
+        assert clock.cycles == 10
+        assert arr.hits == 10
+
+    def test_straddling_range(self, memories):
+        clock, bram, dram = memories
+        arr = CachedArray(np.arange(50), bram, dram, 15, "a")
+        got = arr.read_range(10, 30)
+        assert list(got) == list(range(10, 30))
+        assert arr.hits == 5
+        assert arr.misses == 15
+        # 5 BRAM cycles + one burst (latency + 15 - 1)
+        assert clock.cycles == 5 + dram.read_latency + 14
+
+    def test_fully_uncached_range_is_burst(self, memories):
+        clock, bram, dram = memories
+        arr = CachedArray(np.arange(50), bram, dram, 0, "a")
+        arr.read_range(20, 40)
+        assert clock.cycles == dram.read_latency + 19
+        assert dram.port.reads == 1
+
+    def test_empty_range_free(self, memories):
+        clock, bram, dram = memories
+        arr = CachedArray(np.arange(50), bram, dram, 10, "a")
+        assert arr.read_range(5, 5).size == 0
+        assert clock.cycles == 0
+
+    def test_len(self, memories):
+        _, bram, dram = memories
+        assert len(CachedArray(np.arange(7), bram, dram, 3, "a")) == 7
+
+
+class TestReadVector:
+    def test_matches_scalar_reads(self, memories):
+        """read_vector must charge exactly what a loop of read() would."""
+        clock, bram, dram = memories
+        arr = CachedArray(np.arange(40), bram, dram, 20, "a")
+        indices = np.array([0, 5, 19, 20, 35])
+        got = arr.read_vector(indices)
+        vector_cycles = clock.cycles
+        assert list(got) == [0, 5, 19, 20, 35]
+        assert arr.hits == 3 and arr.misses == 2
+
+        clock2 = type(clock)()
+        from repro.fpga.memory import Bram, Dram
+
+        bram2 = Bram(clock2, 4096, port_words=1)
+        dram2 = Dram(clock2, 1 << 20)
+        arr2 = CachedArray(np.arange(40), bram2, dram2, 20, "b")
+        for i in indices:
+            arr2.read(int(i))
+        assert clock2.cycles == vector_cycles
+
+    def test_empty(self, memories):
+        clock, bram, dram = memories
+        arr = CachedArray(np.arange(5), bram, dram, 5, "a")
+        assert arr.read_vector(np.array([], dtype=np.int64)).size == 0
+        assert clock.cycles == 0

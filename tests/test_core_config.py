@@ -1,0 +1,70 @@
+"""Unit tests for PEFPConfig validation and the variant factory."""
+
+import pytest
+
+from repro.core.config import PEFPConfig
+from repro.core.variants import VARIANTS, make_engine, variant_uses_prebfs
+from repro.errors import ConfigError
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = PEFPConfig()
+        assert cfg.use_batch_dfs and cfg.use_cache and cfg.use_data_separation
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"theta1": 0},
+            {"theta2": 0},
+            {"buffer_capacity_paths": 0},
+            {"graph_cache_words": -1},
+            {"barrier_cache_words": -1},
+            {"batch_overhead_cycles": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            PEFPConfig(**kwargs)
+
+    def test_theta1_cannot_exceed_buffer(self):
+        with pytest.raises(ConfigError):
+            PEFPConfig(theta1=100, buffer_capacity_paths=50)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PEFPConfig().theta1 = 5
+
+
+class TestVariants:
+    def test_all_variants_buildable(self):
+        for variant in VARIANTS:
+            engine = make_engine(variant)
+            assert engine.name == variant
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigError):
+            make_engine("pefp-no-such-thing")
+
+    def test_toggle_mapping(self):
+        assert make_engine("pefp-no-batch-dfs").config.use_batch_dfs is False
+        assert make_engine("pefp-no-cache").config.use_cache is False
+        assert (
+            make_engine("pefp-no-datasep").config.use_data_separation is False
+        )
+        base = make_engine("pefp").config
+        assert base.use_batch_dfs and base.use_cache
+
+    def test_no_prebfs_is_host_side(self):
+        engine = make_engine("pefp-no-pre-bfs")
+        assert engine.config == PEFPConfig()
+        assert variant_uses_prebfs("pefp-no-pre-bfs") is False
+        assert variant_uses_prebfs("pefp") is True
+
+    def test_variant_uses_prebfs_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            variant_uses_prebfs("nope")
+
+    def test_custom_config_threaded_through(self):
+        cfg = PEFPConfig(theta2=32)
+        assert make_engine("pefp-no-cache", config=cfg).config.theta2 == 32

@@ -1,0 +1,239 @@
+"""Tests for the PEFP engine: functional correctness, cycle accounting and
+area mechanics."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_valid_paths, brute_force_paths
+from repro.core.config import PEFPConfig
+from repro.core.engine import PEFPEngine
+from repro.errors import QueryError
+from repro.fpga.device import DeviceConfig
+from repro.graph import generators as G
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query
+from repro.preprocess.bfs import distances_with_default, k_hop_bfs
+from repro.preprocess.prebfs import pre_bfs
+
+
+def run_engine(graph, s, t, k, engine=None):
+    sd_t = k_hop_bfs(graph.reverse(), t, k)
+    barrier = distances_with_default(sd_t, k + 1)
+    engine = engine or PEFPEngine()
+    return engine.run(graph, s, t, k, barrier)
+
+
+class TestFunctional:
+    def test_diamond(self, diamond_graph):
+        run = run_engine(diamond_graph, 0, 3, 3)
+        assert set(run.paths) == {(0, 1, 3), (0, 2, 3), (0, 4, 5, 3)}
+
+    def test_line_exact_k(self, line_graph):
+        run = run_engine(line_graph, 0, 4, 4)
+        assert run.paths == [(0, 1, 2, 3, 4)]
+
+    def test_no_paths(self, line_graph):
+        run = run_engine(line_graph, 0, 4, 3)
+        assert run.paths == []
+        assert run.cycles >= 0
+
+    def test_source_without_successors(self):
+        g = CSRGraph.from_edges(3, [(1, 0), (1, 2)])
+        run = run_engine(g, 0, 2, 3)
+        assert run.paths == []
+        assert run.stats.batches == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_matches_oracle(self, seed):
+        g = G.chung_lu(40, 220, seed=seed)
+        expected = brute_force_paths(g, 0, 7, 5)
+        run = run_engine(g, 0, 7, 5)
+        assert frozenset(run.paths) == expected
+        assert_valid_paths(run.paths, 0, 7, 5)
+
+    def test_no_duplicates(self, complete5):
+        run = run_engine(complete5, 0, 1, 4)
+        assert len(run.paths) == len(set(run.paths)) == 16
+
+
+class TestValidation:
+    def test_bad_source(self, line_graph):
+        with pytest.raises(QueryError):
+            PEFPEngine().run(line_graph, 77, 1, 3, np.zeros(5, np.int64))
+
+    def test_bad_target(self, line_graph):
+        with pytest.raises(QueryError):
+            PEFPEngine().run(line_graph, 0, 77, 3, np.zeros(5, np.int64))
+
+    def test_equal_endpoints(self, line_graph):
+        with pytest.raises(QueryError):
+            PEFPEngine().run(line_graph, 1, 1, 3, np.zeros(5, np.int64))
+
+    def test_zero_hops(self, line_graph):
+        with pytest.raises(QueryError):
+            PEFPEngine().run(line_graph, 0, 1, 0, np.zeros(5, np.int64))
+
+    def test_barrier_size_mismatch(self, line_graph):
+        with pytest.raises(QueryError):
+            PEFPEngine().run(line_graph, 0, 1, 3, np.zeros(3, np.int64))
+
+
+class TestAreas:
+    def test_flush_and_refill_on_tiny_buffer(self, complete5):
+        cfg = PEFPConfig(theta1=2, theta2=2, buffer_capacity_paths=2,
+                         graph_cache_words=64, barrier_cache_words=16)
+        engine = PEFPEngine(cfg)
+        run = run_engine(complete5, 0, 1, 4, engine)
+        assert len(run.paths) == 16
+        assert run.stats.flushes > 0
+        assert run.stats.refills > 0
+        assert run.stats.flushed_paths == run.stats.refilled_paths
+
+    def test_super_node_wider_than_theta2(self):
+        """A vertex with degree > Θ2 must be expanded across batches."""
+        hub_out = 20
+        edges = [(0, v) for v in range(1, hub_out + 1)]
+        edges += [(v, hub_out + 1) for v in range(1, hub_out + 1)]
+        g = CSRGraph.from_edges(hub_out + 2, edges)
+        cfg = PEFPConfig(theta1=4, theta2=4, buffer_capacity_paths=8,
+                         graph_cache_words=256, barrier_cache_words=64)
+        run = run_engine(g, 0, hub_out + 1, 2, PEFPEngine(cfg))
+        assert len(run.paths) == hub_out
+        assert run.stats.batches >= hub_out // 4
+
+    def test_peak_tracking(self, complete5):
+        run = run_engine(complete5, 0, 1, 4)
+        assert run.stats.peak_buffer_paths > 0
+
+
+class TestCycleAccounting:
+    def test_cycles_positive_and_monotone_in_k(self, power_law_graph):
+        runs = [run_engine(power_law_graph, 0, 9, k).cycles for k in (2, 3, 4)]
+        assert all(c >= 0 for c in runs)
+        assert runs[0] <= runs[1] <= runs[2]
+
+    def test_seconds_consistent_with_frequency(self, diamond_graph):
+        run = run_engine(diamond_graph, 0, 3, 3)
+        assert run.seconds == pytest.approx(run.cycles / 300e6)
+
+    def test_custom_device_frequency(self, diamond_graph):
+        engine = PEFPEngine(device_config=DeviceConfig(frequency_hz=100e6))
+        run = run_engine(diamond_graph, 0, 3, 3, engine)
+        assert run.seconds == pytest.approx(run.cycles / 100e6)
+
+    def test_fresh_device_per_run(self, diamond_graph):
+        engine = PEFPEngine()
+        a = run_engine(diamond_graph, 0, 3, 3, engine)
+        b = run_engine(diamond_graph, 0, 3, 3, engine)
+        assert a.cycles == b.cycles  # deterministic, independent runs
+
+    def test_stats_expansions_match_rejections(self, power_law_graph):
+        run = run_engine(power_law_graph, 0, 9, 4)
+        st = run.stats
+        accounted = (
+            st.intermediate_paths + st.results + st.rejected_barrier
+            + st.rejected_visited
+        )
+        assert accounted == st.expansions
+
+
+class TestStageBreakdown:
+    KNOWN = {"load", "edge_fetch", "barrier_fetch", "verify", "writeback",
+             "overhead", "flush", "refill"}
+
+    def test_stage_names_known(self, power_law_graph):
+        run = run_engine(power_law_graph, 0, 9, 4)
+        assert set(run.stats.stage_cycles) <= self.KNOWN
+
+    def test_overlap_bounds(self, power_law_graph):
+        """The clock sits between the slowest stage (perfect overlap) and
+        the sum of all stages (no overlap)."""
+        run = run_engine(power_law_graph, 0, 9, 4)
+        sc = run.stats.stage_cycles
+        assert max(sc.values()) <= run.cycles <= sum(sc.values())
+
+    def test_verify_dominates_cached_runs(self, power_law_graph):
+        """With everything cached, the II=1 verification pipeline is the
+        bottleneck — the paper's 'fully pipelined' steady state."""
+        run = run_engine(power_law_graph, 0, 9, 4)
+        sc = run.stats.stage_cycles
+        assert sc["verify"] >= sc["load"]
+        assert sc["verify"] >= sc["writeback"]
+
+    def test_flush_recorded_when_forced(self, complete5):
+        cfg = PEFPConfig(theta1=2, theta2=2, buffer_capacity_paths=2,
+                         graph_cache_words=64, barrier_cache_words=16)
+        run = run_engine(complete5, 0, 1, 4, PEFPEngine(cfg))
+        assert run.stats.stage_cycles.get("flush", 0) > 0
+        assert run.stats.stage_cycles.get("refill", 0) > 0
+
+
+class TestResultStreaming:
+    def test_callback_receives_every_path(self, diamond_graph):
+        streamed = []
+        sd_t = k_hop_bfs(diamond_graph.reverse(), 3, 3)
+        barrier = distances_with_default(sd_t, 4)
+        run = PEFPEngine().run(diamond_graph, 0, 3, 3, barrier,
+                               on_result=streamed.append)
+        assert sorted(streamed) == sorted(run.paths)
+
+    def test_collect_false_saves_memory(self, complete5):
+        streamed = []
+        sd_t = k_hop_bfs(complete5.reverse(), 1, 4)
+        barrier = distances_with_default(sd_t, 5)
+        run = PEFPEngine().run(complete5, 0, 1, 4, barrier,
+                               on_result=streamed.append,
+                               collect_paths=False)
+        assert run.paths == []
+        assert len(streamed) == 16
+        assert run.stats.results == 16
+
+    def test_streaming_does_not_change_cycles(self, complete5):
+        sd_t = k_hop_bfs(complete5.reverse(), 1, 4)
+        barrier = distances_with_default(sd_t, 5)
+        plain = PEFPEngine().run(complete5, 0, 1, 4, barrier)
+        streamed = PEFPEngine().run(complete5, 0, 1, 4, barrier,
+                                    on_result=lambda p: None)
+        assert plain.cycles == streamed.cycles
+
+
+class TestDramChannels:
+    def test_more_channels_help_uncached_runs(self, power_law_graph):
+        """A DRAM-bound (no-cache) kernel speeds up with extra channels;
+        a fully cached one is unaffected."""
+        cfg = PEFPConfig(use_cache=False)
+        one = PEFPEngine(cfg, DeviceConfig(dram_channels=1))
+        four = PEFPEngine(cfg, DeviceConfig(dram_channels=4))
+        r1 = run_engine(power_law_graph, 0, 9, 4, one)
+        r4 = run_engine(power_law_graph, 0, 9, 4, four)
+        assert r4.paths == r1.paths
+        assert r4.cycles < r1.cycles
+
+        cached1 = run_engine(power_law_graph, 0, 9, 4,
+                             PEFPEngine(device_config=DeviceConfig()))
+        cached4 = run_engine(
+            power_law_graph, 0, 9, 4,
+            PEFPEngine(device_config=DeviceConfig(dram_channels=4)),
+        )
+        assert cached4.cycles == cached1.cycles
+
+    def test_invalid_channel_count(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            DeviceConfig(dram_channels=0)
+
+
+class TestTableIIIStats:
+    def test_new_paths_by_parent_length(self, complete5):
+        run = run_engine(complete5, 0, 1, 4)
+        by_len = run.stats.new_paths_by_parent_length
+        # expanding (0,) produces 3 intermediates (1 is the target)
+        assert by_len.get(0) == 3
+        # every parent length strictly below k-1 appears
+        assert set(by_len) <= {0, 1, 2, 3}
+
+    def test_zero_new_paths_at_k_minus_one(self, complete5):
+        """Observation 1: paths of length k-1 generate no intermediates."""
+        run = run_engine(complete5, 0, 1, 4)
+        assert run.stats.new_paths_by_parent_length.get(3, 0) == 0

@@ -1,0 +1,115 @@
+"""Unit tests for path records and the buffer/DRAM areas."""
+
+import pytest
+
+from repro.core.paths import (
+    BufferArea,
+    DramArea,
+    PathRecord,
+    ProcessingEntry,
+    record_words,
+)
+from repro.errors import CapacityError
+
+
+def rec(vertices, next_ptr=0, last_ptr=3):
+    return PathRecord(tuple(vertices), next_ptr, last_ptr)
+
+
+class TestPathRecord:
+    def test_length(self):
+        assert rec([0]).length == 0
+        assert rec([0, 1, 2]).length == 2
+
+    def test_exhausted(self):
+        assert rec([0], 3, 3).exhausted
+        assert not rec([0], 1, 3).exhausted
+
+    def test_record_words(self):
+        assert record_words(5) == 7  # length field + k+1 vertices
+
+
+class TestProcessingEntry:
+    def test_num_expansions(self):
+        e = ProcessingEntry((0, 1), 4, 9)
+        assert e.num_expansions == 5
+
+
+class TestBufferArea:
+    def test_stack_order(self):
+        buf = BufferArea(4)
+        for i in range(3):
+            buf.push(rec([i]))
+        assert buf.top_index() == 2
+        assert buf.record_at(2).vertices == (2,)
+
+    def test_full_and_overflow(self):
+        buf = BufferArea(2)
+        buf.push(rec([0]))
+        buf.push(rec([1]))
+        assert buf.is_full
+        with pytest.raises(CapacityError):
+            buf.push(rec([2]))
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(CapacityError):
+            BufferArea(0)
+
+    def test_pop_suffix(self):
+        buf = BufferArea(5)
+        for i in range(4):
+            buf.push(rec([i]))
+        buf.pop_suffix(2)
+        assert len(buf) == 2
+        assert buf.record_at(1).vertices == (1,)
+
+    def test_drain(self):
+        buf = BufferArea(3)
+        buf.push(rec([0]))
+        buf.push(rec([1]))
+        drained = buf.drain()
+        assert [r.vertices for r in drained] == [(0,), (1,)]
+        assert buf.is_empty
+
+    def test_pop_front(self):
+        buf = BufferArea(3)
+        buf.push(rec([0]))
+        buf.push(rec([1]))
+        assert buf.pop_front().vertices == (0,)
+        assert len(buf) == 1
+
+    def test_peak_occupancy(self):
+        buf = BufferArea(5)
+        for i in range(3):
+            buf.push(rec([i]))
+        buf.drain()
+        buf.push(rec([9]))
+        assert buf.peak_occupancy == 3
+
+
+class TestDramArea:
+    def test_lifo_blocks(self):
+        area = DramArea()
+        area.append_block([rec([0]), rec([1])])
+        area.append_block([rec([2])])
+        got = area.fetch_tail(2)
+        assert [r.vertices for r in got] == [(1,), (2,)]
+        assert len(area) == 1
+
+    def test_fetch_more_than_available(self):
+        area = DramArea()
+        area.append_block([rec([0])])
+        got = area.fetch_tail(10)
+        assert len(got) == 1
+        assert area.is_empty
+
+    def test_fetch_zero(self):
+        area = DramArea()
+        area.append_block([rec([0])])
+        assert area.fetch_tail(0) == []
+
+    def test_peak(self):
+        area = DramArea()
+        area.append_block([rec([0]), rec([1]), rec([2])])
+        area.fetch_tail(3)
+        assert area.peak_occupancy == 3

@@ -1,0 +1,89 @@
+"""Tests for the validation utilities."""
+
+import pytest
+
+from repro.baselines import BCDFS, NaiveDFS
+from repro.core.validation import cross_check, validate_paths
+from repro.graph import generators as G
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query
+
+
+class TestValidatePaths:
+    def graph(self):
+        return CSRGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (0, 4),
+                                       (4, 3)])
+
+    def test_valid_set(self):
+        report = validate_paths(
+            self.graph(), Query(0, 3, 3),
+            [(0, 1, 2, 3), (0, 4, 3)],
+        )
+        assert report.ok
+        assert report.checked == 2
+        report.raise_if_invalid()
+
+    def test_wrong_endpoints(self):
+        report = validate_paths(self.graph(), Query(0, 3, 3), [(1, 2, 3)])
+        assert not report.ok
+        assert "start" in report.errors[0]
+
+    def test_too_long(self):
+        report = validate_paths(self.graph(), Query(0, 3, 2),
+                                [(0, 1, 2, 3)])
+        assert any("exceeds" in e for e in report.errors)
+
+    def test_not_simple(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 0), (0, 2)])
+        report = validate_paths(g, Query(0, 2, 5), [(0, 1, 0, 2)])
+        assert any("repeats" in e for e in report.errors)
+
+    def test_phantom_edge(self):
+        report = validate_paths(self.graph(), Query(0, 3, 3), [(0, 2, 3)])
+        assert any("missing edge" in e for e in report.errors)
+
+    def test_duplicates(self):
+        report = validate_paths(
+            self.graph(), Query(0, 3, 3), [(0, 4, 3), (0, 4, 3)]
+        )
+        assert any("duplicate" in e for e in report.errors)
+        relaxed = validate_paths(
+            self.graph(), Query(0, 3, 3), [(0, 4, 3), (0, 4, 3)],
+            expect_unique=False,
+        )
+        assert relaxed.ok
+
+    def test_degenerate_path(self):
+        report = validate_paths(self.graph(), Query(0, 3, 3), [(0,)])
+        assert any("fewer than two" in e for e in report.errors)
+
+    def test_raise_if_invalid(self):
+        report = validate_paths(self.graph(), Query(0, 3, 3), [(0, 2, 3)])
+        with pytest.raises(AssertionError):
+            report.raise_if_invalid()
+
+
+class TestCrossCheck:
+    def test_agreeing_enumerators(self):
+        g = G.chung_lu(30, 160, seed=3)
+        report = cross_check(g, Query(0, 5, 4), NaiveDFS(), BCDFS())
+        assert report.ok
+        assert "==" in report.summary()
+
+    def test_disagreement_surfaces(self):
+        """A deliberately broken enumerator must be caught."""
+
+        class Broken(NaiveDFS):
+            name = "broken"
+
+            def enumerate_paths(self, graph, query):
+                result = super().enumerate_paths(graph, query)
+                if result.paths:
+                    result.paths.pop()  # drop one answer
+                return result
+
+        g = G.complete_digraph(5)
+        report = cross_check(g, Query(0, 1, 3), Broken(), NaiveDFS())
+        assert not report.ok
+        assert len(report.only_right) == 1
+        assert "only in" in report.summary()

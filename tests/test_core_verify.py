@@ -1,0 +1,95 @@
+"""Unit tests for the verification module (Algorithm 2)."""
+
+import pytest
+
+from repro.core.verify import VerificationModule, VerifyItem
+from repro.fpga.clock import Clock
+from repro.fpga.pipeline import PipelineModel
+
+
+def item(path, successor, barrier):
+    return VerifyItem(tuple(path), successor, barrier)
+
+
+@pytest.fixture
+def module():
+    return VerificationModule()
+
+
+class TestChecks:
+    def test_target_check_emits_result(self, module):
+        out = module.verify_batch([item([0, 1], 9, 0)], target=9, max_hops=5)
+        assert out.results == [(0, 1, 9)]
+        assert out.valid == []
+        assert out.rejected_target == 1
+
+    def test_target_check_respects_budget(self, module):
+        """Reaching t one hop over budget must not emit (matters for the
+        zero-barrier no-Pre-BFS variant)."""
+        out = module.verify_batch([item([0, 1, 2], 9, 0)], target=9,
+                                  max_hops=2)
+        assert out.results == []
+
+    def test_barrier_check_rejects(self, module):
+        # len(p)=1, +1 + bar(3) = 5 > k=4
+        out = module.verify_batch([item([0, 1], 2, 3)], target=9, max_hops=4)
+        assert out.valid == []
+        assert out.rejected_barrier == 1
+
+    def test_barrier_check_boundary_accepts(self, module):
+        # len(p)+1+bar == k exactly: valid
+        out = module.verify_batch([item([0, 1], 2, 2)], target=9, max_hops=4)
+        assert out.valid == [(0, 1, 2)]
+
+    def test_visited_check_rejects(self, module):
+        out = module.verify_batch([item([0, 1, 2], 1, 0)], target=9,
+                                  max_hops=9)
+        assert out.valid == []
+        assert out.rejected_visited == 1
+
+    def test_check_order_target_first(self, module):
+        """A successor equal to t is a result even if it's already on the
+        path barrier-wise irrelevant — Algorithm 2 checks target first."""
+        out = module.verify_batch([item([0, 1], 9, 99)], target=9, max_hops=5)
+        assert out.results == [(0, 1, 9)]
+        assert out.rejected_barrier == 0
+
+    def test_batch_mixes_outcomes(self, module):
+        items = [
+            item([0], 9, 0),    # result
+            item([0], 1, 1),    # valid
+            item([0], 2, 99),   # barrier reject
+            item([0, 3], 3, 0), # visited reject
+        ]
+        out = module.verify_batch(items, target=9, max_hops=3)
+        assert len(out.results) == 1
+        assert out.valid == [(0, 1)]
+        assert out.rejected_barrier == 1
+        assert out.rejected_visited == 1
+
+
+class TestTiming:
+    def test_dataflow_cheaper_than_basic(self):
+        items = [item([0], i, 1) for i in range(1, 50)]
+        basic = VerificationModule(data_separation=False)
+        sep = VerificationModule(data_separation=True)
+        out_b = basic.verify_batch(items, target=99, max_hops=9)
+        out_s = sep.verify_batch(items, target=99, max_hops=9)
+        assert out_s.cycles < out_b.cycles
+        assert out_s.valid == out_b.valid  # never functional
+
+    def test_clock_charged(self):
+        clock = Clock()
+        m = VerificationModule()
+        m.verify_batch([item([0], 1, 0)], target=9, max_hops=3, clock=clock)
+        assert clock.cycles > 0
+
+    def test_empty_batch_free(self, module):
+        out = module.verify_batch([], target=1, max_hops=2)
+        assert out.cycles == 0
+
+    def test_custom_pipeline(self):
+        m = VerificationModule(PipelineModel(stage_latencies=(2, 3, 4)),
+                               data_separation=True)
+        out = m.verify_batch([item([0], 1, 0)], target=9, max_hops=3)
+        assert out.cycles == 5  # max(2,3,4) + merge 1

@@ -1,0 +1,79 @@
+"""Unit tests for the operation counter and CPU cost model."""
+
+import pytest
+
+from repro.host.cost_model import CpuCostModel, DEFAULT_OP_CYCLES, OpCounter
+
+
+class TestOpCounter:
+    def test_add_and_count(self):
+        c = OpCounter()
+        c.add("edge_visit")
+        c.add("edge_visit", 4)
+        assert c.count("edge_visit") == 5
+        assert c.count("missing") == 0
+
+    def test_zero_add_is_noop(self):
+        c = OpCounter()
+        c.add("edge_visit", 0)
+        assert c.as_dict() == {}
+
+    def test_total(self):
+        c = OpCounter()
+        c.add("a", 2)
+        c.add("b", 3)
+        assert c.total() == 5
+
+    def test_merge(self):
+        a, b = OpCounter(), OpCounter()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 1)
+        a.merge(b)
+        assert a.count("x") == 3
+        assert a.count("y") == 1
+
+    def test_clear(self):
+        c = OpCounter()
+        c.add("x")
+        c.clear()
+        assert c.total() == 0
+
+    def test_repr_sorted(self):
+        c = OpCounter()
+        c.add("b")
+        c.add("a")
+        assert repr(c) == "OpCounter(a=1, b=1)"
+
+
+class TestCpuCostModel:
+    def test_seconds_from_cycles(self):
+        model = CpuCostModel(frequency_hz=1e9, op_cycles={"op": 10.0})
+        c = OpCounter()
+        c.add("op", 100)
+        assert model.cycles(c) == 1000.0
+        assert model.seconds(c) == pytest.approx(1e-6)
+
+    def test_unknown_ops_cost_nothing(self):
+        model = CpuCostModel(op_cycles={})
+        c = OpCounter()
+        c.add("mystery", 1000)
+        assert model.cycles(c) == 0.0
+
+    def test_default_table_covers_instrumented_ops(self):
+        """Every op class emitted by the library must be priced."""
+        for op in (
+            "edge_visit", "vertex_visit", "bfs_relax", "barrier_check",
+            "barrier_update", "visited_check", "path_emit_vertex",
+            "set_insert", "set_lookup", "join_build", "join_probe",
+            "join_merge_vertex", "index_insert", "index_lookup",
+            "csr_build_edge",
+        ):
+            assert op in DEFAULT_OP_CYCLES, op
+            assert DEFAULT_OP_CYCLES[op] > 0
+
+    def test_default_frequency_is_paper_cpu(self):
+        assert CpuCostModel().frequency_hz == pytest.approx(2.1e9)
+
+    def test_empty_counter_is_free(self):
+        assert CpuCostModel().seconds(OpCounter()) == 0.0

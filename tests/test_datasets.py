@@ -1,0 +1,69 @@
+"""Tests for the dataset registry (Table II stand-ins)."""
+
+import pytest
+
+from repro.datasets import DATASETS, dataset_keys, load_dataset
+from repro.errors import DatasetError
+from repro.graph import stats
+
+
+class TestRegistry:
+    def test_twelve_datasets(self):
+        assert len(DATASETS) == 12
+
+    def test_paper_order_preserved(self):
+        assert dataset_keys() == (
+            "rt", "se", "sd", "am", "ts", "bd", "bs", "wg", "sk", "wt",
+            "lj", "dp",
+        )
+
+    def test_unknown_key(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_caching(self):
+        assert load_dataset("rt") is load_dataset("rt")
+
+    def test_specs_have_k_ranges(self):
+        for spec in DATASETS.values():
+            assert len(spec.k_range) >= 2
+            assert all(k >= 2 for k in spec.k_range)
+
+
+class TestStandInFidelity:
+    @pytest.mark.parametrize("key", ["rt", "se", "sd", "bd", "wg", "wt"])
+    def test_average_degree_close_to_paper(self, key):
+        spec = DATASETS[key]
+        g = load_dataset(key)
+        d_avg = stats.average_degree(g)
+        assert d_avg == pytest.approx(spec.paper_avg_degree, rel=0.25), key
+
+    def test_vertex_ordering_matches_paper(self):
+        """Stand-ins must preserve the relative |V| ordering of Table II."""
+        sizes = [load_dataset(k).num_vertices for k in dataset_keys()]
+        paper = [DATASETS[k].paper_vertices for k in dataset_keys()]
+        for i in range(len(sizes) - 1):
+            for j in range(i + 1, len(sizes)):
+                if paper[i] < paper[j]:
+                    assert sizes[i] < sizes[j], (
+                        dataset_keys()[i], dataset_keys()[j]
+                    )
+
+    def test_amazon_has_longest_effective_diameter(self):
+        """The paper's AM has by far the largest D90; its stand-in must be
+        the suite's long-diameter graph (the Fig. 8/10 narratives rely on
+        this)."""
+        am = stats.effective_diameter(load_dataset("am"), samples=10, seed=1)
+        ts = stats.effective_diameter(load_dataset("ts"), samples=10, seed=1)
+        rt = stats.effective_diameter(load_dataset("rt"), samples=10, seed=1)
+        assert am > ts
+        assert am > rt
+
+    def test_ts_is_sparse_low_diameter(self):
+        g = load_dataset("ts")
+        assert stats.average_degree(g) < 8
+        assert stats.effective_diameter(g, samples=10, seed=1) < 8
+
+    def test_deterministic_builds(self):
+        spec = DATASETS["se"]
+        assert spec.build() == spec.build()

@@ -1,0 +1,105 @@
+"""Cross-algorithm equivalence: every enumerator in the package must
+return exactly the same path set on the same query.
+
+This is the load-bearing test of the reproduction — the paper's
+correctness argument (Section VI-A) is that PEFP's expansion-and-
+verification never prunes a valid path and never emits an invalid one,
+i.e. it agrees with the DFS-based state of the art.
+"""
+
+import pytest
+
+from conftest import brute_force_paths, random_query
+from repro.baselines import (
+    BCDFS,
+    HPIndex,
+    Join,
+    NaiveBFS,
+    NaiveDFS,
+    TDFS,
+    TDFS2,
+    Yens,
+)
+from repro.graph import generators as G
+from repro.host.query import Query
+from repro.host.system import PEFPEnumerator
+
+ALL_ENUMERATORS = [
+    NaiveDFS(),
+    NaiveBFS(),
+    TDFS(),
+    TDFS2(),
+    BCDFS(),
+    Join(),
+    Yens(),
+    HPIndex(hot_fraction=0.1),
+    PEFPEnumerator("pefp"),
+    PEFPEnumerator("pefp-no-pre-bfs"),
+    PEFPEnumerator("pefp-no-batch-dfs"),
+    PEFPEnumerator("pefp-no-cache"),
+    PEFPEnumerator("pefp-no-datasep"),
+]
+
+IDS = [e.name for e in ALL_ENUMERATORS]
+
+
+@pytest.mark.parametrize("enumerator", ALL_ENUMERATORS, ids=IDS)
+class TestAgainstOracle:
+    def test_gnm(self, enumerator):
+        g = G.gnm_random(35, 160, seed=21)
+        query = random_query(g, 4, seed=1)
+        assert query is not None
+        expected = brute_force_paths(g, query.source, query.target, 4)
+        assert enumerator.enumerate_paths(g, query).path_set() == expected
+
+    def test_power_law(self, enumerator):
+        g = G.chung_lu(45, 260, seed=22)
+        query = random_query(g, 5, seed=2)
+        assert query is not None
+        expected = brute_force_paths(g, query.source, query.target, 5)
+        assert enumerator.enumerate_paths(g, query).path_set() == expected
+
+    def test_community(self, enumerator):
+        g = G.community_graph(3, 12, p_in=0.35, inter_edges=10, seed=23)
+        query = random_query(g, 5, seed=3)
+        assert query is not None
+        expected = brute_force_paths(g, query.source, query.target, 5)
+        assert enumerator.enumerate_paths(g, query).path_set() == expected
+
+    def test_grid(self, enumerator):
+        g = G.grid_graph(5, 5, seed=24, extra_edges=5)
+        query = Query(0, 24, 9)
+        expected = brute_force_paths(g, 0, 24, 9)
+        assert enumerator.enumerate_paths(g, query).path_set() == expected
+
+    def test_hub_spoke(self, enumerator):
+        g = G.hub_spoke(3, 5, hub_clique_p=1.0, seed=25)
+        query = random_query(g, 4, seed=4)
+        assert query is not None
+        expected = brute_force_paths(g, query.source, query.target, 4)
+        assert enumerator.enumerate_paths(g, query).path_set() == expected
+
+    def test_empty_result(self, enumerator):
+        g = G.CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert enumerator.enumerate_paths(g, Query(0, 3, 5)).num_paths == 0
+
+    def test_k_one(self, enumerator):
+        g = G.complete_digraph(4)
+        result = enumerator.enumerate_paths(g, Query(0, 2, 1))
+        assert result.path_set() == frozenset({(0, 2)})
+
+
+class TestPairwiseOnManySeeds:
+    """Wider randomized sweep comparing the fast algorithms pairwise."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_join_vs_bcdfs_vs_pefp(self, seed):
+        g = G.chung_lu(60, 340, seed=100 + seed)
+        query = random_query(g, 5, seed=seed)
+        if query is None:
+            pytest.skip("no query with results for this seed")
+        reference = BCDFS().enumerate_paths(g, query).path_set()
+        assert Join().enumerate_paths(g, query).path_set() == reference
+        assert (
+            PEFPEnumerator().enumerate_paths(g, query).path_set() == reference
+        )

@@ -1,0 +1,73 @@
+"""Tests for the exception hierarchy and the Query type."""
+
+import pytest
+
+from repro import errors
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query, QueryResult
+from repro.host.cost_model import OpCounter
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.GraphError,
+            errors.QueryError,
+            errors.ConfigError,
+            errors.CapacityError,
+            errors.DatasetError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_vertex_not_found_carries_context(self):
+        err = errors.VertexNotFoundError(7, 3)
+        assert err.vertex == 7
+        assert err.num_vertices == 3
+        assert "7" in str(err)
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CapacityError("full")
+
+
+class TestQuery:
+    def graph(self):
+        return CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+
+    def test_valid(self):
+        Query(0, 3, 3).validate(self.graph())
+
+    @pytest.mark.parametrize(
+        "s,t,k",
+        [(-1, 3, 3), (0, 9, 3), (2, 2, 3), (0, 3, 0), (0, 3, -2)],
+    )
+    def test_invalid(self, s, t, k):
+        with pytest.raises(errors.QueryError):
+            Query(s, t, k).validate(self.graph())
+
+    def test_frozen(self):
+        q = Query(0, 1, 2)
+        with pytest.raises(Exception):
+            q.source = 5
+
+
+class TestQueryResult:
+    def test_path_set_and_count(self):
+        r = QueryResult(query=Query(0, 2, 3))
+        r.paths = [(0, 1, 2), (0, 2)]
+        assert r.num_paths == 2
+        assert r.path_set() == frozenset({(0, 1, 2), (0, 2)})
+
+    def test_default_counters(self):
+        r = QueryResult(query=Query(0, 2, 3))
+        assert isinstance(r.preprocess_ops, OpCounter)
+        assert r.fpga_cycles == 0
+
+    def test_counters_not_shared_between_instances(self):
+        a = QueryResult(query=Query(0, 2, 3))
+        b = QueryResult(query=Query(0, 2, 3))
+        a.preprocess_ops.add("x")
+        assert b.preprocess_ops.count("x") == 0

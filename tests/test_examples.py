@@ -1,0 +1,56 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+The heavier examples (device_tuning, social_influence) are exercised by
+the benchmark/evaluation flow instead; running them here would dominate
+the test suite's wall time.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "fraud_detection.py",
+    "labeled_social_network.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "example should print something"
+
+
+def test_all_examples_exist():
+    expected = {
+        "quickstart.py",
+        "fraud_detection.py",
+        "social_influence.py",
+        "biological_pathways.py",
+        "device_tuning.py",
+        "labeled_social_network.py",
+    }
+    assert {p.name for p in EXAMPLES.glob("*.py")} >= expected
+
+
+def test_quickstart_reports_timings():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "T1 preprocessing" in proc.stdout
+    assert "T2 query processing" in proc.stdout
+    assert "cycles" in proc.stdout

@@ -1,0 +1,78 @@
+"""Unit tests for experiment-harness internals (no heavy workloads)."""
+
+import math
+
+import pytest
+
+from repro.reporting.experiments import (
+    ABLATION_CONFIG,
+    ExperimentResult,
+    FIG11_K_OVERRIDES,
+    FIG13_K,
+    _ratio,
+)
+
+
+class TestRatio:
+    def test_normal(self):
+        assert _ratio(10.0, 2.0) == 5.0
+
+    def test_zero_denominator_with_work(self):
+        assert math.isinf(_ratio(3.0, 0.0))
+
+    def test_zero_over_zero_is_tie(self):
+        assert _ratio(0.0, 0.0) == 1.0
+
+
+class TestConstants:
+    def test_fig11_overrides_match_paper(self):
+        """Fig. 11: k=8 for Amazon and twitter-social, k=5 elsewhere."""
+        assert FIG11_K_OVERRIDES == {"am": 8, "ts": 8}
+
+    def test_fig13_k_within_dataset_ranges_or_custom(self):
+        for key, ks in FIG13_K.items():
+            assert all(k >= 3 for k in ks), key
+
+    def test_ablation_config_valid(self):
+        assert ABLATION_CONFIG.theta1 <= ABLATION_CONFIG.buffer_capacity_paths
+
+
+class TestRegistry:
+    def test_all_experiments_listed(self):
+        from repro.reporting.experiments import ALL_EXPERIMENTS
+
+        names = [fn.__name__.split("_")[0] for fn, _ in ALL_EXPERIMENTS]
+        assert names == ["tab2", "fig8", "fig9", "fig10", "fig11", "fig12",
+                         "tab3", "fig13", "fig14", "fig15"]
+
+    def test_lookup(self):
+        from repro.reporting.experiments import (
+            experiment_by_name,
+            fig14_caching,
+        )
+
+        fn, kwargs = experiment_by_name("fig14")
+        assert fn is fig14_caching
+        assert "queries_per_point" in kwargs
+
+    def test_unknown_lookup(self):
+        from repro.reporting.experiments import experiment_by_name
+
+        with pytest.raises(KeyError):
+            experiment_by_name("fig99")
+
+
+class TestExperimentResult:
+    def test_table_prefers_formatted_rows(self):
+        r = ExperimentResult(
+            "x", "Title", ("a", "b"),
+            rows=[(1.23456789, 2)],
+            formatted_rows=[("1.2", "2")],
+        )
+        out = r.table()
+        assert "1.2" in out
+        assert "1.23456789" not in out
+
+    def test_table_falls_back_to_raw_rows(self):
+        r = ExperimentResult("x", "Title", ("a",), rows=[("only-raw",)])
+        assert "only-raw" in r.table()

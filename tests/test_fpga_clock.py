@@ -1,0 +1,46 @@
+"""Unit tests for the device clock."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fpga.clock import Clock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().cycles == 0
+
+    def test_advance_accumulates(self):
+        c = Clock()
+        c.advance(5)
+        c.advance(3)
+        assert c.cycles == 8
+
+    def test_advance_zero_ok(self):
+        c = Clock()
+        c.advance(0)
+        assert c.cycles == 0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ConfigError):
+            Clock().advance(-1)
+
+    def test_reset(self):
+        c = Clock()
+        c.advance(10)
+        c.reset()
+        assert c.cycles == 0
+
+    def test_seconds(self):
+        c = Clock()
+        c.advance(300)
+        assert c.seconds(300e6) == pytest.approx(1e-6)
+
+    def test_seconds_requires_positive_frequency(self):
+        with pytest.raises(ConfigError):
+            Clock().seconds(0)
+
+    def test_repr(self):
+        c = Clock()
+        c.advance(7)
+        assert "7" in repr(c)

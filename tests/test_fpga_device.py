@@ -1,0 +1,77 @@
+"""Unit tests for the PCIe model and the assembled device."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fpga.device import Device, DeviceConfig, WORD_BYTES
+from repro.fpga.pcie import PcieModel
+
+
+class TestPcie:
+    def test_zero_bytes_free(self):
+        assert PcieModel().transfer_seconds(0) == 0.0
+
+    def test_setup_dominates_small_transfers(self):
+        pcie = PcieModel(bandwidth_bytes_per_s=1e9, setup_latency_s=1e-4)
+        t = pcie.transfer_seconds(100)
+        assert t == pytest.approx(1e-4 + 100 / 1e9)
+
+    def test_bandwidth_dominates_large_transfers(self):
+        pcie = PcieModel(bandwidth_bytes_per_s=1e9, setup_latency_s=1e-4)
+        t = pcie.transfer_seconds(10**9)
+        assert t == pytest.approx(1.0001)
+
+    def test_paper_transfer_magnitude(self):
+        """Section VII-A: ~1,000 queries' data ships in 100-300 ms, i.e.
+        ~0.1-0.3 ms per query."""
+        pcie = PcieModel()
+        per_query_bytes = 200_000  # a few hundred KB of subgraph + barrier
+        t = pcie.transfer_seconds(per_query_bytes)
+        assert 0.5e-4 < t < 3e-4
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            PcieModel(bandwidth_bytes_per_s=0)
+        with pytest.raises(ConfigError):
+            PcieModel(setup_latency_s=-1)
+
+    def test_negative_transfer(self):
+        with pytest.raises(ConfigError):
+            PcieModel().transfer_seconds(-1)
+
+
+class TestDeviceConfig:
+    def test_defaults_valid(self):
+        cfg = DeviceConfig()
+        assert cfg.frequency_hz == 300e6
+        assert cfg.dram_read_latency in (7, 8)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(frequency_hz=0)
+
+    def test_invalid_memory(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(bram_words=-1)
+
+
+class TestDevice:
+    def test_shared_clock(self):
+        d = Device()
+        d.bram.read(3)
+        d.dram.random_read(1)
+        assert d.cycles == d.clock.cycles > 0
+
+    def test_elapsed_seconds(self):
+        d = Device(DeviceConfig(frequency_hz=100e6))
+        d.clock.advance(100)
+        assert d.elapsed_seconds() == pytest.approx(1e-6)
+
+    def test_dma_seconds_uses_word_bytes(self):
+        d = Device()
+        words = 1000
+        expected = d.pcie.transfer_seconds(words * WORD_BYTES)
+        assert d.dma_to_device_seconds(words) == pytest.approx(expected)
+
+    def test_repr(self):
+        assert "300MHz" in repr(Device())

@@ -1,0 +1,68 @@
+"""Unit tests for the pipelined-loop cost algebra."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fpga.pipeline import (
+    PipelineModel,
+    dataflow_cycles,
+    pipelined_loop_cycles,
+)
+
+
+class TestPipelinedLoop:
+    def test_empty_loop_free(self):
+        assert pipelined_loop_cycles(0, 5) == 0
+
+    def test_single_item_is_latency(self):
+        assert pipelined_loop_cycles(1, 5) == 5
+
+    def test_ii_one_throughput(self):
+        assert pipelined_loop_cycles(100, 5, 1) == 5 + 99
+
+    def test_ii_three_throughput(self):
+        assert pipelined_loop_cycles(100, 5, 3) == 5 + 99 * 3
+
+    def test_invalid_latency(self):
+        with pytest.raises(ConfigError):
+            pipelined_loop_cycles(10, 0)
+
+    def test_negative_items(self):
+        with pytest.raises(ConfigError):
+            pipelined_loop_cycles(-1, 5)
+
+
+class TestDataflow:
+    def test_uses_max_stage(self):
+        assert dataflow_cycles(1, (1, 4, 2), merge_latency=1) == 5
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(ConfigError):
+            dataflow_cycles(3, ())
+
+
+class TestPipelineModel:
+    def test_basic_slower_than_dataflow(self):
+        m = PipelineModel()
+        for n in (1, 10, 1000):
+            assert m.dataflow_cycles(n) <= m.basic_cycles(n)
+
+    def test_large_batch_ratio_approaches_ii_ratio(self):
+        """For big batches the speedup tends to basic II / dataflow II."""
+        m = PipelineModel(stage_latencies=(1, 2, 2),
+                          basic_initiation_interval=3)
+        n = 100_000
+        ratio = m.basic_cycles(n) / m.dataflow_cycles(n)
+        assert ratio == pytest.approx(3.0, rel=0.01)
+
+    def test_zero_items(self):
+        m = PipelineModel()
+        assert m.basic_cycles(0) == 0
+        assert m.dataflow_cycles(0) == 0
+
+    def test_latencies(self):
+        m = PipelineModel(stage_latencies=(1, 2, 2),
+                          basic_initiation_interval=3,
+                          merge_latency=1)
+        assert m.basic_cycles(1) == 5       # sum of stages
+        assert m.dataflow_cycles(1) == 3    # max stage + merge

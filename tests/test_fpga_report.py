@@ -1,0 +1,87 @@
+"""Tests for the device utilization/traffic report."""
+
+import pytest
+
+from repro.fpga.device import Device, DeviceConfig
+from repro.fpga.report import device_report
+
+
+@pytest.fixture
+def exercised_device():
+    d = Device(DeviceConfig(bram_words=1000, dram_words=100_000))
+    d.bram.allocate(300, "buffer_area")
+    d.bram.allocate(200, "caches")
+    d.dram.allocate(5000, "graph")
+    d.bram.read(80)
+    d.bram.write(40)
+    d.dram.burst_read(100)
+    d.dram.random_write(3)
+    return d
+
+
+class TestDeviceReport:
+    def test_capacity_and_allocations(self, exercised_device):
+        rep = device_report(exercised_device)
+        assert rep.bram.allocated_words == 500
+        assert rep.bram.utilization == pytest.approx(0.5)
+        assert rep.bram_allocations == {"buffer_area": 300, "caches": 200}
+        assert rep.dram_allocations == {"graph": 5000}
+
+    def test_traffic(self, exercised_device):
+        rep = device_report(exercised_device)
+        assert rep.bram.read_words == 80
+        assert rep.bram.write_words == 40
+        assert rep.dram.read_words == 100
+        assert rep.dram.write_words == 3
+        assert rep.dram.stall_cycles > 0
+
+    def test_bandwidth_and_occupancy(self, exercised_device):
+        rep = device_report(exercised_device)
+        assert 0 < rep.dram_occupancy() <= 1.0
+        assert rep.dram_bandwidth_bytes_per_s() > 0
+
+    def test_idle_device(self):
+        rep = device_report(Device())
+        assert rep.cycles == 0
+        assert rep.dram_occupancy() == 0.0
+        assert rep.dram_bandwidth_bytes_per_s() == 0.0
+
+    def test_render(self, exercised_device):
+        text = device_report(exercised_device).render()
+        assert "buffer_area" in text
+        assert "dram occupancy" in text
+        assert "GB/s" in text
+
+
+class TestEngineIntegration:
+    def test_report_from_engine_run(self, diamond_graph):
+        from repro.core.engine import PEFPEngine
+        from repro.preprocess.bfs import distances_with_default, k_hop_bfs
+
+        sd_t = k_hop_bfs(diamond_graph.reverse(), 3, 3)
+        barrier = distances_with_default(sd_t, 4)
+        run = PEFPEngine().run(diamond_graph, 0, 3, 3, barrier)
+        rep = device_report(run.device)
+        assert rep.cycles == run.cycles
+        assert "processing_area" in rep.bram_allocations
+        assert "vertex_arr(bram)" in rep.bram_allocations
+        assert rep.dram_allocations["vertex_arr(dram)"] == 7  # |V| + 1
+
+    def test_no_cache_run_is_memory_bound(self, power_law_graph):
+        """The Fig. 14 mechanism, stated as an occupancy fact: without
+        caches the DRAM channel occupancy approaches 1."""
+        from repro.core.config import PEFPConfig
+        from repro.core.engine import PEFPEngine
+        from repro.preprocess.bfs import distances_with_default, k_hop_bfs
+
+        sd_t = k_hop_bfs(power_law_graph.reverse(), 9, 4)
+        barrier = distances_with_default(sd_t, 5)
+        cached = PEFPEngine().run(power_law_graph, 0, 9, 4, barrier)
+        uncached = PEFPEngine(PEFPConfig(use_cache=False)).run(
+            power_law_graph, 0, 9, 4, barrier
+        )
+        assert device_report(uncached.device).dram_occupancy() > 0.8
+        assert (
+            device_report(cached.device).dram_occupancy()
+            < device_report(uncached.device).dram_occupancy()
+        )

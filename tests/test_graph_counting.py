@@ -1,0 +1,80 @@
+"""Tests for walk/path counting."""
+
+import pytest
+
+from conftest import brute_force_paths
+from repro.errors import GraphError, VertexNotFoundError
+from repro.graph import generators as G
+from repro.graph.counting import (
+    count_simple_paths_dag,
+    count_walks_up_to_k,
+    is_acyclic,
+    topological_order,
+)
+from repro.graph.csr import CSRGraph
+
+
+class TestWalkCounts:
+    def test_line(self, line_graph):
+        assert count_walks_up_to_k(line_graph, 0, 4, 4) == 1
+        assert count_walks_up_to_k(line_graph, 0, 4, 3) == 0
+
+    def test_cycle_walks_repeat(self):
+        g = G.cycle_graph(3)
+        # walks 0->1: length 1, 4, 7, ... within 7 hops: lengths 1,4,7
+        assert count_walks_up_to_k(g, 0, 1, 7) == 3
+
+    def test_upper_bounds_simple_paths(self):
+        for seed in range(5):
+            g = G.gnm_random(18, 70, seed=seed)
+            walks = count_walks_up_to_k(g, 0, 5, 5)
+            simple = len(brute_force_paths(g, 0, 5, 5))
+            assert walks >= simple
+
+    def test_bad_vertex(self, line_graph):
+        with pytest.raises(VertexNotFoundError):
+            count_walks_up_to_k(line_graph, 0, 99, 3)
+
+    def test_early_exit_on_dead_frontier(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        assert count_walks_up_to_k(g, 0, 2, 100) == 0
+
+
+class TestTopologicalOrder:
+    def test_dag_order_valid(self):
+        g = G.layered_dag(4, 3, p_forward=0.8, seed=1)
+        order = topological_order(g)
+        pos = {int(v): i for i, v in enumerate(order)}
+        for u, v in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_cycle_rejected(self):
+        with pytest.raises(GraphError):
+            topological_order(G.cycle_graph(4))
+
+    def test_is_acyclic(self):
+        assert is_acyclic(G.layered_dag(3, 2, 1.0))
+        assert not is_acyclic(G.cycle_graph(3))
+
+
+class TestDagPathCounts:
+    def test_full_layered_dag(self):
+        g = G.layered_dag(4, 3, p_forward=1.0, seed=0)
+        assert count_simple_paths_dag(g, 0, 9) == 9
+
+    def test_hop_bound(self):
+        g = G.layered_dag(4, 3, p_forward=1.0, seed=0)
+        assert count_simple_paths_dag(g, 0, 9, max_hops=2) == 0
+        assert count_simple_paths_dag(g, 0, 9, max_hops=3) == 9
+
+    def test_matches_brute_force(self):
+        for seed in range(4):
+            g = G.layered_dag(5, 3, p_forward=0.6, seed=seed)
+            for k in (3, 4):
+                expected = len(brute_force_paths(g, 0, g.num_vertices - 1, k))
+                got = count_simple_paths_dag(g, 0, g.num_vertices - 1, k)
+                assert got == expected, (seed, k)
+
+    def test_cyclic_rejected(self):
+        with pytest.raises(GraphError):
+            count_simple_paths_dag(G.cycle_graph(4), 0, 2)

@@ -1,0 +1,108 @@
+"""Unit tests for the mutable DiGraph builder."""
+
+import pytest
+
+from repro.errors import GraphError, VertexNotFoundError
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = DiGraph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            DiGraph(-1)
+
+    def test_add_vertex_returns_new_id(self):
+        g = DiGraph(2)
+        assert g.add_vertex() == 2
+        assert g.num_vertices == 3
+
+    def test_ensure_vertex_grows(self):
+        g = DiGraph()
+        g.ensure_vertex(4)
+        assert g.num_vertices == 5
+
+    def test_ensure_negative_vertex_rejected(self):
+        g = DiGraph()
+        with pytest.raises(VertexNotFoundError):
+            g.ensure_vertex(-1)
+
+
+class TestEdges:
+    def test_add_edge_creates_vertices(self):
+        g = DiGraph()
+        assert g.add_edge(0, 3)
+        assert g.num_vertices == 4
+        assert g.has_edge(0, 3)
+
+    def test_duplicate_edge_not_counted(self):
+        g = DiGraph(2)
+        assert g.add_edge(0, 1)
+        assert not g.add_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_self_loop_ignored(self):
+        g = DiGraph(2)
+        assert not g.add_edge(1, 1)
+        assert g.num_edges == 0
+
+    def test_edges_are_directed(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_add_edges_bulk(self):
+        g = DiGraph()
+        added = g.add_edges([(0, 1), (1, 2), (0, 1), (2, 2)])
+        assert added == 2
+        assert g.num_edges == 2
+
+    def test_remove_edge(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1)
+        assert g.remove_edge(0, 1)
+        assert not g.remove_edge(0, 1)
+        assert g.num_edges == 0
+
+    def test_negative_endpoint_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(VertexNotFoundError):
+            g.add_edge(-1, 0)
+
+    def test_successors_and_degree(self):
+        g = DiGraph(4)
+        g.add_edges([(0, 1), (0, 2), (0, 3)])
+        assert g.successors(0) == frozenset({1, 2, 3})
+        assert g.out_degree(0) == 3
+        assert g.out_degree(1) == 0
+
+    def test_successors_out_of_range(self):
+        g = DiGraph(2)
+        with pytest.raises(VertexNotFoundError):
+            g.successors(5)
+
+    def test_edges_iterates_sorted(self):
+        g = DiGraph(3)
+        g.add_edges([(1, 0), (0, 2), (0, 1)])
+        assert list(g.edges()) == [(0, 1), (0, 2), (1, 0)]
+
+
+class TestConversion:
+    def test_to_csr_round_trip(self):
+        g = DiGraph(4)
+        g.add_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        csr = g.to_csr()
+        assert csr.num_vertices == 4
+        assert csr.num_edges == 5
+        assert set(csr.edges()) == set(g.edges())
+
+    def test_repr(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1)
+        assert "|V|=2" in repr(g)
+        assert "|E|=1" in repr(g)

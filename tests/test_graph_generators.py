@@ -1,0 +1,166 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators as G
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = G.gnm_random(50, 200, seed=1)
+        assert g.num_vertices == 50
+        assert g.num_edges == 200
+
+    def test_deterministic(self):
+        a = G.gnm_random(30, 100, seed=3)
+        b = G.gnm_random(30, 100, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = G.gnm_random(30, 100, seed=3)
+        b = G.gnm_random(30, 100, seed=4)
+        assert a != b
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            G.gnm_random(3, 100, seed=0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            G.gnm_random(-1, 0)
+
+    def test_no_self_loops(self):
+        g = G.gnm_random(20, 100, seed=2)
+        assert all(u != v for u, v in g.edges())
+
+
+class TestChungLu:
+    def test_near_target_edges(self):
+        g = G.chung_lu(200, 1000, seed=1)
+        assert g.num_vertices == 200
+        assert g.num_edges >= 900  # rejection may fall slightly short
+
+    def test_deterministic(self):
+        assert G.chung_lu(100, 400, seed=7) == G.chung_lu(100, 400, seed=7)
+
+    def test_degree_skew(self):
+        """Power-law graphs must have a heavy-tailed degree distribution."""
+        g = G.chung_lu(400, 3200, exponent=2.0, seed=5)
+        degs = np.sort(g.out_degrees() + g.reverse().out_degrees())[::-1]
+        top_share = degs[:20].sum() / max(1, degs.sum())
+        assert top_share > 0.2, "top-5% vertices should hold >20% of degree"
+
+    def test_tiny_graphs(self):
+        assert G.chung_lu(0, 0).num_vertices == 0
+        assert G.chung_lu(1, 5).num_edges == 0
+
+
+class TestPreferentialAttachment:
+    def test_size(self):
+        g = G.preferential_attachment(120, 2, seed=1)
+        assert g.num_vertices == 120
+        assert g.num_edges >= 2 * (120 - 3)
+
+    def test_determinism(self):
+        a = G.preferential_attachment(60, 3, seed=9)
+        assert a == G.preferential_attachment(60, 3, seed=9)
+
+    def test_invalid_out_degree(self):
+        with pytest.raises(GraphError):
+            G.preferential_attachment(10, 0)
+
+    def test_hub_emerges(self):
+        g = G.preferential_attachment(300, 2, seed=4)
+        total = g.out_degrees() + g.reverse().out_degrees()
+        assert total.max() > 10 * np.median(total)
+
+
+class TestCommunityGraph:
+    def test_size_and_bridges(self):
+        g = G.community_graph(4, 10, p_in=0.4, inter_edges=12, seed=2)
+        assert g.num_vertices == 40
+        inter = sum(1 for u, v in g.edges() if u // 10 != v // 10)
+        assert inter == 12
+
+    def test_intra_density_exceeds_inter(self):
+        g = G.community_graph(4, 15, p_in=0.5, inter_edges=10, seed=3)
+        intra = sum(1 for u, v in g.edges() if u // 15 == v // 15)
+        assert intra > 4 * 10
+
+
+class TestGridGraph:
+    def test_structure(self):
+        g = G.grid_graph(3, 4)
+        assert g.num_vertices == 12
+        # bidirected grid: 2*(rows*(cols-1) + cols*(rows-1))
+        assert g.num_edges == 2 * (3 * 3 + 4 * 2)
+
+    def test_extra_edges(self):
+        base = G.grid_graph(5, 5)
+        chorded = G.grid_graph(5, 5, seed=1, extra_edges=7)
+        assert chorded.num_edges == base.num_edges + 7
+
+
+class TestHubSpoke:
+    def test_spokes_connect_to_hub(self):
+        g = G.hub_spoke(3, 4, hub_clique_p=1.0, seed=1)
+        assert g.num_vertices == 15
+        for h in range(3):
+            hub = h * 5
+            for i in range(4):
+                assert g.has_edge(hub + 1 + i, hub)
+
+    def test_hub_core_dense(self):
+        g = G.hub_spoke(5, 3, hub_clique_p=1.0, seed=1)
+        hubs = [h * 4 for h in range(5)]
+        for a in hubs:
+            for b in hubs:
+                if a != b:
+                    assert g.has_edge(a, b)
+
+
+class TestLayeredDag:
+    def test_only_forward_edges(self):
+        g = G.layered_dag(4, 3, p_forward=1.0, seed=0)
+        for u, v in g.edges():
+            assert v // 3 == u // 3 + 1
+
+    def test_full_dag_path_count(self):
+        """With p=1 the number of s-t paths across L layers is width^(L-2)."""
+        g = G.layered_dag(4, 3, p_forward=1.0, seed=0)
+        from conftest import brute_force_paths
+
+        # source 0 (layer 0), target 9 (layer 3): 3 * 3 = 9 paths, all length 3
+        paths = brute_force_paths(g, 0, 9, max_hops=3)
+        assert len(paths) == 9
+        assert brute_force_paths(g, 0, 9, max_hops=2) == frozenset()
+
+
+class TestUnionAndClassics:
+    def test_union(self):
+        a = G.cycle_graph(4)
+        b = G.CSRGraph.from_edges(4, [(0, 2)])
+        u = G.graph_union(a, b)
+        assert set(u.edges()) == set(a.edges()) | {(0, 2)}
+
+    def test_union_size_mismatch(self):
+        with pytest.raises(GraphError):
+            G.graph_union(G.cycle_graph(3), G.cycle_graph(4))
+
+    def test_union_empty_args(self):
+        with pytest.raises(GraphError):
+            G.graph_union()
+
+    def test_complete(self):
+        g = G.complete_digraph(4)
+        assert g.num_edges == 12
+
+    def test_cycle(self):
+        g = G.cycle_graph(5)
+        assert g.num_edges == 5
+        assert g.has_edge(4, 0)
+
+    def test_trivial_cycle(self):
+        assert G.cycle_graph(1).num_edges == 0

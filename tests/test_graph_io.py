@@ -1,0 +1,60 @@
+"""Unit tests for edge-list IO."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators
+from repro.graph.io import parse_edge_lines, read_edge_list, write_edge_list
+
+
+class TestParse:
+    def test_basic(self):
+        g = parse_edge_lines(["0 1", "1 2"])
+        assert g.num_vertices == 3
+        assert set(g.edges()) == {(0, 1), (1, 2)}
+
+    def test_comments_and_blanks_skipped(self):
+        g = parse_edge_lines(["# header", "", "% konect style", "0 1"])
+        assert g.num_edges == 1
+
+    def test_sparse_ids_densified(self):
+        g = parse_edge_lines(["100 200", "200 300"])
+        assert g.num_vertices == 3
+        assert set(g.edges()) == {(0, 1), (1, 2)}
+
+    def test_extra_columns_tolerated(self):
+        g = parse_edge_lines(["0 1 42 1.5"])
+        assert g.num_edges == 1
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(GraphError, match="line 1"):
+            parse_edge_lines(["justonetoken"])
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(GraphError, match="non-integer"):
+            parse_edge_lines(["a b"])
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(GraphError, match="negative"):
+            parse_edge_lines(["-1 0"])
+
+    def test_self_loop_dropped(self):
+        g = parse_edge_lines(["5 5", "5 6"])
+        assert g.num_edges == 1
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        g = generators.gnm_random(25, 80, seed=1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header="test graph\nsecond line")
+        g2 = read_edge_list(path)
+        assert set(g2.edges()) == set(g.edges())
+        assert g2.num_vertices == g.num_vertices
+
+    def test_header_written_as_comments(self, tmp_path):
+        g = generators.cycle_graph(3)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, header="hello")
+        text = path.read_text()
+        assert text.startswith("# hello\n")

@@ -1,0 +1,75 @@
+"""Unit tests for graph statistics (Table II metrics)."""
+
+import pytest
+
+from repro.graph import generators as G
+from repro.graph import stats
+
+
+class TestAverageDegree:
+    def test_simple(self):
+        g = G.cycle_graph(4)
+        assert stats.average_degree(g) == 2.0
+
+    def test_empty(self):
+        assert stats.average_degree(G.CSRGraph.empty(0)) == 0.0
+
+
+class TestDegreeHistogram:
+    def test_counts(self):
+        g = G.CSRGraph.from_edges(4, [(0, 1), (0, 2), (1, 2)])
+        hist = stats.degree_histogram(g)
+        assert hist[0] == 2  # vertices 2, 3
+        assert hist[1] == 1  # vertex 1
+        assert hist[2] == 1  # vertex 0
+
+
+class TestDiameter:
+    def test_line_graph_exact(self):
+        g = G.CSRGraph.from_edges(5, [(i, i + 1) for i in range(4)])
+        # exact mode: samples >= |V|; undirected distance 0..4
+        assert stats.diameter(g, samples=10) == 4
+
+    def test_cycle(self):
+        g = G.cycle_graph(6)
+        assert stats.diameter(g, samples=10) == 3  # undirected view
+
+    def test_empty_graph(self):
+        assert stats.diameter(G.CSRGraph.empty(0)) == 0
+
+    def test_sampled_is_lower_bound(self):
+        g = G.grid_graph(8, 8, seed=0)
+        exact = stats.diameter(g, samples=100)
+        sampled = stats.diameter(g, samples=5, seed=3)
+        assert sampled <= exact
+
+
+class TestEffectiveDiameter:
+    def test_monotone_in_percentile(self):
+        g = G.grid_graph(6, 6, seed=0)
+        d50 = stats.effective_diameter(g, percentile=0.5, samples=40)
+        d90 = stats.effective_diameter(g, percentile=0.9, samples=40)
+        assert d50 <= d90
+
+    def test_at_most_diameter(self):
+        g = G.chung_lu(100, 500, seed=1)
+        d90 = stats.effective_diameter(g, samples=100)
+        assert d90 <= stats.diameter(g, samples=100)
+
+    def test_empty(self):
+        assert stats.effective_diameter(G.CSRGraph.empty(0)) == 0.0
+
+    def test_single_edge(self):
+        g = G.CSRGraph.from_edges(2, [(0, 1)])
+        assert stats.effective_diameter(g, samples=5) == pytest.approx(1.0)
+
+
+class TestComputeStats:
+    def test_full_row(self):
+        g = G.cycle_graph(5)
+        row = stats.compute_stats(g, samples=10)
+        assert row.num_vertices == 5
+        assert row.num_edges == 5
+        assert row.avg_degree == 2.0
+        assert row.diameter == 2
+        assert 0 < row.effective_diameter_90 <= 2

@@ -1,0 +1,100 @@
+"""Tests for the end-to-end CPU-FPGA system and the enumerator adapter."""
+
+import pytest
+
+from conftest import brute_force_paths
+from repro.core.variants import VARIANTS
+from repro.errors import QueryError
+from repro.graph import generators as G
+from repro.host.cost_model import CpuCostModel
+from repro.host.query import Query
+from repro.host.system import PathEnumerationSystem, PEFPEnumerator
+
+
+class TestExecute:
+    def test_end_to_end_paths(self, diamond_graph):
+        system = PathEnumerationSystem(diamond_graph)
+        report = system.execute(Query(0, 3, 3))
+        assert set(report.paths) == {(0, 1, 3), (0, 2, 3), (0, 4, 5, 3)}
+        assert report.num_paths == 3
+
+    def test_timings_populated(self, power_law_graph):
+        system = PathEnumerationSystem(power_law_graph)
+        report = system.execute(Query(0, 9, 4))
+        assert report.preprocess_seconds > 0
+        assert report.query_seconds >= 0
+        assert report.total_seconds == pytest.approx(
+            report.preprocess_seconds + report.query_seconds
+        )
+        assert report.transfer_seconds > 0
+
+    def test_transfer_magnitude_matches_paper(self, power_law_graph):
+        """Per-query DMA should sit in the paper's ~0.1-0.3 ms window."""
+        system = PathEnumerationSystem(power_law_graph)
+        report = system.execute(Query(0, 9, 4))
+        assert 0.5e-4 <= report.transfer_seconds <= 5e-4
+
+    def test_paths_in_original_ids(self, power_law_graph):
+        system = PathEnumerationSystem(power_law_graph)
+        query = Query(0, 9, 4)
+        report = system.execute(query)
+        for p in report.paths:
+            assert p[0] == 0 and p[-1] == 9
+
+    def test_invalid_query_rejected(self, diamond_graph):
+        system = PathEnumerationSystem(diamond_graph)
+        with pytest.raises(QueryError):
+            system.execute(Query(0, 0, 3))
+
+    def test_no_prebfs_mode_correct(self, power_law_graph):
+        query = Query(0, 9, 4)
+        expected = brute_force_paths(power_law_graph, 0, 9, 4)
+        system = PathEnumerationSystem(power_law_graph, use_prebfs=False)
+        report = system.execute(query)
+        assert frozenset(report.paths) == expected
+        # it still pays a reverse BFS for the barrier
+        assert report.preprocess_seconds > 0
+
+    def test_no_prebfs_cheaper_preprocessing(self, power_law_graph):
+        """One k-hop BFS must cost less than Pre-BFS's bidirectional pass
+        plus subgraph construction."""
+        query = Query(0, 9, 4)
+        with_pre = PathEnumerationSystem(power_law_graph).execute(query)
+        without = PathEnumerationSystem(
+            power_law_graph, use_prebfs=False
+        ).execute(query)
+        assert without.preprocess_seconds < with_pre.preprocess_seconds
+
+    def test_custom_cost_model(self, diamond_graph):
+        slow = CpuCostModel(frequency_hz=1e6)
+        fast = CpuCostModel(frequency_hz=1e12)
+        q = Query(0, 3, 3)
+        t_slow = PathEnumerationSystem(
+            diamond_graph, cost_model=slow
+        ).execute(q).preprocess_seconds
+        t_fast = PathEnumerationSystem(
+            diamond_graph, cost_model=fast
+        ).execute(q).preprocess_seconds
+        assert t_slow > t_fast
+
+
+class TestForVariant:
+    def test_all_variants_constructible_and_correct(self, random_graph):
+        query = Query(0, 7, 4)
+        expected = brute_force_paths(random_graph, 0, 7, 4)
+        for variant in VARIANTS:
+            system = PathEnumerationSystem.for_variant(random_graph, variant)
+            report = system.execute(query)
+            assert frozenset(report.paths) == expected, variant
+
+
+class TestPEFPEnumeratorAdapter:
+    def test_adapter_matches_oracle(self, random_graph):
+        query = Query(0, 7, 4)
+        expected = brute_force_paths(random_graph, 0, 7, 4)
+        result = PEFPEnumerator().enumerate_paths(random_graph, query)
+        assert result.path_set() == expected
+        assert result.fpga_cycles > 0
+
+    def test_adapter_name(self):
+        assert PEFPEnumerator("pefp-no-cache").name == "pefp-no-cache"

@@ -1,0 +1,69 @@
+"""Tests for binary graph serialisation and automatic engine sizing."""
+
+import numpy as np
+import pytest
+
+from conftest import brute_force_paths
+from repro.core.config import PEFPConfig, recommended_config
+from repro.core.engine import PEFPEngine
+from repro.errors import ConfigError, GraphError
+from repro.graph import generators as G
+from repro.graph.io import load_npz, save_npz
+from repro.preprocess.bfs import distances_with_default, k_hop_bfs
+
+
+class TestNpz:
+    def test_round_trip(self, tmp_path):
+        g = G.chung_lu(80, 500, seed=3)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        g2 = load_npz(path)
+        assert g2 == g
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        g = G.CSRGraph.from_edges(10, [(0, 1)])  # vertices 2..9 isolated
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path).num_vertices == 10
+
+    def test_invalid_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(GraphError):
+            load_npz(path)
+
+
+class TestRecommendedConfig:
+    def test_valid_for_small_graph(self):
+        cfg = recommended_config(1000, 5000)
+        assert isinstance(cfg, PEFPConfig)
+        assert cfg.theta1 <= cfg.buffer_capacity_paths
+
+    def test_fits_device_budget(self):
+        bram = 262_144
+        cfg = recommended_config(20_000, 200_000, bram_words=bram)
+        record = 10
+        footprint = (
+            cfg.graph_cache_words + cfg.barrier_cache_words
+            + cfg.buffer_capacity_paths * record
+            + cfg.theta2 * (record + 2)
+        )
+        assert footprint <= bram * 1.05  # within budget (+small slack)
+
+    def test_bigger_graph_bigger_cache(self):
+        small = recommended_config(500, 2000)
+        large = recommended_config(50_000, 500_000)
+        assert large.graph_cache_words >= small.graph_cache_words
+
+    def test_engine_runs_with_recommendation(self):
+        g = G.chung_lu(300, 2000, seed=4)
+        cfg = recommended_config(g.num_vertices, g.num_edges)
+        sd_t = k_hop_bfs(g.reverse(), 9, 4)
+        barrier = distances_with_default(sd_t, 5)
+        run = PEFPEngine(cfg).run(g, 0, 9, 4, barrier)
+        expected = brute_force_paths(g, 0, 9, 4)
+        assert frozenset(run.paths) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            recommended_config(-1, 0)

@@ -1,0 +1,131 @@
+"""Shape tests on the performance model: the directional claims of the
+paper's evaluation must hold on the simulator.
+
+These are the regression guards for the reproduction: if a refactor keeps
+answers correct but breaks the *timing* mechanisms (caching, batching,
+dataflow, Pre-BFS), these tests fail.
+"""
+
+import pytest
+
+from repro.core.config import PEFPConfig
+from repro.core.variants import make_engine
+from repro.baselines import Join
+from repro.graph import generators as G
+from repro.host.cost_model import CpuCostModel
+from repro.host.query import Query
+from repro.host.system import PathEnumerationSystem
+from repro.preprocess.prebfs import pre_bfs
+from repro.workloads.queries import generate_queries
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    return G.chung_lu(600, 6000, seed=42)
+
+
+@pytest.fixture(scope="module")
+def queries(dense_graph):
+    return generate_queries(dense_graph, 4, 3, seed=1)
+
+
+def total_seconds(system, queries):
+    t1 = t2 = 0.0
+    for q in queries:
+        r = system.execute(q)
+        t1 += r.preprocess_seconds
+        t2 += r.query_seconds
+    return t1, t2
+
+
+class TestHeadline:
+    def test_pefp_beats_join_on_query_time(self, dense_graph, queries):
+        """Fig. 8's claim: PEFP wins T2 on every dataset and k."""
+        cost = CpuCostModel()
+        join_t2 = sum(
+            cost.seconds(Join().enumerate_paths(dense_graph, q).enumerate_ops)
+            for q in queries
+        )
+        _, pefp_t2 = total_seconds(PathEnumerationSystem(dense_graph), queries)
+        assert pefp_t2 < join_t2
+
+    def test_pefp_beats_join_on_preprocessing(self, dense_graph, queries):
+        """Fig. 9's claim: Pre-BFS beats JOIN's preprocessing."""
+        cost = CpuCostModel()
+        join_t1 = sum(
+            cost.seconds(
+                Join().enumerate_paths(dense_graph, q).preprocess_ops
+            )
+            for q in queries
+        )
+        pefp_t1, _ = total_seconds(PathEnumerationSystem(dense_graph), queries)
+        assert pefp_t1 < join_t1
+
+    def test_query_time_grows_with_k(self, dense_graph):
+        """Fig. 8: time grows (typically exponentially) with k."""
+        system = PathEnumerationSystem(dense_graph)
+        q = generate_queries(dense_graph, 5, 1, seed=3)[0]
+        times = [
+            system.execute(Query(q.source, q.target, k)).query_seconds
+            for k in (2, 3, 4, 5)
+        ]
+        assert times == sorted(times)
+
+
+class TestAblationDirections:
+    def _t2(self, graph, queries, variant, config=None):
+        kwargs = {"config": config} if config else {}
+        system = PathEnumerationSystem.for_variant(graph, variant, **kwargs)
+        return total_seconds(system, queries)[1]
+
+    def test_no_cache_slower(self, dense_graph, queries):
+        base = self._t2(dense_graph, queries, "pefp")
+        nocache = self._t2(dense_graph, queries, "pefp-no-cache")
+        assert nocache > 1.5 * base
+
+    def test_no_datasep_slower_but_bounded(self, dense_graph, queries):
+        base = self._t2(dense_graph, queries, "pefp")
+        nosep = self._t2(dense_graph, queries, "pefp-no-datasep")
+        assert base < nosep <= 3.5 * base
+
+    def test_no_prebfs_total_time_slower(self, dense_graph, queries):
+        full = PathEnumerationSystem.for_variant(dense_graph, "pefp")
+        bare = PathEnumerationSystem.for_variant(dense_graph,
+                                                 "pefp-no-pre-bfs")
+        t_full = sum(full.execute(q).total_seconds for q in queries)
+        t_bare = sum(bare.execute(q).total_seconds for q in queries)
+        assert t_bare > t_full
+
+    def test_no_batch_dfs_never_faster(self, dense_graph):
+        """FIFO batching may tie (no overflow) but must not win."""
+        cfg = PEFPConfig(theta1=64, theta2=32, buffer_capacity_paths=128)
+        close = generate_queries(dense_graph, 4, 3, seed=5, max_distance=2)
+        base = self._t2(dense_graph, close, "pefp", cfg)
+        fifo = self._t2(dense_graph, close, "pefp-no-batch-dfs", cfg)
+        assert fifo >= base
+
+    def test_batch_dfs_reduces_peak_memory(self, dense_graph):
+        """The design claim behind Batch-DFS: stack-top batching keeps the
+        resident intermediate set (buffer + DRAM spill) smaller."""
+        cfg = PEFPConfig(theta1=64, theta2=32, buffer_capacity_paths=128)
+        q = generate_queries(dense_graph, 4, 1, seed=9, max_distance=2)[0]
+        prep = pre_bfs(dense_graph, q)
+
+        def peak(variant):
+            engine = make_engine(variant, config=cfg)
+            run = engine.run(prep.subgraph, prep.source, prep.target,
+                             q.max_hops, prep.barrier)
+            return run.stats.peak_buffer_paths + run.stats.peak_dram_paths
+
+        assert peak("pefp") <= peak("pefp-no-batch-dfs")
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self, dense_graph, queries):
+        system = PathEnumerationSystem(dense_graph)
+        a = [system.execute(q) for q in queries]
+        b = [system.execute(q) for q in queries]
+        for ra, rb in zip(a, b):
+            assert ra.fpga_cycles == rb.fpga_cycles
+            assert ra.paths == rb.paths
+            assert ra.preprocess_seconds == rb.preprocess_seconds

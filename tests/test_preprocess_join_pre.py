@@ -1,0 +1,68 @@
+"""Tests for JOIN's preprocessing (distance maps + middle-vertex cut)."""
+
+import numpy as np
+import pytest
+
+from conftest import brute_force_paths
+from repro.errors import QueryError
+from repro.graph import generators as G
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query
+from repro.preprocess.join_pre import join_preprocess
+
+
+class TestDistanceMaps:
+    def test_unreached_set_to_k_plus_one(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (3, 2)])
+        pre = join_preprocess(g, Query(0, 2, 3))
+        assert pre.sd_s[3] == 4  # unreachable from s
+        assert pre.sd_s[0] == 0
+        assert pre.sd_t[2] == 0
+
+    def test_distances_match_bfs(self, random_graph):
+        query = Query(0, 7, 4)
+        pre = join_preprocess(random_graph, query)
+        assert pre.sd_s[0] == 0
+        # every edge relaxes
+        for u, v in random_graph.edges():
+            if pre.sd_s[u] <= query.max_hops:
+                assert pre.sd_s[v] <= pre.sd_s[u] + 1
+
+
+class TestMiddleCut:
+    def test_every_path_middle_is_in_cut(self):
+        """The cut must cover the middle vertex of every valid path."""
+        g = G.gnm_random(40, 200, seed=6)
+        query = Query(2, 9, 5)
+        pre = join_preprocess(g, query)
+        middles = set(int(m) for m in pre.middles)
+        for path in brute_force_paths(g, 2, 9, 5):
+            length = len(path) - 1
+            mid = path[length // 2]  # floor(len/2)-th position
+            assert mid in middles, (path, mid)
+
+    def test_cut_respects_half_bounds(self):
+        g = G.chung_lu(80, 500, seed=3)
+        query = Query(0, 11, 5)
+        pre = join_preprocess(g, query)
+        k = query.max_hops
+        for m in pre.middles:
+            assert pre.sd_s[m] <= k // 2
+            assert pre.sd_t[m] <= k - k // 2
+            assert pre.sd_s[m] + pre.sd_t[m] <= k
+
+    def test_empty_cut_when_unreachable(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        pre = join_preprocess(g, Query(0, 3, 4))
+        assert pre.middles.size == 0
+
+
+class TestValidation:
+    def test_rejects_equal_endpoints(self, diamond_graph):
+        with pytest.raises(QueryError):
+            join_preprocess(diamond_graph, Query(0, 0, 3))
+
+    def test_ops_counted(self, random_graph):
+        pre = join_preprocess(random_graph, Query(0, 5, 4))
+        assert pre.ops.count("set_insert") > 0
+        assert pre.ops.count("bfs_relax") > 0

@@ -1,0 +1,147 @@
+"""Tests for Pre-BFS: Theorem 1 (path-set preservation), (k-1)-hop
+sufficiency, barrier validity and subgraph minimality."""
+
+import numpy as np
+import pytest
+
+from conftest import brute_force_paths
+from repro.errors import QueryError
+from repro.graph import generators as G
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query
+from repro.preprocess.bfs import k_hop_bfs
+from repro.preprocess.prebfs import pre_bfs
+
+
+def subgraph_paths_in_original_ids(prep, query):
+    """Enumerate on the Pre-BFS subgraph, translated back."""
+    paths = brute_force_paths(
+        prep.subgraph, prep.source, prep.target, query.max_hops
+    )
+    return frozenset(prep.translate_path(p) for p in paths)
+
+
+class TestPathPreservation:
+    """Theorem 1: enumeration on G' is equivalent to enumeration on G."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        g = G.gnm_random(40, 180, seed=seed)
+        rng = np.random.default_rng(seed)
+        for _ in range(4):
+            s, t = rng.integers(0, 40, size=2)
+            if s == t:
+                continue
+            k = int(rng.integers(2, 6))
+            query = Query(int(s), int(t), k)
+            expected = brute_force_paths(g, int(s), int(t), k)
+            prep = pre_bfs(g, query)
+            assert subgraph_paths_in_original_ids(prep, query) == expected
+
+    def test_diamond(self, diamond_graph):
+        query = Query(0, 3, 3)
+        prep = pre_bfs(diamond_graph, query)
+        expected = brute_force_paths(diamond_graph, 0, 3, 3)
+        assert subgraph_paths_in_original_ids(prep, query) == expected
+
+    def test_exact_k_distance_pair_kept(self):
+        """sd(s,t) == k: s is not reached by the (k-1)-hop reverse BFS but
+        must survive (the theorem's special case)."""
+        g = CSRGraph.from_edges(5, [(i, i + 1) for i in range(4)])
+        query = Query(0, 4, 4)
+        prep = pre_bfs(g, query)
+        assert subgraph_paths_in_original_ids(prep, query) == frozenset(
+            {(0, 1, 2, 3, 4)}
+        )
+
+
+class TestSearchSpaceReduction:
+    def test_invalid_nodes_removed(self):
+        """Fig. 3's scenario: a bushy branch that cannot reach t is cut."""
+        edges = [(0, 1), (1, 2), (2, 3)]
+        # vertices 4..23 hang off vertex 1 but never reach 3
+        edges += [(1, v) for v in range(4, 24)]
+        g = CSRGraph.from_edges(24, edges)
+        prep = pre_bfs(g, Query(0, 3, 5))
+        assert prep.subgraph.num_vertices == 4
+
+    def test_subgraph_only_contains_valid_vertices(self):
+        g = G.chung_lu(120, 700, seed=2)
+        query = Query(0, 5, 4)
+        prep = pre_bfs(g, query)
+        k = query.max_hops
+        sd_s = k_hop_bfs(g, query.source, k)
+        sd_t = k_hop_bfs(g.reverse(), query.target, k)
+        for old in prep.old_of_new:
+            old = int(old)
+            if old in (query.source, query.target):
+                continue
+            assert sd_s[old] >= 0 and sd_t[old] >= 0
+            assert sd_s[old] + sd_t[old] <= k
+
+
+class TestBarrier:
+    def test_barrier_is_exact_distance_on_subgraph_members(self):
+        g = G.gnm_random(50, 250, seed=8)
+        query = Query(1, 7, 4)
+        prep = pre_bfs(g, query)
+        sd_t_full = k_hop_bfs(g.reverse(), query.target, query.max_hops)
+        for new_id, old_id in enumerate(prep.old_of_new):
+            bar = int(prep.barrier[new_id])
+            true = int(sd_t_full[old_id])
+            if true >= 0:
+                assert bar <= true or bar == true
+                # barrier must never exceed the true distance (lower bound)
+                assert bar <= max(true, query.max_hops)
+
+    def test_target_barrier_zero(self):
+        g = G.cycle_graph(5)
+        prep = pre_bfs(g, Query(0, 3, 4))
+        assert prep.barrier[prep.target] == 0
+
+    def test_barriers_nonnegative(self):
+        g = G.chung_lu(60, 300, seed=4)
+        prep = pre_bfs(g, Query(0, 9, 5))
+        assert (prep.barrier >= 0).all()
+
+
+class TestValidation:
+    def test_same_endpoints_rejected(self, diamond_graph):
+        with pytest.raises(QueryError):
+            pre_bfs(diamond_graph, Query(1, 1, 3))
+
+    def test_bad_hops_rejected(self, diamond_graph):
+        with pytest.raises(QueryError):
+            pre_bfs(diamond_graph, Query(0, 3, 0))
+
+    def test_out_of_range_source(self, diamond_graph):
+        with pytest.raises(QueryError):
+            pre_bfs(diamond_graph, Query(99, 3, 3))
+
+    def test_unreachable_pair_gives_empty_subgraph(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        prep = pre_bfs(g, Query(0, 3, 5))
+        assert prep.is_empty
+        assert brute_force_paths(
+            prep.subgraph, prep.source, prep.target, 5
+        ) == frozenset()
+
+
+class TestOps:
+    def test_operations_recorded(self):
+        g = G.gnm_random(40, 160, seed=1)
+        prep = pre_bfs(g, Query(0, 7, 4))
+        assert prep.ops.count("vertex_visit") > 0
+        assert prep.ops.count("bfs_relax") > 0
+
+    def test_k_minus_one_cheaper_than_k(self):
+        """Pre-BFS's (k-1)-hop BFS must do less work than k-hop BFS."""
+        g = G.grid_graph(20, 20, seed=0)
+        query = Query(0, 399, 12)
+        prep = pre_bfs(g, query)
+        from repro.host.cost_model import OpCounter
+
+        full = OpCounter()
+        k_hop_bfs(g, 0, 12, full)
+        k_hop_bfs(g.reverse(), 399, 12, full)
+        assert prep.ops.count("bfs_relax") <= full.count("bfs_relax")

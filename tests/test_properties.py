@@ -1,0 +1,244 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from conftest import brute_force_paths
+from repro.baselines import BCDFS, Join, NaiveDFS
+from repro.core.batching import batch_dfs, fifo_batch
+from repro.core.paths import BufferArea, PathRecord
+from repro.fpga.pipeline import PipelineModel
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query
+from repro.host.system import PEFPEnumerator
+from repro.preprocess.prebfs import pre_bfs
+from repro.preprocess.bfs import k_hop_bfs
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def small_digraphs(draw, max_vertices=14):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    max_edges = n * (n - 1)
+    density = draw(st.floats(min_value=0.05, max_value=0.5))
+    m = int(max_edges * density)
+    edge_indices = draw(
+        st.sets(st.integers(min_value=0, max_value=max_edges - 1),
+                min_size=0, max_size=m)
+    )
+    edges = []
+    for idx in edge_indices:
+        u, off = divmod(idx, n - 1)
+        v = off if off < u else off + 1
+        edges.append((u, v))
+    return CSRGraph.from_edges(n, edges)
+
+
+@st.composite
+def graph_with_query(draw):
+    g = draw(small_digraphs())
+    n = g.num_vertices
+    s = draw(st.integers(min_value=0, max_value=n - 1))
+    t = draw(st.integers(min_value=0, max_value=n - 1).filter(lambda x: x != s))
+    k = draw(st.integers(min_value=1, max_value=6))
+    return g, Query(s, t, k)
+
+
+# ----------------------------------------------------------------------
+# enumeration invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(graph_with_query())
+def test_enumerators_match_brute_force(gq):
+    g, q = gq
+    expected = brute_force_paths(g, q.source, q.target, q.max_hops)
+    assert NaiveDFS().enumerate_paths(g, q).path_set() == expected
+    assert BCDFS().enumerate_paths(g, q).path_set() == expected
+    assert Join().enumerate_paths(g, q).path_set() == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph_with_query())
+def test_yens_and_hpindex_match_brute_force(gq):
+    """The two structurally trickiest baselines under hypothesis."""
+    from repro.baselines import HPIndex, Yens
+
+    g, q = gq
+    expected = brute_force_paths(g, q.source, q.target, q.max_hops)
+    assert Yens().enumerate_paths(g, q).path_set() == expected
+    hp = HPIndex(hot_fraction=0.25, min_hot=1)
+    assert hp.enumerate_paths(g, q).path_set() == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_with_query())
+def test_pefp_matches_brute_force(gq):
+    g, q = gq
+    expected = brute_force_paths(g, q.source, q.target, q.max_hops)
+    assert PEFPEnumerator().enumerate_paths(g, q).path_set() == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_with_query())
+def test_results_are_simple_and_bounded(gq):
+    g, q = gq
+    for p in NaiveDFS().enumerate_paths(g, q).paths:
+        assert p[0] == q.source and p[-1] == q.target
+        assert len(set(p)) == len(p)
+        assert len(p) - 1 <= q.max_hops
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_with_query())
+def test_monotonicity_in_k(gq):
+    """Raising the hop budget can only add paths."""
+    g, q = gq
+    smaller = brute_force_paths(g, q.source, q.target, q.max_hops)
+    larger = brute_force_paths(g, q.source, q.target, q.max_hops + 1)
+    assert smaller <= larger
+
+
+# ----------------------------------------------------------------------
+# Pre-BFS invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(graph_with_query())
+def test_prebfs_preserves_path_set(gq):
+    g, q = gq
+    expected = brute_force_paths(g, q.source, q.target, q.max_hops)
+    prep = pre_bfs(g, q)
+    got = frozenset(
+        prep.translate_path(p)
+        for p in brute_force_paths(prep.subgraph, prep.source, prep.target,
+                                   q.max_hops)
+    )
+    assert got == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_with_query())
+def test_prebfs_barrier_is_lower_bound(gq):
+    """bar[u] <= true sd(u, t) whenever u can reach t within k."""
+    g, q = gq
+    prep = pre_bfs(g, q)
+    true_dist = k_hop_bfs(prep.subgraph.reverse(), prep.target, q.max_hops)
+    for v in range(prep.subgraph.num_vertices):
+        if true_dist[v] >= 0:
+            assert prep.barrier[v] <= true_dist[v]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    graph_with_query(),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.booleans(),
+    st.booleans(),
+)
+def test_pefp_answers_invariant_under_area_sizes(gq, theta, cap_extra,
+                                                 use_batch_dfs, use_cache):
+    """The hardware layout (batch sizes, buffer capacity, batching order,
+    cache placement) must never change the answer — only the cycles."""
+    from repro.core.config import PEFPConfig
+    from repro.core.engine import PEFPEngine
+    from repro.preprocess.bfs import distances_with_default
+
+    g, q = gq
+    expected = brute_force_paths(g, q.source, q.target, q.max_hops)
+    cfg = PEFPConfig(
+        theta1=theta,
+        theta2=theta,
+        buffer_capacity_paths=theta + cap_extra,
+        graph_cache_words=8,
+        barrier_cache_words=4,
+        use_batch_dfs=use_batch_dfs,
+        use_cache=use_cache,
+    )
+    sd_t = k_hop_bfs(g.reverse(), q.target, q.max_hops)
+    barrier = distances_with_default(sd_t, q.max_hops + 1)
+    run = PEFPEngine(cfg).run(g, q.source, q.target, q.max_hops, barrier)
+    assert frozenset(run.paths) == expected
+
+
+# ----------------------------------------------------------------------
+# batching invariants
+# ----------------------------------------------------------------------
+@st.composite
+def record_stacks(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    records = []
+    for i in range(n):
+        lo = draw(st.integers(min_value=0, max_value=30))
+        width = draw(st.integers(min_value=1, max_value=9))
+        records.append(PathRecord((i,), lo, lo + width))
+    return records
+
+
+@settings(max_examples=80, deadline=None)
+@given(record_stacks(), st.integers(min_value=1, max_value=7))
+def test_batch_dfs_conservation(records, theta):
+    buf = BufferArea(64)
+    expected = {
+        r.vertices[0]: set(range(r.next_ptr, r.last_ptr)) for r in records
+    }
+    for r in records:
+        buf.push(PathRecord(r.vertices, r.next_ptr, r.last_ptr))
+    seen: dict[int, set[int]] = {r.vertices[0]: set() for r in records}
+    while True:
+        entries = batch_dfs(buf, theta)
+        if not entries:
+            break
+        batch_total = 0
+        for e in entries:
+            sl = set(range(e.nbr_lo, e.nbr_hi))
+            assert not (seen[e.vertices[0]] & sl), "double-scheduled range"
+            seen[e.vertices[0]] |= sl
+            batch_total += e.num_expansions
+        assert batch_total <= theta
+    assert seen == expected
+    assert buf.is_empty
+
+
+@settings(max_examples=80, deadline=None)
+@given(record_stacks(), st.integers(min_value=1, max_value=7))
+def test_fifo_batch_conservation(records, theta):
+    buf = BufferArea(64)
+    expected = {
+        r.vertices[0]: set(range(r.next_ptr, r.last_ptr)) for r in records
+    }
+    for r in records:
+        buf.push(PathRecord(r.vertices, r.next_ptr, r.last_ptr))
+    seen: dict[int, set[int]] = {r.vertices[0]: set() for r in records}
+    while True:
+        entries = fifo_batch(buf, theta)
+        if not entries:
+            break
+        assert sum(e.num_expansions for e in entries) <= theta
+        for e in entries:
+            sl = set(range(e.nbr_lo, e.nbr_hi))
+            assert not (seen[e.vertices[0]] & sl)
+            seen[e.vertices[0]] |= sl
+    assert seen == expected
+
+
+# ----------------------------------------------------------------------
+# pipeline algebra invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.tuples(*[st.integers(min_value=1, max_value=6)] * 3),
+)
+def test_dataflow_never_slower_than_basic(n, latencies):
+    m = PipelineModel(stage_latencies=latencies)
+    assert m.dataflow_cycles(n) <= m.basic_cycles(n)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=1, max_value=10_000))
+def test_pipeline_cycles_monotone_in_items(n):
+    m = PipelineModel()
+    assert m.basic_cycles(n) < m.basic_cycles(n + 1)
+    assert m.dataflow_cycles(n) < m.dataflow_cycles(n + 1)

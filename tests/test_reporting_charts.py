@@ -1,0 +1,71 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.reporting.charts import bar_chart, series_chart, speedup_sparkline
+
+
+class TestBarChart:
+    def test_basic_shape(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a  |")
+        assert lines[1].count("#") == 10  # max value fills the width
+        assert lines[0].count("#") == 5
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart(["x", "y"], [1.0, 1000.0], width=30)
+        logged = bar_chart(["x", "y"], [1.0, 1000.0], width=30,
+                           log_scale=True)
+        small_linear = linear.splitlines()[0].count("#")
+        small_logged = logged.splitlines()[0].count("#")
+        assert small_logged > small_linear
+
+    def test_zero_value_gets_no_bar(self):
+        out = bar_chart(["z", "p"], [0.0, 4.0], width=8)
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(empty chart)"
+
+    def test_unit_suffix(self):
+        out = bar_chart(["a"], [2.5], unit="x")
+        assert "2.5x" in out
+
+
+class TestSeriesChart:
+    def test_blocks_per_x(self):
+        out = series_chart(
+            [3, 4], {"JOIN": [1e-3, 1e-2], "PEFP": [1e-4, 1e-3]}
+        )
+        assert out.count("JOIN") == 2
+        assert out.count("PEFP") == 2
+        assert "3:" in out and "4:" in out
+
+    def test_empty(self):
+        assert series_chart([], {}) == "(empty chart)"
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(speedup_sparkline([1, 5, 2, 9])) == 4
+
+    def test_monotone_trend(self):
+        spark = speedup_sparkline([1.0, 2.0, 4.0, 8.0])
+        assert spark[0] < spark[-1]  # block characters sort by height
+
+    def test_empty(self):
+        assert speedup_sparkline([]) == ""
+
+    def test_constant_series(self):
+        spark = speedup_sparkline([3.0, 3.0, 3.0])
+        assert len(set(spark)) == 1

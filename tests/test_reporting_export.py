@@ -1,0 +1,88 @@
+"""Tests for JSON export / regression diffing of experiment results."""
+
+import pytest
+
+from repro.reporting.experiments import ExperimentResult
+from repro.reporting.export import (
+    compare_rows,
+    dump_result,
+    load_result,
+    result_to_dict,
+)
+
+
+def make_result():
+    return ExperimentResult(
+        experiment="figX",
+        title="Fig X — demo",
+        headers=("dataset", "k", "seconds", "speedup"),
+        rows=[("RT", 3, 1.5e-3, 12.0), ("RT", 4, 9.1e-3, float("inf"))],
+    )
+
+
+class TestSerialisation:
+    def test_round_trip(self, tmp_path):
+        result = make_result()
+        path = tmp_path / "figx.json"
+        dump_result(result, path)
+        doc = load_result(path)
+        assert doc["experiment"] == "figX"
+        assert doc["headers"] == list(result.headers)
+        assert doc["rows"][0] == ["RT", 3, 1.5e-3, 12.0]
+
+    def test_infinity_encoded(self):
+        doc = result_to_dict(make_result())
+        assert doc["rows"][1][3] == "inf"
+
+    def test_schema_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema_version": 999}')
+        with pytest.raises(ValueError):
+            load_result(path)
+
+
+class TestCompare:
+    def test_identical(self, tmp_path):
+        result = make_result()
+        path = tmp_path / "r.json"
+        dump_result(result, path)
+        assert compare_rows(load_result(path), result) == []
+
+    def test_numeric_drift_detected(self, tmp_path):
+        result = make_result()
+        path = tmp_path / "r.json"
+        dump_result(result, path)
+        drifted = make_result()
+        drifted.rows[0] = ("RT", 3, 3.0e-3, 12.0)
+        diffs = compare_rows(load_result(path), drifted)
+        assert len(diffs) == 1
+        assert "seconds" in diffs[0]
+
+    def test_tolerance(self, tmp_path):
+        result = make_result()
+        path = tmp_path / "r.json"
+        dump_result(result, path)
+        drifted = make_result()
+        drifted.rows[0] = ("RT", 3, 1.6e-3, 12.0)
+        assert compare_rows(load_result(path), drifted,
+                            numeric_tolerance=0.2) == []
+        assert compare_rows(load_result(path), drifted,
+                            numeric_tolerance=0.01) != []
+
+    def test_header_change(self, tmp_path):
+        result = make_result()
+        path = tmp_path / "r.json"
+        dump_result(result, path)
+        changed = make_result()
+        changed.headers = ("a", "b")
+        diffs = compare_rows(load_result(path), changed)
+        assert any("headers changed" in d for d in diffs)
+
+    def test_row_count_change(self, tmp_path):
+        result = make_result()
+        path = tmp_path / "r.json"
+        dump_result(result, path)
+        shrunk = make_result()
+        shrunk.rows.pop()
+        diffs = compare_rows(load_result(path), shrunk)
+        assert any("row count" in d for d in diffs)

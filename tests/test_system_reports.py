@@ -1,0 +1,54 @@
+"""Tests for SystemReport/BatchReport details and the device handle."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.fpga.report import device_report
+from repro.host.query import Query
+from repro.host.system import PathEnumerationSystem
+from repro.workloads.queries import generate_queries
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = load_dataset("se")
+    system = PathEnumerationSystem(graph)
+    query = generate_queries(graph, 4, 1, seed=21)[0]
+    return graph, system, query
+
+
+class TestSystemReportDevice:
+    def test_device_attached(self, setup):
+        _, system, query = setup
+        report = system.execute(query)
+        assert report.device is not None
+        assert report.device.cycles == report.fpga_cycles
+
+    def test_device_report_renders(self, setup):
+        _, system, query = setup
+        report = system.execute(query)
+        text = device_report(report.device).render()
+        assert "buffer_area" in text
+
+    def test_payload_words_accounts_graph_and_barrier(self, setup):
+        _, system, query = setup
+        report = system.execute(query)
+        # header + indptr + indices + barrier of the *subgraph*
+        assert report.payload_words >= 3
+
+    def test_stage_cycles_reported_through_system(self, setup):
+        _, system, query = setup
+        report = system.execute(query)
+        if report.engine_stats.batches:
+            assert "verify" in report.engine_stats.stage_cycles
+
+    def test_result_transfer_accounted(self, setup):
+        _, system, query = setup
+        report = system.execute(query)
+        if report.num_paths:
+            assert report.result_transfer_seconds > 0
+        # returning results is never slower than shipping the whole graph
+        # payload unless the result set dwarfs it
+        result_words = sum(len(p) + 1 for p in report.paths)
+        if result_words < report.payload_words:
+            assert report.result_transfer_seconds <= report.transfer_seconds

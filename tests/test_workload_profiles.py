@@ -1,0 +1,66 @@
+"""Tests for named workload profiles."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import generators as G
+from repro.preprocess.bfs import k_hop_bfs
+from repro.workloads.profiles import (
+    CLOSE_PAIR,
+    HUB_SOURCE,
+    PROFILES,
+    UNIFORM,
+    get_profile,
+)
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return G.chung_lu(300, 1800, seed=8)
+
+
+class TestRegistry:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"uniform", "close-pair", "hub-source"}
+
+    def test_get_profile(self):
+        assert get_profile("uniform") is UNIFORM
+
+    def test_unknown(self):
+        with pytest.raises(DatasetError):
+            get_profile("nope")
+
+
+class TestSampling:
+    def test_uniform_reachable(self, graph):
+        queries = UNIFORM.sample(graph, 4, 5, seed=1)
+        assert len(queries) == 5
+        for q in queries:
+            dist = k_hop_bfs(graph, q.source, 4)
+            assert 1 <= dist[q.target] <= 4
+
+    def test_close_pair_distance_bound(self, graph):
+        queries = CLOSE_PAIR.sample(graph, 5, 5, seed=2)
+        for q in queries:
+            dist = k_hop_bfs(graph, q.source, 5)
+            assert 1 <= dist[q.target] <= 2
+            assert q.max_hops == 5
+
+    def test_hub_sources_are_high_degree(self, graph):
+        queries = HUB_SOURCE.sample(graph, 4, 8, seed=3)
+        degrees = graph.out_degrees() + graph.reverse().out_degrees()
+        threshold = np.sort(degrees)[::-1][max(1, graph.num_vertices // 20)]
+        for q in queries:
+            assert degrees[q.source] >= threshold
+
+    def test_deterministic(self, graph):
+        a = HUB_SOURCE.sample(graph, 4, 4, seed=9)
+        b = HUB_SOURCE.sample(graph, 4, 4, seed=9)
+        assert a == b
+
+    def test_impossible_profile_raises(self):
+        empty = G.CSRGraph.empty(5)
+        with pytest.raises(DatasetError):
+            HUB_SOURCE.sample(empty, 3, 2, seed=0)

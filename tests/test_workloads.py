@@ -1,0 +1,134 @@
+"""Tests for query generation, timing runners and Table III sampling."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Join, NaiveDFS
+from repro.datasets import load_dataset
+from repro.errors import DatasetError
+from repro.graph import generators as G
+from repro.host.query import Query
+from repro.host.system import PathEnumerationSystem
+from repro.preprocess.bfs import k_hop_bfs
+from repro.workloads.intermediate import newly_generated_by_length
+from repro.workloads.queries import generate_queries, reachable_targets
+from repro.workloads.runner import aggregate, time_enumerator, time_system
+
+
+class TestReachableTargets:
+    def test_line(self, line_graph):
+        targets = reachable_targets(line_graph, 0, 2)
+        assert list(targets) == [1, 2]
+
+    def test_excludes_source(self, cycle6):
+        targets = reachable_targets(cycle6, 0, 6)
+        assert 0 not in targets
+
+
+class TestGenerateQueries:
+    def test_count_and_reachability(self, power_law_graph):
+        queries = generate_queries(power_law_graph, 4, 10, seed=3)
+        assert len(queries) == 10
+        for q in queries:
+            dist = k_hop_bfs(power_law_graph, q.source, q.max_hops)
+            assert 1 <= dist[q.target] <= q.max_hops
+
+    def test_deterministic(self, power_law_graph):
+        a = generate_queries(power_law_graph, 4, 5, seed=9)
+        b = generate_queries(power_law_graph, 4, 5, seed=9)
+        assert a == b
+
+    def test_zero_count(self, power_law_graph):
+        assert generate_queries(power_law_graph, 4, 0) == []
+
+    def test_max_distance_constrains_targets(self, power_law_graph):
+        queries = generate_queries(power_law_graph, 5, 8, seed=2,
+                                   max_distance=2)
+        for q in queries:
+            dist = k_hop_bfs(power_law_graph, q.source, 5)
+            assert 1 <= dist[q.target] <= 2
+            assert q.max_hops == 5
+
+    def test_impossible_raises(self):
+        g = G.CSRGraph.empty(5)  # no edges: nothing reachable
+        with pytest.raises(DatasetError):
+            generate_queries(g, 3, 2, seed=0, max_attempts_factor=3)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_queries(G.CSRGraph.empty(1), 3, 1)
+
+
+class TestRunners:
+    def test_time_system(self, power_law_graph):
+        queries = generate_queries(power_law_graph, 3, 3, seed=5)
+        system = PathEnumerationSystem(power_law_graph)
+        timings = time_system(system, queries)
+        assert len(timings) == 3
+        for t in timings:
+            assert t.total_seconds == pytest.approx(
+                t.preprocess_seconds + t.query_seconds
+            )
+
+    def test_time_enumerator(self, power_law_graph):
+        queries = generate_queries(power_law_graph, 3, 3, seed=5)
+        timings = time_enumerator(Join(), power_law_graph, queries)
+        assert len(timings) == 3
+        assert all(t.preprocess_seconds > 0 for t in timings)
+
+    def test_same_paths_both_runners(self, power_law_graph):
+        queries = generate_queries(power_law_graph, 3, 3, seed=5)
+        sys_t = time_system(PathEnumerationSystem(power_law_graph), queries)
+        cpu_t = time_enumerator(NaiveDFS(), power_law_graph, queries)
+        assert [t.num_paths for t in sys_t] == [t.num_paths for t in cpu_t]
+
+    def test_aggregate(self):
+        from repro.workloads.runner import QueryTiming
+
+        timings = [
+            QueryTiming(Query(0, 1, 3), 2, 1.0, 3.0),
+            QueryTiming(Query(0, 2, 3), 4, 3.0, 5.0),
+        ]
+        agg = aggregate("x", 3, timings)
+        assert agg.mean_preprocess_seconds == 2.0
+        assert agg.mean_query_seconds == 4.0
+        assert agg.mean_total_seconds == 6.0
+        assert agg.total_paths == 6
+
+    def test_aggregate_empty(self):
+        agg = aggregate("x", 3, [])
+        assert agg.num_queries == 0
+        assert agg.mean_total_seconds == 0.0
+
+
+class TestIntermediateSampling:
+    def test_counts_cover_lengths(self):
+        g = load_dataset("rt")
+        query = generate_queries(g, 6, 1, seed=1)[0]
+        counts = newly_generated_by_length(g, query, sample_size=50,
+                                           level_cap=200, seed=1)
+        assert set(counts) <= set(range(2, 6))
+
+    def test_zero_at_k_minus_one(self):
+        """Observation 1: length k-1 paths generate nothing."""
+        g = G.complete_digraph(8)
+        query = Query(0, 1, 4)
+        counts = newly_generated_by_length(g, query, sample_size=100,
+                                           level_cap=500, seed=0)
+        assert counts[3].new_paths == 0
+        assert counts[3].per_thousand == 0
+
+    def test_per_thousand_normalisation(self):
+        from repro.workloads.intermediate import ExpansionCount
+
+        c = ExpansionCount(length=3, sampled_paths=500, new_paths=750)
+        assert c.per_thousand == 1500
+        empty = ExpansionCount(length=3, sampled_paths=0, new_paths=0)
+        assert empty.per_thousand == 0
+
+    def test_deterministic(self):
+        g = load_dataset("rt")
+        query = generate_queries(g, 5, 1, seed=2)[0]
+        a = newly_generated_by_length(g, query, 30, 100, seed=3)
+        b = newly_generated_by_length(g, query, 30, 100, seed=3)
+        assert a == b

@@ -1,0 +1,48 @@
+"""Additional Table III sampler invariants on controlled graphs."""
+
+import pytest
+
+from repro.graph import generators as G
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query
+from repro.workloads.intermediate import newly_generated_by_length
+
+
+class TestShapeOnControlledGraphs:
+    def test_rise_then_fall_on_dense_graph(self):
+        """On a dense graph the per-length counts must eventually decay:
+        the hop constraint's pruning power grows with l (Observation 1)."""
+        g = G.complete_digraph(12)
+        counts = newly_generated_by_length(
+            g, Query(0, 1, 6), sample_size=200, level_cap=800, seed=2
+        )
+        values = [counts[l].per_thousand for l in sorted(counts)]
+        assert values[-1] == 0
+        assert max(values) == max(values[:-1])  # peak is not at the end
+
+    def test_line_graph_single_chain(self):
+        g = CSRGraph.from_edges(8, [(i, i + 1) for i in range(7)])
+        counts = newly_generated_by_length(
+            g, Query(0, 7, 7), sample_size=100, level_cap=100, seed=0
+        )
+        # exactly one intermediate path per length, each expands to one
+        for l, c in counts.items():
+            if l < 6:
+                assert c.sampled_paths == 1
+                assert c.new_paths == 1
+        assert counts[6].new_paths == 0
+
+    def test_level_cap_bounds_sample(self):
+        g = G.complete_digraph(10)
+        counts = newly_generated_by_length(
+            g, Query(0, 1, 5), sample_size=50, level_cap=60, seed=1
+        )
+        for c in counts.values():
+            assert c.sampled_paths <= 50
+
+    def test_unreachable_target_all_zero(self):
+        g = CSRGraph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        counts = newly_generated_by_length(
+            g, Query(0, 5, 5), sample_size=50, level_cap=50, seed=0
+        )
+        assert all(c.new_paths == 0 for c in counts.values())
