@@ -1,0 +1,103 @@
+"""Reverse-CSR caching — per-graph artifact vs per-query rebuild, at
+batch-service scale (>= 1,000 queries).
+
+The bug this PR fixes: treating ``G_rev`` as per-query work means every
+Pre-BFS pays an O(|E|) CSR transpose before its reverse BFS even starts.
+With the artifact cached (seed ``CSRGraph.reverse()`` memoisation plus the
+service-level :class:`~repro.service.GraphArtifactCache`), a 1,000-query
+batch builds it exactly once and the amortised cost vanishes.
+
+This benchmark measures mean preprocessing work per query — both raw op
+counts and modelled CPU seconds — under the two policies, and drives the
+same batch through :class:`~repro.service.BatchQueryService` to show the
+cache counters on a realistic multi-engine run.
+"""
+
+from conftest import SEED, run_once
+from repro.graph import generators as G
+from repro.host.cost_model import CpuCostModel, OpCounter
+from repro.preprocess.prebfs import pre_bfs
+from repro.service import BatchQueryService
+from repro.workloads.queries import generate_queries
+
+NUM_QUERIES = 1000
+MAX_HOPS = 3
+NUM_VERTICES = 1500
+NUM_EDGES = 9000
+
+
+def make_workload():
+    graph = G.chung_lu(NUM_VERTICES, NUM_EDGES, seed=SEED)
+    queries = generate_queries(graph, MAX_HOPS, NUM_QUERIES, seed=SEED)
+    return graph, queries
+
+
+def mean_prep(graph, queries, cost_model, *, rebuild_reverse):
+    """Mean per-query preprocessing (ops, modelled seconds).
+
+    ``rebuild_reverse=True`` simulates the pre-fix behaviour by evicting
+    the memoised reverse CSR before every query, so each Pre-BFS pays the
+    full transpose again.
+    """
+    total_ops = 0
+    total_seconds = 0.0
+    for query in queries:
+        if rebuild_reverse:
+            graph._rev = None
+            graph.rev_builds = 0
+        counter = OpCounter()
+        pre_bfs(graph, query, counter)
+        total_ops += counter.total()
+        total_seconds += cost_model.seconds(counter)
+    return total_ops / len(queries), total_seconds / len(queries)
+
+
+def test_reverse_cache_reduces_mean_preprocessing(benchmark):
+    graph, queries = make_workload()
+    cost_model = CpuCostModel()
+
+    def run():
+        uncached = mean_prep(graph, queries, cost_model,
+                             rebuild_reverse=True)
+        graph._rev = None
+        graph.rev_builds = 0
+        cached = mean_prep(graph, queries, cost_model,
+                           rebuild_reverse=False)
+        return uncached, cached
+
+    (uncached_ops, uncached_s), (cached_ops, cached_s) = run_once(
+        benchmark, run
+    )
+
+    # the cached run paid the transpose exactly once across the batch
+    assert graph.rev_builds == 1
+    assert cached_ops < uncached_ops
+    assert cached_s < uncached_s
+    # amortised over >= 1k queries the saving is roughly the per-query
+    # O(|E|) rebuild; demand a clear margin, not a rounding artefact
+    saved_ops = uncached_ops - cached_ops
+    assert saved_ops > 0.9 * graph.num_edges
+    print()
+    print(f"{NUM_QUERIES} queries, k={MAX_HOPS}, "
+          f"|V|={graph.num_vertices} |E|={graph.num_edges}")
+    print(f"mean T1 ops/query   rebuild: {uncached_ops:12.1f}   "
+          f"cached: {cached_ops:12.1f}   saved: {saved_ops:.1f}")
+    print(f"mean T1 secs/query  rebuild: {uncached_s:.3e}   "
+          f"cached: {cached_s:.3e}")
+
+
+def test_service_batch_hits_reverse_cache(benchmark):
+    graph, queries = make_workload()
+    service = BatchQueryService(graph, num_engines=4,
+                                scheduler="longest-first")
+    batch = run_once(benchmark, service.run, queries=queries)
+
+    assert batch.num_queries == NUM_QUERIES
+    assert batch.cache_stats["reverse_misses"] == 1
+    assert graph.rev_builds == 1
+    # every query either memo-hits Pre-BFS or recomputes it on the shared
+    # reverse CSR; none of them rebuilds the transpose
+    for report in batch.reports:
+        assert report.preprocess_ops.count("rev_build_edge") == 0
+    print()
+    print(batch.render())

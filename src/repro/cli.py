@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro query GRAPH.txt -s 0 -t 42 -k 4 [--algorithm pefp]
+    python -m repro serve-batch GRAPH.txt -k 4 -n 1000 --engines 4
     python -m repro stats GRAPH.txt
     python -m repro datasets
 
@@ -133,6 +134,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.service import BatchQueryService
+    from repro.workloads.queries import generate_queries
+
+    graph = _load_graph(args.graph)
+    queries = generate_queries(graph, args.max_hops, args.num_queries,
+                               seed=args.seed)
+    service = BatchQueryService(
+        graph,
+        variant=args.algorithm,
+        num_engines=args.engines,
+        scheduler=args.scheduler,
+        use_threads=not args.no_threads,
+    )
+    report = service.run(queries)
+    print(report.render())
+    return 0
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     rows = [
         (spec.key, spec.short_name, spec.paper_name, spec.description,
@@ -203,6 +223,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="experiment id, e.g. fig8, fig14, tab3")
     b.add_argument("--seed", type=int, default=7)
     b.set_defaults(func=_cmd_bench)
+
+    sv = sub.add_parser(
+        "serve-batch",
+        help="serve a generated query batch on N engines and print "
+             "latency/throughput/cache metrics",
+    )
+    sv.add_argument("graph", help="edge-list file or a dataset key")
+    sv.add_argument("-k", "--max-hops", type=int, required=True)
+    sv.add_argument("-n", "--num-queries", type=int, default=100,
+                    help="batch size (default 100; the paper ships 1,000)")
+    sv.add_argument("--engines", type=int, default=2,
+                    help="simulated engine instances (default 2)")
+    sv.add_argument("--scheduler", default="round-robin",
+                    choices=("round-robin", "longest-first"))
+    sv.add_argument("--algorithm", default="pefp", choices=list(VARIANTS),
+                    help="PEFP variant each engine runs")
+    sv.add_argument("--seed", type=int, default=7,
+                    help="query-generation seed")
+    sv.add_argument("--no-threads", action="store_true",
+                    help="dispatch engines sequentially (debugging)")
+    sv.set_defaults(func=_cmd_serve_batch)
     return parser
 
 

@@ -142,8 +142,11 @@ class PEFPEngine:
     ) -> EngineRunResult:
         """Enumerate all s-t k-paths of ``graph`` on the simulated device.
 
-        ``barrier`` must hold lower bounds on ``sd(v, target)`` (Pre-BFS
-        supplies exact distances; the no-Pre-BFS variant passes zeros).
+        ``barrier`` must hold lower bounds on ``sd(v, target)`` — Pre-BFS
+        supplies exact distances on the induced subgraph; the no-Pre-BFS
+        host path supplies the k-hop reverse-BFS distances with every
+        unreached vertex set to ``k + 1`` (a valid lower bound that prunes
+        it immediately; zeros would disable barrier pruning entirely).
         Returned paths use ``graph``'s vertex ids.
 
         ``on_result`` streams each found path as it is produced (the

@@ -59,25 +59,37 @@ def record_words(max_hops: int) -> int:
 
 
 class BufferArea:
-    """The BRAM buffer area ``P``: a bounded stack of path records."""
+    """The BRAM buffer area ``P``: a bounded stack of path records.
+
+    Indices (``record_at``/``top_index``/``pop_suffix``) are logical: 0 is
+    always the current front.  Storage is a list plus a head offset so the
+    FIFO ablation's :meth:`pop_front` is O(1) amortised instead of the
+    O(n) front-shift ``list.pop(0)`` would pay per removal; Batch-DFS
+    stack semantics (push/top/pop_suffix) are unchanged.
+    """
+
+    #: compact the backing list once this many consumed slots accumulate
+    #: at its front (and they are at least half the list).
+    _COMPACT_THRESHOLD = 64
 
     def __init__(self, capacity_paths: int) -> None:
         if capacity_paths < 1:
             raise CapacityError("buffer area needs capacity for >= 1 path")
         self.capacity_paths = capacity_paths
         self._stack: list[PathRecord] = []
+        self._head = 0
         self.peak_occupancy = 0
 
     def __len__(self) -> int:
-        return len(self._stack)
+        return len(self._stack) - self._head
 
     @property
     def is_full(self) -> bool:
-        return len(self._stack) >= self.capacity_paths
+        return len(self) >= self.capacity_paths
 
     @property
     def is_empty(self) -> bool:
-        return not self._stack
+        return len(self) == 0
 
     def push(self, record: PathRecord) -> None:
         if self.is_full:
@@ -86,27 +98,37 @@ class BufferArea:
                 "the engine must flush before pushing"
             )
         self._stack.append(record)
-        self.peak_occupancy = max(self.peak_occupancy, len(self._stack))
+        self.peak_occupancy = max(self.peak_occupancy, len(self))
 
     def record_at(self, index: int) -> PathRecord:
-        return self._stack[index]
+        return self._stack[self._head + index]
 
     def top_index(self) -> int:
-        return len(self._stack) - 1
+        return len(self) - 1
 
     def pop_suffix(self, from_index: int) -> None:
         """Drop all records at positions ``>= from_index`` (consumed)."""
-        del self._stack[from_index:]
+        del self._stack[self._head + from_index:]
 
     def drain(self) -> list[PathRecord]:
         """Remove and return all records (bottom to top order)."""
-        drained = self._stack
+        drained = self._stack[self._head:]
         self._stack = []
+        self._head = 0
         return drained
 
     def pop_front(self) -> PathRecord:
-        """FIFO removal (the no-Batch-DFS ablation)."""
-        return self._stack.pop(0)
+        """FIFO removal (the no-Batch-DFS ablation), O(1) amortised."""
+        if self.is_empty:
+            raise IndexError("pop_front from an empty buffer area")
+        record = self._stack[self._head]
+        self._stack[self._head] = None  # type: ignore[call-overload]
+        self._head += 1
+        if (self._head >= self._COMPACT_THRESHOLD
+                and self._head * 2 >= len(self._stack)):
+            del self._stack[:self._head]
+            self._head = 0
+        return record
 
 
 class DramArea:

@@ -80,6 +80,10 @@ class Device:
         """Host -> FPGA DRAM transfer time for ``num_words`` words."""
         return self.pcie.transfer_seconds(num_words * WORD_BYTES)
 
+    def dma_from_device_seconds(self, num_words: int) -> float:
+        """FPGA DRAM -> host transfer time for ``num_words`` words."""
+        return self.pcie.transfer_seconds_from_device(num_words * WORD_BYTES)
+
     def __repr__(self) -> str:
         return (
             f"Device(freq={self.config.frequency_hz / 1e6:.0f}MHz, "

@@ -14,21 +14,40 @@ from repro.errors import ConfigError
 
 @dataclass(frozen=True)
 class PcieModel:
-    """A PCIe 3.0 x16 style DMA link."""
+    """A PCIe 3.0 x16 style DMA link.
+
+    The two DMA directions are modelled separately: device-to-host reads
+    sustain a somewhat lower bandwidth than host-to-device writes on real
+    cards (the read path pays completion-credit round trips).  When
+    ``from_device_bandwidth_bytes_per_s`` is ``None`` the link is symmetric.
+    """
 
     bandwidth_bytes_per_s: float = 12.0e9
     setup_latency_s: float = 1.0e-4
+    from_device_bandwidth_bytes_per_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.bandwidth_bytes_per_s <= 0:
             raise ConfigError("PCIe bandwidth must be positive")
         if self.setup_latency_s < 0:
             raise ConfigError("PCIe setup latency must be non-negative")
+        if (self.from_device_bandwidth_bytes_per_s is not None
+                and self.from_device_bandwidth_bytes_per_s <= 0):
+            raise ConfigError("PCIe device-to-host bandwidth must be positive")
 
     def transfer_seconds(self, num_bytes: int) -> float:
-        """Seconds to DMA ``num_bytes`` in one transfer."""
+        """Seconds to DMA ``num_bytes`` host -> device in one transfer."""
+        return self._transfer(num_bytes, self.bandwidth_bytes_per_s)
+
+    def transfer_seconds_from_device(self, num_bytes: int) -> float:
+        """Seconds to DMA ``num_bytes`` device -> host in one transfer."""
+        bandwidth = (self.from_device_bandwidth_bytes_per_s
+                     or self.bandwidth_bytes_per_s)
+        return self._transfer(num_bytes, bandwidth)
+
+    def _transfer(self, num_bytes: int, bandwidth: float) -> float:
         if num_bytes < 0:
             raise ConfigError(f"negative transfer size: {num_bytes}")
         if num_bytes == 0:
             return 0.0
-        return self.setup_latency_s + num_bytes / self.bandwidth_bytes_per_s
+        return self.setup_latency_s + num_bytes / bandwidth

@@ -27,7 +27,7 @@ class CSRGraph:
         ``int64`` array of length ``m`` holding neighbor ids.
     """
 
-    __slots__ = ("indptr", "indices", "_rev", "_adj")
+    __slots__ = ("indptr", "indices", "_rev", "_adj", "rev_builds")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
         indptr = np.asarray(indptr, dtype=np.int64)
@@ -49,6 +49,9 @@ class CSRGraph:
         self.indices = indices
         self._rev: CSRGraph | None = None
         self._adj: tuple[tuple[int, ...], ...] | None = None
+        #: number of times the reverse CSR was actually constructed for
+        #: this instance (0 or 1; regression-tested by the batch service).
+        self.rev_builds = 0
 
     # ------------------------------------------------------------------
     # constructors
@@ -134,9 +137,15 @@ class CSRGraph:
     # ------------------------------------------------------------------
     # derived graphs
     # ------------------------------------------------------------------
+    @property
+    def has_cached_reverse(self) -> bool:
+        """Whether :meth:`reverse` would be a cache hit (no rebuild)."""
+        return self._rev is not None
+
     def reverse(self) -> "CSRGraph":
         """The reverse graph ``G_rev`` (cached after first call)."""
         if self._rev is None:
+            self.rev_builds += 1
             n = self.num_vertices
             srcs = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
             order = np.lexsort((srcs, self.indices))

@@ -51,6 +51,9 @@ DEFAULT_OP_CYCLES: Mapping[str, float] = {
     # Sequential CSR row copy during induced-subgraph construction
     # (streaming writes, prefetch-friendly — far cheaper than traversal).
     "csr_build_edge": 6.0,
+    # Building the reverse CSR: sort edges by head + scatter (paid once per
+    # graph; cache hits are the free ``rev_cache_hit`` marker op).
+    "rev_build_edge": 10.0,
     # Hash-join build / probe per half-path (JOIN's concatenation phase).
     "join_build": 35.0,
     "join_probe": 40.0,

@@ -18,7 +18,11 @@ from repro.fpga.device import WORD_BYTES
 from repro.graph.csr import CSRGraph
 from repro.host.cost_model import CpuCostModel, OpCounter
 from repro.host.query import Query, QueryResult
-from repro.preprocess.bfs import distances_with_default, k_hop_bfs
+from repro.preprocess.bfs import (
+    charged_reverse,
+    distances_with_default,
+    k_hop_bfs,
+)
 from repro.preprocess.prebfs import pre_bfs
 
 
@@ -97,28 +101,57 @@ class PathEnumerationSystem:
         engine: PEFPEngine | None = None,
         cost_model: CpuCostModel | None = None,
         use_prebfs: bool = True,
+        artifact_cache=None,
     ) -> None:
         self.graph = graph
         self.engine = engine or PEFPEngine()
         self.cost_model = cost_model or CpuCostModel()
         self.use_prebfs = use_prebfs
+        #: optional :class:`repro.service.cache.GraphArtifactCache` shared
+        #: across systems; when set, Pre-BFS results and the reverse CSR
+        #: come from it (duck-typed to keep host free of service imports).
+        self.artifact_cache = artifact_cache
 
     @classmethod
     def for_variant(cls, graph: CSRGraph, variant: str = "pefp",
+                    cost_model: CpuCostModel | None = None,
+                    artifact_cache=None,
                     **engine_kwargs) -> "PathEnumerationSystem":
         """Build the system for one of the paper's PEFP variants."""
         return cls(
             graph,
             engine=make_engine(variant, **engine_kwargs),
+            cost_model=cost_model,
             use_prebfs=variant_uses_prebfs(variant),
+            artifact_cache=artifact_cache,
         )
 
     def execute(self, query: Query) -> SystemReport:
-        """Answer one query end to end."""
+        """Answer one query end to end.
+
+        A query Pre-BFS proves empty (no vertex can lie on an s-t k-path)
+        short-circuits: the zero-path report carries the preprocessing
+        cost ``T1`` but no device is allocated and nothing is shipped.
+        """
         query.validate(self.graph)
         pre_ops = OpCounter()
         if self.use_prebfs:
-            prep = pre_bfs(self.graph, query, pre_ops)
+            if self.artifact_cache is not None:
+                prep = self.artifact_cache.pre_bfs(self.graph, query,
+                                                   pre_ops)
+            else:
+                prep = pre_bfs(self.graph, query, pre_ops)
+            if prep.is_empty:
+                return SystemReport(
+                    query=query,
+                    paths=[],
+                    preprocess_seconds=self.cost_model.seconds(pre_ops),
+                    query_seconds=0.0,
+                    transfer_seconds=0.0,
+                    fpga_cycles=0,
+                    engine_stats=EngineStats(),
+                    preprocess_ops=pre_ops,
+                )
             run_graph = prep.subgraph
             source, target = prep.source, prep.target
             barrier = prep.barrier
@@ -131,8 +164,11 @@ class PathEnumerationSystem:
             # graph (typically too large for the BRAM caches).
             run_graph = self.graph
             source, target = query.source, query.target
-            sd_t = k_hop_bfs(self.graph.reverse(), target, query.max_hops,
-                             pre_ops)
+            if self.artifact_cache is not None:
+                rev = self.artifact_cache.reverse(self.graph, pre_ops)
+            else:
+                rev = charged_reverse(self.graph, pre_ops)
+            sd_t = k_hop_bfs(rev, target, query.max_hops, pre_ops)
             barrier = distances_with_default(sd_t, query.max_hops + 1)
             translate = None
 
@@ -146,7 +182,7 @@ class PathEnumerationSystem:
                               barrier)
         transfer = run.device.dma_to_device_seconds(payload_words)
         result_words = sum(len(p) + 1 for p in run.paths)
-        result_transfer = run.device.dma_to_device_seconds(result_words)
+        result_transfer = run.device.dma_from_device_seconds(result_words)
 
         if translate is not None:
             paths = [translate(p) for p in run.paths]

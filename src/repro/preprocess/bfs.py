@@ -11,6 +11,28 @@ from repro.graph.csr import CSRGraph
 from repro.host.cost_model import OpCounter
 
 
+def charged_reverse(
+    graph: CSRGraph,
+    counter: OpCounter | None = None,
+) -> CSRGraph:
+    """``G_rev`` with its construction cost charged to ``counter``.
+
+    :meth:`CSRGraph.reverse` memoises the reverse graph per instance, so
+    across a query batch only the *first* caller pays the build (charged as
+    ``rev_build_edge`` per reverse edge); every later call is a cache hit
+    and charges only the zero-cost ``rev_cache_hit`` marker, which lets
+    batch-level reports count how often the shared artifact was reused.
+    """
+    hit = graph.has_cached_reverse
+    rev = graph.reverse()
+    if counter is not None:
+        if hit:
+            counter.add("rev_cache_hit")
+        else:
+            counter.add("rev_build_edge", rev.num_edges)
+    return rev
+
+
 def k_hop_bfs(
     graph: CSRGraph,
     source: int,

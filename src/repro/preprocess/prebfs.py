@@ -19,7 +19,7 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 from repro.host.cost_model import OpCounter
 from repro.host.query import Query
-from repro.preprocess.bfs import k_hop_bfs
+from repro.preprocess.bfs import charged_reverse, k_hop_bfs
 
 
 @dataclass
@@ -60,7 +60,9 @@ def pre_bfs(graph: CSRGraph, query: Query,
     s, t = query.source, query.target
 
     sd_s = k_hop_bfs(graph, s, k - 1, ops)
-    sd_t = k_hop_bfs(graph.reverse(), t, k - 1, ops)
+    # The reverse CSR is a per-graph artifact, not per-query work: it is
+    # built (and charged) once per graph and reused by every later query.
+    sd_t = k_hop_bfs(charged_reverse(graph, ops), t, k - 1, ops)
 
     reachable = (sd_s >= 0) & (sd_t >= 0)
     within = np.zeros(graph.num_vertices, dtype=bool)

@@ -1,6 +1,13 @@
 """Experiment harness and table rendering for the paper's figures/tables."""
 
 from repro.reporting.tables import format_seconds, format_speedup, render_table
+from repro.reporting.service import service_report_table
 from repro.reporting import experiments
 
-__all__ = ["render_table", "format_seconds", "format_speedup", "experiments"]
+__all__ = [
+    "render_table",
+    "format_seconds",
+    "format_speedup",
+    "service_report_table",
+    "experiments",
+]

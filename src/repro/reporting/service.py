@@ -1,0 +1,71 @@
+"""Rendering for batch-service reports: latency, throughput, cache, engines.
+
+Kept separate from the service layer so the service has no presentation
+dependencies; this module only needs the report's public attributes.
+"""
+
+from __future__ import annotations
+
+from repro.reporting.tables import format_seconds, render_table
+
+
+def latency_table(report) -> str:
+    """Per-query latency percentiles and batch throughput."""
+    latency = report.latency
+    rows: list[tuple[str, str]] = [
+        ("queries", str(report.num_queries)),
+        ("paths found", str(report.total_paths)),
+    ]
+    if latency is not None:
+        rows += [
+            ("latency p50", format_seconds(latency.p50)),
+            ("latency p95", format_seconds(latency.p95)),
+            ("latency p99", format_seconds(latency.p99)),
+            ("latency mean", format_seconds(latency.mean)),
+            ("latency max", format_seconds(latency.maximum)),
+        ]
+    rows += [
+        ("throughput", f"{report.throughput_qps:.4g} queries/s"),
+        ("batch makespan", format_seconds(report.makespan_seconds)),
+        ("warmup (shared artifacts)", format_seconds(report.warmup_seconds)),
+        ("batch DMA", format_seconds(report.batch_transfer_seconds)),
+        ("host wall time", format_seconds(report.wall_seconds)),
+    ]
+    return render_table(("metric", "value"), rows, title="service batch")
+
+
+def cache_table(report) -> str:
+    """Reverse-CSR and Pre-BFS cache hit/miss counters."""
+    stats = report.cache_stats
+    rows = [
+        ("reverse CSR", stats.get("reverse_hits", 0),
+         stats.get("reverse_misses", 0)),
+        ("Pre-BFS memo", stats.get("prebfs_hits", 0),
+         stats.get("prebfs_misses", 0)),
+    ]
+    return render_table(("artifact", "hits", "misses"), rows,
+                        title="preprocessing cache")
+
+
+def engine_table(report) -> str:
+    """Per-engine load and utilization under the chosen scheduler."""
+    utilization = report.engine_utilization
+    rows = []
+    for e, busy in enumerate(report.engine_busy_seconds):
+        rows.append(
+            (f"engine {e}",
+             len(report.assignment[e]),
+             format_seconds(busy),
+             f"{utilization[e]:.1%}")
+        )
+    return render_table(
+        ("engine", "queries", "busy", "utilization"), rows,
+        title=f"engines ({report.scheduler})",
+    )
+
+
+def service_report_table(report) -> str:
+    """The full plain-text service report."""
+    return "\n\n".join(
+        (latency_table(report), cache_table(report), engine_table(report))
+    )

@@ -1,0 +1,28 @@
+"""Batch query serving: shared preprocessing cache, N engines, metrics."""
+
+from repro.service.batch import BatchQueryService, ServiceBatchReport
+from repro.service.cache import GraphArtifactCache
+from repro.service.metrics import (
+    LatencySummary,
+    MetricsRegistry,
+    percentile,
+)
+from repro.service.scheduler import (
+    SCHEDULERS,
+    estimate_query_work,
+    longest_first,
+    round_robin,
+)
+
+__all__ = [
+    "BatchQueryService",
+    "ServiceBatchReport",
+    "GraphArtifactCache",
+    "LatencySummary",
+    "MetricsRegistry",
+    "percentile",
+    "SCHEDULERS",
+    "estimate_query_work",
+    "longest_first",
+    "round_robin",
+]

@@ -1,0 +1,239 @@
+"""The multi-engine batch query service.
+
+:class:`BatchQueryService` is the serving layer the paper's evaluation
+implies but never names: 1,000 queries arrive as one batch against a
+resident graph, per-graph preprocessing artifacts (the reverse CSR, memoised
+Pre-BFS results) are shared across all of them, and the batch is dispatched
+over N engine instances — each a full :class:`PathEnumerationSystem` whose
+kernel runs keep their own per-device cycle accounting.  Worker dispatch
+uses a thread pool (one worker per engine); because every engine simulates
+its own device clock, answers and modelled timings are independent of
+thread interleaving.
+
+Latency, throughput, cache and per-engine utilization metrics land in a
+:class:`repro.service.metrics.MetricsRegistry` and are summarised on the
+returned :class:`ServiceBatchReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.fpga.device import WORD_BYTES
+from repro.graph.csr import CSRGraph
+from repro.host.cost_model import CpuCostModel, OpCounter
+from repro.host.query import Query
+from repro.host.system import PathEnumerationSystem, SystemReport
+from repro.service.cache import GraphArtifactCache
+from repro.service.metrics import LatencySummary, MetricsRegistry
+from repro.service.scheduler import SCHEDULERS, Assignment
+
+
+@dataclass
+class ServiceBatchReport:
+    """Everything one batch produced: answers, timings, observability."""
+
+    reports: list[SystemReport]
+    assignment: Assignment
+    scheduler: str
+    batch_transfer_seconds: float
+    #: one-time per-graph artifact builds, accounted as batch setup
+    #: instead of inflating the first query's T1.
+    warmup_ops: OpCounter
+    warmup_seconds: float
+    engine_busy_seconds: list[float]
+    wall_seconds: float
+    metrics: MetricsRegistry
+    cache_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.reports)
+
+    @property
+    def num_engines(self) -> int:
+        return len(self.engine_busy_seconds)
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Modelled batch completion time: the busiest engine's load."""
+        if not self.engine_busy_seconds:
+            return 0.0
+        return max(self.engine_busy_seconds)
+
+    @property
+    def throughput_qps(self) -> float:
+        """Modelled queries/second over the batch makespan."""
+        makespan = self.makespan_seconds
+        if makespan <= 0.0:
+            return 0.0
+        return self.num_queries / makespan
+
+    @property
+    def engine_utilization(self) -> list[float]:
+        """Busy fraction of each engine relative to the makespan."""
+        makespan = self.makespan_seconds
+        if makespan <= 0.0:
+            return [0.0] * self.num_engines
+        return [busy / makespan for busy in self.engine_busy_seconds]
+
+    @property
+    def latency(self) -> LatencySummary | None:
+        """Modelled per-query latency summary (p50/p95/p99 et al.)."""
+        return self.metrics.summary("latency_seconds")
+
+    @property
+    def total_paths(self) -> int:
+        return sum(r.num_paths for r in self.reports)
+
+    def path_sets(self) -> list[frozenset[tuple[int, ...]]]:
+        """Per-query answer sets, in batch order (for equivalence checks)."""
+        return [frozenset(r.paths) for r in self.reports]
+
+    def render(self) -> str:
+        """Plain-text service report (tables live in the reporting layer)."""
+        from repro.reporting.service import service_report_table
+
+        return service_report_table(self)
+
+
+class BatchQueryService:
+    """N engine instances + shared artifact cache serving query batches.
+
+    Parameters
+    ----------
+    graph:
+        The resident graph every batch queries.
+    variant:
+        PEFP variant each engine runs (see ``repro.core.variants``).
+    num_engines:
+        Simulated engine instances (>= 1); each gets its own
+        :class:`PathEnumerationSystem` and, per query, its own device.
+    scheduler:
+        ``"round-robin"`` or ``"longest-first"`` (see
+        :mod:`repro.service.scheduler`).
+    use_threads:
+        Dispatch engines on a thread pool; ``False`` runs them in order
+        (identical results, useful when debugging).
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        variant: str = "pefp",
+        num_engines: int = 2,
+        scheduler: str = "round-robin",
+        cost_model: CpuCostModel | None = None,
+        cache: GraphArtifactCache | None = None,
+        use_threads: bool = True,
+        **engine_kwargs,
+    ) -> None:
+        if num_engines < 1:
+            raise ConfigError(f"need at least one engine, got {num_engines}")
+        if scheduler not in SCHEDULERS:
+            raise ConfigError(
+                f"unknown scheduler {scheduler!r}; "
+                f"expected one of {sorted(SCHEDULERS)}"
+            )
+        self.graph = graph
+        self.variant = variant
+        self.scheduler = scheduler
+        self.use_threads = use_threads
+        self.cost_model = cost_model or CpuCostModel()
+        self.cache = cache or GraphArtifactCache()
+        self.metrics = MetricsRegistry()
+        self.systems = [
+            PathEnumerationSystem.for_variant(
+                graph,
+                variant,
+                cost_model=self.cost_model,
+                artifact_cache=self.cache,
+                **engine_kwargs,
+            )
+            for _ in range(num_engines)
+        ]
+
+    @property
+    def num_engines(self) -> int:
+        return len(self.systems)
+
+    def run(self, queries: list[Query]) -> ServiceBatchReport:
+        """Serve one batch end to end and report answers plus metrics."""
+        wall_start = time.perf_counter()
+        stats_before = self.cache.stats()
+
+        # One-time per-graph artifacts, charged to the batch, not query 1.
+        warmup_ops = OpCounter()
+        self.cache.warm(self.graph, warmup_ops)
+        warmup_seconds = self.cost_model.seconds(warmup_ops)
+
+        assignment = SCHEDULERS[self.scheduler](
+            queries, self.num_engines, graph=self.graph
+        )
+        reports: list[SystemReport | None] = [None] * len(queries)
+        busy = [0.0] * self.num_engines
+
+        def serve_engine(engine_idx: int) -> None:
+            system = self.systems[engine_idx]
+            for query_idx in assignment[engine_idx]:
+                report = system.execute(queries[query_idx])
+                reports[query_idx] = report
+                busy[engine_idx] += report.total_seconds
+                self._observe(report, engine_idx)
+
+        if self.use_threads and self.num_engines > 1:
+            with ThreadPoolExecutor(
+                max_workers=self.num_engines,
+                thread_name_prefix="pefp-engine",
+            ) as pool:
+                futures = [
+                    pool.submit(serve_engine, e)
+                    for e in range(self.num_engines)
+                ]
+                for future in futures:
+                    future.result()
+        else:
+            for e in range(self.num_engines):
+                serve_engine(e)
+
+        done = [r for r in reports if r is not None]
+        assert len(done) == len(queries), "engine worker lost a query"
+
+        # Amortised DMA, as in PathEnumerationSystem.execute_batch.
+        total_words = sum(r.payload_words for r in done)
+        pcie = self.systems[0].engine.device_config.pcie
+        batch_transfer = pcie.transfer_seconds(total_words * WORD_BYTES)
+
+        wall_seconds = time.perf_counter() - wall_start
+        cache_stats = self.cache.stats()
+        for key in ("reverse_hits", "reverse_misses",
+                    "prebfs_hits", "prebfs_misses"):
+            self.metrics.increment(key,
+                                   cache_stats[key] - stats_before[key])
+
+        return ServiceBatchReport(
+            reports=done,
+            assignment=assignment,
+            scheduler=self.scheduler,
+            batch_transfer_seconds=batch_transfer,
+            warmup_ops=warmup_ops,
+            warmup_seconds=warmup_seconds,
+            engine_busy_seconds=busy,
+            wall_seconds=wall_seconds,
+            metrics=self.metrics,
+            cache_stats=cache_stats,
+        )
+
+    def _observe(self, report: SystemReport, engine_idx: int) -> None:
+        self.metrics.observe("latency_seconds", report.total_seconds)
+        self.metrics.observe("preprocess_seconds",
+                             report.preprocess_seconds)
+        self.metrics.observe("query_seconds", report.query_seconds)
+        self.metrics.increment("queries")
+        self.metrics.increment("paths_found", report.num_paths)
+        self.metrics.increment(f"engine{engine_idx}_queries")
+        if report.device is None:
+            self.metrics.increment("empty_queries")

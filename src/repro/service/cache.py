@@ -1,0 +1,179 @@
+"""Shared per-graph preprocessing artifacts for the batch service.
+
+The paper ships 1,000 queries per batch against one resident graph, so
+everything derivable from the graph alone — above all the reverse CSR that
+every Pre-BFS walks backwards from ``t`` — is a *batch* artifact, not
+per-query work.  :class:`GraphArtifactCache` pins those artifacts, exposes
+hit/miss counters for the service's metrics report, and additionally
+memoises whole :class:`PreBFSResult` objects so duplicate queries inside a
+batch (common under heavy real traffic) skip preprocessing entirely.
+
+The cache is keyed by graph *identity*: artifacts are only valid for the
+exact immutable :class:`CSRGraph` instance they were derived from, and
+keying by ``id()`` (with a pinning reference) avoids hashing the arrays.
+All methods are thread-safe, and lookups are *single-flight*: when two
+engine workers request the same missing artifact concurrently, one builds
+it while the other waits and then reads the cached copy — an artifact is
+never computed twice.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.graph.csr import CSRGraph
+from repro.host.cost_model import OpCounter
+from repro.host.query import Query
+from repro.preprocess.bfs import charged_reverse
+from repro.preprocess.prebfs import PreBFSResult, pre_bfs
+
+
+class GraphArtifactCache:
+    """Reverse-CSR and Pre-BFS cache shared by all engines of a service.
+
+    ``max_prebfs_entries`` bounds the per-query memo (FIFO eviction);
+    the per-graph reverse entries are unbounded — a service holds O(1)
+    resident graphs.
+    """
+
+    def __init__(self, max_prebfs_entries: int = 4096) -> None:
+        self._lock = threading.Lock()
+        #: id(graph) -> (graph pin, reverse graph)
+        self._reverse: dict[int, tuple[CSRGraph, CSRGraph]] = {}
+        #: (id(graph), s, t, k) -> (graph pin, PreBFSResult)
+        self._prebfs: OrderedDict[
+            tuple[int, int, int, int], tuple[CSRGraph, PreBFSResult]
+        ] = OrderedDict()
+        #: single-flight latches for artifacts currently being built.
+        self._inflight: dict[object, threading.Event] = {}
+        self.max_prebfs_entries = max_prebfs_entries
+        self.reverse_hits = 0
+        self.reverse_misses = 0
+        self.prebfs_hits = 0
+        self.prebfs_misses = 0
+
+    def _claim(self, flight_key, lookup, on_hit):
+        """Return a cached value or claim the build of a missing one.
+
+        Returns ``(value, None)`` on a hit or ``(None, event)`` when this
+        caller won the single-flight claim and must build the artifact,
+        then release the latch via :meth:`_release`.  Other concurrent
+        callers block until the builder finishes and then read the cache.
+        ``lookup``/``on_hit`` run under the cache lock.
+        """
+        while True:
+            with self._lock:
+                value = lookup()
+                if value is not None:
+                    on_hit()
+                    return value, None
+                latch = self._inflight.get(flight_key)
+                if latch is None:
+                    latch = threading.Event()
+                    self._inflight[flight_key] = latch
+                    return None, latch
+            latch.wait()
+
+    def _release(self, flight_key, latch: threading.Event) -> None:
+        with self._lock:
+            self._inflight.pop(flight_key, None)
+        latch.set()
+
+    # -- reverse CSR ---------------------------------------------------
+    def reverse(self, graph: CSRGraph,
+                counter: OpCounter | None = None) -> CSRGraph:
+        """``G_rev`` for ``graph``, built at most once per graph.
+
+        On a miss the construction cost is charged to ``counter`` (see
+        :func:`repro.preprocess.bfs.charged_reverse`); hits are free.
+        """
+        key = id(graph)
+
+        def lookup():
+            entry = self._reverse.get(key)
+            return None if entry is None else entry[1]
+
+        def on_hit():
+            self.reverse_hits += 1
+            if counter is not None:
+                counter.add("rev_cache_hit")
+
+        cached, latch = self._claim(("rev", key), lookup, on_hit)
+        if latch is None:
+            return cached
+        try:
+            rev = charged_reverse(graph, counter)
+            with self._lock:
+                self._reverse[key] = (graph, rev)
+                self.reverse_misses += 1
+        finally:
+            self._release(("rev", key), latch)
+        return rev
+
+    def warm(self, graph: CSRGraph,
+             counter: OpCounter | None = None) -> CSRGraph:
+        """Eagerly build the per-graph artifacts before a batch runs.
+
+        Charges the one-time build to ``counter`` so the service can
+        account it as batch setup instead of inflating the first query's
+        ``T1``.
+        """
+        return self.reverse(graph, counter)
+
+    # -- Pre-BFS memo --------------------------------------------------
+    def pre_bfs(self, graph: CSRGraph, query: Query,
+                counter: OpCounter | None = None) -> PreBFSResult:
+        """Memoised :func:`repro.preprocess.prebfs.pre_bfs`.
+
+        A hit charges one ``set_lookup`` (the memo probe) to ``counter``;
+        a miss runs Pre-BFS normally, charging its full cost.
+        """
+        key = (id(graph), query.source, query.target, query.max_hops)
+
+        def lookup():
+            entry = self._prebfs.get(key)
+            if entry is None:
+                return None
+            self._prebfs.move_to_end(key)
+            return entry[1]
+
+        def on_hit():
+            self.prebfs_hits += 1
+            if counter is not None:
+                counter.add("set_lookup")
+
+        cached, latch = self._claim(key, lookup, on_hit)
+        if latch is None:
+            return cached
+        try:
+            # Route the reverse lookup through the cache first so its
+            # hit/miss tally reflects this query too.
+            self.reverse(graph, counter)
+            prep = pre_bfs(graph, query, counter)
+            with self._lock:
+                self._prebfs[key] = (graph, prep)
+                self.prebfs_misses += 1
+                while len(self._prebfs) > self.max_prebfs_entries:
+                    self._prebfs.popitem(last=False)
+        finally:
+            self._release(key, latch)
+        return prep
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters as a plain dict (for metrics snapshots)."""
+        with self._lock:
+            return {
+                "reverse_hits": self.reverse_hits,
+                "reverse_misses": self.reverse_misses,
+                "prebfs_hits": self.prebfs_hits,
+                "prebfs_misses": self.prebfs_misses,
+                "prebfs_entries": len(self._prebfs),
+            }
+
+    def clear(self) -> None:
+        """Drop every cached artifact (counters are kept)."""
+        with self._lock:
+            self._reverse.clear()
+            self._prebfs.clear()

@@ -1,0 +1,113 @@
+"""Observability for the batch query service.
+
+A :class:`MetricsRegistry` is a small, thread-safe store of monotonically
+increasing counters plus named sample series (latencies, payload sizes).
+Sample series summarise into :class:`LatencySummary` — count, mean, min,
+max and the nearest-rank p50/p95/p99 percentiles every serving system
+reports — and the registry snapshots into a plain dict for rendering or
+export.  No wall-clock reads happen here; callers observe whatever notion
+of latency (modelled or measured) they want to track.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100]).
+
+    The nearest-rank method returns an actual sample, which is what
+    latency dashboards conventionally report.  Raises ``ValueError`` on an
+    empty series or an out-of-range ``q``.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample series")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile rank must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if q == 0.0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil(n * q / 100)
+    return ordered[int(rank) - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of one sample series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "LatencySummary":
+        """Summarise a non-empty sample series."""
+        if not samples:
+            raise ValueError("cannot summarise an empty sample series")
+        return cls(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            minimum=min(samples),
+            maximum=max(samples),
+            p50=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+        )
+
+
+class MetricsRegistry:
+    """Thread-safe counters + sample series for one service instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Counter[str] = Counter()
+        self._samples: dict[str, list[float]] = {}
+
+    # -- counters ------------------------------------------------------
+    def increment(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0 on first use)."""
+        with self._lock:
+            self._counters[name] += n
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- sample series -------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Append one sample to series ``name``."""
+        with self._lock:
+            self._samples.setdefault(name, []).append(float(value))
+
+    def samples(self, name: str) -> list[float]:
+        """Copy of series ``name`` (empty list if never observed)."""
+        with self._lock:
+            return list(self._samples.get(name, ()))
+
+    def summary(self, name: str) -> LatencySummary | None:
+        """Summary of series ``name``, or ``None`` when it has no samples."""
+        series = self.samples(name)
+        if not series:
+            return None
+        return LatencySummary.from_samples(series)
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict view: counters plus per-series summaries."""
+        with self._lock:
+            counters = dict(self._counters)
+            names = list(self._samples)
+        out: dict[str, object] = {"counters": counters, "series": {}}
+        for name in names:
+            summary = self.summary(name)
+            if summary is not None:
+                out["series"][name] = summary  # type: ignore[index]
+        return out

@@ -1,0 +1,97 @@
+"""Batch schedulers: assign queries of one batch to N engine instances.
+
+Two policies, both deterministic:
+
+- ``round-robin`` deals queries to engines in arrival order — the
+  baseline policy, oblivious to per-query cost.
+- ``longest-first`` is LPT (longest processing time first): sort queries
+  by a decreasing work estimate and repeatedly give the next one to the
+  least-loaded engine.  LPT's makespan is within 4/3 of optimal, and the
+  heaviest queries (largest k, densest neighbourhoods) stop serialising
+  behind each other on one engine.
+
+The work estimate never runs the query: it uses the hop budget and the
+out-degrees of the endpoints, the same signals Pre-BFS cost tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query
+
+#: assignment[i] is the list of batch indices engine ``i`` will serve,
+#: each in the order that engine should run them.
+Assignment = list[list[int]]
+
+
+def estimate_query_work(graph: CSRGraph, query: Query) -> float:
+    """Cheap monotone proxy for a query's enumeration cost.
+
+    Grows with the hop budget (search depth) and the endpoint degrees
+    (branching at the search frontier on ``G`` and ``G_rev``).
+    """
+    out_s = float(graph.out_degree(query.source))
+    # in-degree of t == out-degree of t on the reverse graph; read it from
+    # the cached reverse when available, else approximate with out-degree.
+    if graph.has_cached_reverse:
+        in_t = float(graph.reverse().out_degree(query.target))
+    else:
+        in_t = float(graph.out_degree(query.target))
+    return query.max_hops * (1.0 + out_s + in_t)
+
+
+def round_robin(queries: Sequence[Query], num_engines: int,
+                graph: CSRGraph | None = None) -> Assignment:
+    """Deal queries to engines in arrival order."""
+    _check(num_engines)
+    assignment: Assignment = [[] for _ in range(num_engines)]
+    for i in range(len(queries)):
+        assignment[i % num_engines].append(i)
+    return assignment
+
+
+def longest_first(queries: Sequence[Query], num_engines: int,
+                  graph: CSRGraph | None = None,
+                  weights: Sequence[float] | None = None) -> Assignment:
+    """LPT: heaviest query first, always to the least-loaded engine.
+
+    ``weights`` overrides the built-in estimate (e.g. with measured
+    latencies from a previous batch); without it, ``graph`` must be given
+    so endpoint degrees can be read.
+    """
+    _check(num_engines)
+    if weights is None:
+        if graph is None:
+            raise ConfigError(
+                "longest-first needs the graph (or explicit weights) "
+                "to estimate per-query work"
+            )
+        weights = [estimate_query_work(graph, q) for q in queries]
+    elif len(weights) != len(queries):
+        raise ConfigError(
+            f"got {len(weights)} weights for {len(queries)} queries"
+        )
+    order = sorted(range(len(queries)),
+                   key=lambda i: (-weights[i], i))
+    assignment: Assignment = [[] for _ in range(num_engines)]
+    loads = [0.0] * num_engines
+    for i in order:
+        engine = min(range(num_engines), key=lambda e: (loads[e], e))
+        assignment[engine].append(i)
+        loads[engine] += weights[i]
+    return assignment
+
+
+def _check(num_engines: int) -> None:
+    if num_engines < 1:
+        raise ConfigError(f"need at least one engine, got {num_engines}")
+
+
+#: name -> scheduler callable, as exposed by the CLI.
+SCHEDULERS: dict[str, Callable[..., Assignment]] = {
+    "round-robin": round_robin,
+    "longest-first": longest_first,
+}

@@ -66,6 +66,25 @@ def time_system(
     return timings
 
 
+def time_service(service, queries: list[Query]) -> list[QueryTiming]:
+    """Run a batch through a :class:`~repro.service.batch.BatchQueryService`.
+
+    Returns per-query timings in batch order, so aggregates are directly
+    comparable with :func:`time_system` on the same queries (the service's
+    batch-level metrics live on its own report).
+    """
+    batch = service.run(queries)
+    return [
+        QueryTiming(
+            query=r.query,
+            num_paths=r.num_paths,
+            preprocess_seconds=r.preprocess_seconds,
+            query_seconds=r.query_seconds,
+        )
+        for r in batch.reports
+    ]
+
+
 def time_enumerator(
     enumerator: PathEnumerator,
     graph: CSRGraph,

@@ -88,6 +88,30 @@ class TestDatasetsCommand:
             assert short in out
 
 
+class TestServeBatchCommand:
+    def test_serve_batch_prints_metrics(self, graph_file, capsys):
+        rc = main(["serve-batch", graph_file, "-k", "4", "-n", "8",
+                   "--engines", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency p50" in out and "latency p99" in out
+        assert "throughput" in out
+        assert "reverse CSR" in out
+        assert "engine 1" in out
+
+    def test_longest_first_scheduler(self, graph_file, capsys):
+        rc = main(["serve-batch", graph_file, "-k", "4", "-n", "6",
+                   "--engines", "3", "--scheduler", "longest-first",
+                   "--no-threads"])
+        assert rc == 0
+        assert "longest-first" in capsys.readouterr().out
+
+    def test_dataset_key(self, capsys):
+        rc = main(["serve-batch", "rt", "-k", "3", "-n", "4"])
+        assert rc == 0
+        assert "queries" in capsys.readouterr().out
+
+
 class TestBenchCommand:
     def test_runs_tab3(self, capsys):
         rc = main(["bench", "tab3"])

@@ -78,6 +78,56 @@ class TestBufferArea:
         assert buf.pop_front().vertices == (0,)
         assert len(buf) == 1
 
+    def test_pop_front_empty_raises(self):
+        with pytest.raises(IndexError):
+            BufferArea(2).pop_front()
+
+    def test_fifo_interleaved_with_push(self):
+        """FIFO order survives interleaving, and logical indices stay
+        front-relative after pop_front (the head-offset representation)."""
+        buf = BufferArea(10)
+        for i in range(4):
+            buf.push(rec([i]))
+        assert buf.pop_front().vertices == (0,)
+        assert buf.record_at(0).vertices == (1,)
+        assert buf.top_index() == 2
+        buf.push(rec([4]))
+        assert [buf.pop_front().vertices for _ in range(4)] == [
+            (1,), (2,), (3,), (4,)
+        ]
+        assert buf.is_empty
+
+    def test_fifo_long_run_compacts(self):
+        """A long FIFO run must not grow the backing list unboundedly."""
+        buf = BufferArea(10)
+        for i in range(500):
+            buf.push(rec([i]))
+            got = buf.pop_front()
+            assert got.vertices == (i,)
+        assert buf.is_empty
+        assert len(buf._stack) - buf._head <= 10
+        assert buf._head < 500  # compaction ran
+
+    def test_pop_suffix_after_pop_front(self):
+        buf = BufferArea(10)
+        for i in range(5):
+            buf.push(rec([i]))
+        buf.pop_front()
+        buf.pop_suffix(2)  # logical: keep front records (1,) and (2,)
+        assert len(buf) == 2
+        assert buf.record_at(0).vertices == (1,)
+        assert buf.record_at(1).vertices == (2,)
+
+    def test_drain_after_pop_front(self):
+        buf = BufferArea(10)
+        for i in range(3):
+            buf.push(rec([i]))
+        buf.pop_front()
+        assert [r.vertices for r in buf.drain()] == [(1,), (2,)]
+        assert buf.is_empty
+        buf.push(rec([7]))
+        assert buf.record_at(0).vertices == (7,)
+
     def test_peak_occupancy(self):
         buf = BufferArea(5)
         for i in range(3):

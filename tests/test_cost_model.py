@@ -67,7 +67,7 @@ class TestCpuCostModel:
             "barrier_update", "visited_check", "path_emit_vertex",
             "set_insert", "set_lookup", "join_build", "join_probe",
             "join_merge_vertex", "index_insert", "index_lookup",
-            "csr_build_edge",
+            "csr_build_edge", "rev_build_edge",
         ):
             assert op in DEFAULT_OP_CYCLES, op
             assert DEFAULT_OP_CYCLES[op] > 0

@@ -38,6 +38,25 @@ class TestPcie:
     def test_negative_transfer(self):
         with pytest.raises(ConfigError):
             PcieModel().transfer_seconds(-1)
+        with pytest.raises(ConfigError):
+            PcieModel().transfer_seconds_from_device(-1)
+
+    def test_symmetric_link_by_default(self):
+        pcie = PcieModel()
+        assert pcie.transfer_seconds_from_device(4096) == pytest.approx(
+            pcie.transfer_seconds(4096)
+        )
+
+    def test_asymmetric_read_bandwidth(self):
+        pcie = PcieModel(bandwidth_bytes_per_s=12e9, setup_latency_s=0.0,
+                         from_device_bandwidth_bytes_per_s=6e9)
+        assert pcie.transfer_seconds_from_device(12_000) == pytest.approx(
+            2 * pcie.transfer_seconds(12_000)
+        )
+
+    def test_invalid_read_bandwidth(self):
+        with pytest.raises(ConfigError):
+            PcieModel(from_device_bandwidth_bytes_per_s=0.0)
 
 
 class TestDeviceConfig:
@@ -72,6 +91,18 @@ class TestDevice:
         words = 1000
         expected = d.pcie.transfer_seconds(words * WORD_BYTES)
         assert d.dma_to_device_seconds(words) == pytest.approx(expected)
+
+    def test_dma_directions_use_their_bandwidths(self):
+        pcie = PcieModel(bandwidth_bytes_per_s=12e9,
+                         from_device_bandwidth_bytes_per_s=6e9)
+        d = Device(DeviceConfig(pcie=pcie))
+        words = 1000
+        assert d.dma_from_device_seconds(words) == pytest.approx(
+            pcie.transfer_seconds_from_device(words * WORD_BYTES)
+        )
+        assert d.dma_from_device_seconds(words) > d.dma_to_device_seconds(
+            words
+        )
 
     def test_repr(self):
         assert "300MHz" in repr(Device())

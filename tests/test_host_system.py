@@ -78,6 +78,85 @@ class TestExecute:
         assert t_slow > t_fast
 
 
+class TestEmptyQueryShortCircuit:
+    """A query Pre-BFS proves empty must not allocate a device."""
+
+    @pytest.fixture
+    def disconnected(self):
+        from repro.graph.csr import CSRGraph
+
+        return CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+
+    def test_zero_path_report_with_t1(self, disconnected):
+        system = PathEnumerationSystem(disconnected)
+        report = system.execute(Query(0, 3, 5))
+        assert report.paths == []
+        assert report.preprocess_seconds > 0  # Pre-BFS work is accounted
+        assert report.query_seconds == 0.0
+        assert report.fpga_cycles == 0
+        assert report.transfer_seconds == 0.0
+        assert report.payload_words == 0
+        assert report.device is None
+
+    def test_engine_never_invoked(self, disconnected):
+        system = PathEnumerationSystem(disconnected)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("engine must not run for an empty query")
+
+        system.engine.run = boom
+        report = system.execute(Query(0, 3, 5))
+        assert report.num_paths == 0
+
+    def test_batch_with_empty_queries(self, disconnected):
+        system = PathEnumerationSystem(disconnected)
+        batch = system.execute_batch([Query(0, 3, 5), Query(0, 1, 2)])
+        assert batch.reports[0].num_paths == 0
+        assert batch.reports[1].num_paths == 1
+
+
+class TestNoPreBFSBarrierSemantics:
+    """Pin what the host actually ships when Pre-BFS is skipped: the
+    k-hop reverse-BFS distances with unreached vertices at k + 1 — not
+    zeros (zeros would disable barrier pruning)."""
+
+    def test_barrier_is_sd_t_with_k_plus_1_default(self, power_law_graph):
+        from repro.preprocess.bfs import distances_with_default, k_hop_bfs
+
+        query = Query(0, 9, 4)
+        system = PathEnumerationSystem(power_law_graph, use_prebfs=False)
+        seen = {}
+        original_run = system.engine.run
+
+        def recording_run(graph, source, target, max_hops, barrier,
+                          **kwargs):
+            seen["barrier"] = barrier
+            return original_run(graph, source, target, max_hops, barrier,
+                                **kwargs)
+
+        system.engine.run = recording_run
+        system.execute(query)
+
+        expected = distances_with_default(
+            k_hop_bfs(power_law_graph.reverse(), query.target,
+                      query.max_hops),
+            query.max_hops + 1,
+        )
+        assert (seen["barrier"] == expected).all()
+
+    def test_unreached_vertices_pruned_not_zero(self):
+        """A vertex that cannot reach t carries barrier k+1 (> any budget),
+        so the engine rejects it on sight."""
+        from repro.graph.csr import CSRGraph
+
+        # 0 -> 1 -> 2 (target), plus 0 -> 3 where 3 is a dead end.
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (0, 3)])
+        system = PathEnumerationSystem(g, use_prebfs=False)
+        report = system.execute(Query(0, 2, 3))
+        assert set(report.paths) == {(0, 1, 2)}
+        assert report.engine_stats.rejected_barrier >= 1
+
+
 class TestForVariant:
     def test_all_variants_constructible_and_correct(self, random_graph):
         query = Query(0, 7, 4)

@@ -1,0 +1,201 @@
+"""Tests for the multi-engine batch query service."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import generators as G
+from repro.graph.csr import CSRGraph
+from repro.host.query import Query
+from repro.host.system import PathEnumerationSystem
+from repro.service import BatchQueryService
+from repro.workloads.queries import generate_queries
+from repro.workloads.runner import aggregate, time_service
+
+
+def fresh_graph():
+    return G.gnm_random(35, 160, seed=21)
+
+
+@pytest.fixture
+def graph():
+    return fresh_graph()
+
+
+@pytest.fixture
+def queries(graph):
+    return generate_queries(graph, 4, 12, seed=3)
+
+
+class TestEquivalence:
+    """Service answers must match sequential execute_batch exactly."""
+
+    @pytest.mark.parametrize("scheduler", ["round-robin", "longest-first"])
+    @pytest.mark.parametrize("num_engines", [2, 3])
+    def test_matches_sequential_batch(self, scheduler, num_engines):
+        graph = fresh_graph()
+        queries = generate_queries(graph, 4, 12, seed=3)
+        sequential = PathEnumerationSystem(fresh_graph()).execute_batch(
+            queries
+        )
+        service = BatchQueryService(
+            graph, num_engines=num_engines, scheduler=scheduler
+        )
+        batch = service.run(queries)
+        assert batch.path_sets() == [
+            frozenset(r.paths) for r in sequential.reports
+        ]
+
+    def test_power_law_graph(self):
+        graph = G.chung_lu(45, 260, seed=22)
+        queries = generate_queries(graph, 5, 10, seed=5)
+        sequential = PathEnumerationSystem(graph).execute_batch(queries)
+        batch = BatchQueryService(graph, num_engines=4).run(queries)
+        assert batch.path_sets() == [
+            frozenset(r.paths) for r in sequential.reports
+        ]
+
+    def test_no_prebfs_variant(self, graph, queries):
+        sequential = PathEnumerationSystem(
+            graph, use_prebfs=False
+        ).execute_batch(queries)
+        batch = BatchQueryService(
+            graph, variant="pefp-no-pre-bfs", num_engines=2
+        ).run(queries)
+        assert batch.path_sets() == [
+            frozenset(r.paths) for r in sequential.reports
+        ]
+
+    def test_threads_off_identical(self, graph, queries):
+        threaded = BatchQueryService(graph, num_engines=3).run(queries)
+        serial = BatchQueryService(
+            graph, num_engines=3, use_threads=False
+        ).run(queries)
+        assert threaded.path_sets() == serial.path_sets()
+        # Which duplicate query pays the memo's one-time miss depends on
+        # interleaving, so compare total modelled work, not per-engine.
+        assert sum(threaded.engine_busy_seconds) == pytest.approx(
+            sum(serial.engine_busy_seconds)
+        )
+
+
+class TestReverseGraphSharing:
+    """The root bugfix: one reverse-CSR build per graph, not per query."""
+
+    def test_service_builds_reverse_once(self, graph, queries):
+        assert graph.rev_builds == 0
+        BatchQueryService(graph, num_engines=3).run(queries)
+        assert graph.rev_builds == 1
+
+    def test_sequential_system_builds_reverse_once(self):
+        graph = fresh_graph()
+        queries = generate_queries(graph, 4, 8, seed=3)
+        assert graph.rev_builds == 0
+        PathEnumerationSystem(graph).execute_batch(queries)
+        assert graph.rev_builds == 1
+
+    def test_no_prebfs_system_builds_reverse_once(self, graph, queries):
+        system = PathEnumerationSystem(graph, use_prebfs=False)
+        for q in queries:
+            system.execute(q)
+        assert graph.rev_builds == 1
+
+    def test_build_charged_to_warmup_not_queries(self, graph, queries):
+        service = BatchQueryService(graph, num_engines=2)
+        batch = service.run(queries)
+        assert batch.warmup_ops.count("rev_build_edge") == graph.num_edges
+        for report in batch.reports:
+            assert report.preprocess_ops.count("rev_build_edge") == 0
+
+    def test_second_batch_skips_warmup_build(self, graph, queries):
+        service = BatchQueryService(graph, num_engines=2)
+        service.run(queries)
+        second = service.run(queries)
+        assert second.warmup_ops.count("rev_build_edge") == 0
+        assert second.warmup_seconds == 0.0
+
+
+class TestMetrics:
+    def test_latency_percentiles_and_throughput(self, graph, queries):
+        batch = BatchQueryService(graph, num_engines=2).run(queries)
+        latency = batch.latency
+        assert latency is not None
+        assert latency.count == len(queries)
+        assert 0 < latency.p50 <= latency.p95 <= latency.p99
+        assert latency.p99 <= latency.maximum
+        assert batch.throughput_qps > 0
+        assert batch.makespan_seconds == max(batch.engine_busy_seconds)
+
+    def test_cache_counters_exposed(self, graph, queries):
+        service = BatchQueryService(graph, num_engines=2)
+        batch = service.run(queries)
+        assert batch.cache_stats["reverse_misses"] == 1
+        assert batch.cache_stats["reverse_hits"] >= 1
+        assert service.metrics.counter("queries") == len(queries)
+        assert (
+            batch.cache_stats["prebfs_hits"]
+            + batch.cache_stats["prebfs_misses"]
+            == len(queries)
+        )
+
+    def test_duplicate_queries_hit_prebfs_memo(self, graph):
+        q = generate_queries(graph, 4, 1, seed=3)[0]
+        batch = BatchQueryService(graph, num_engines=2).run([q] * 6)
+        assert batch.cache_stats["prebfs_misses"] == 1
+        assert batch.cache_stats["prebfs_hits"] == 5
+        assert len(set(batch.path_sets())) == 1
+
+    def test_engine_utilization(self, graph, queries):
+        batch = BatchQueryService(graph, num_engines=3).run(queries)
+        utilization = batch.engine_utilization
+        assert len(utilization) == 3
+        assert all(0.0 <= u <= 1.0 for u in utilization)
+        assert max(utilization) == pytest.approx(1.0)
+
+    def test_assignment_partitions_batch(self, graph, queries):
+        batch = BatchQueryService(
+            graph, num_engines=3, scheduler="longest-first"
+        ).run(queries)
+        served = sorted(i for part in batch.assignment for i in part)
+        assert served == list(range(len(queries)))
+
+    def test_render_mentions_key_metrics(self, graph, queries):
+        text = BatchQueryService(graph, num_engines=2).run(queries).render()
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "throughput" in text
+        assert "reverse CSR" in text
+        assert "engine 1" in text
+
+    def test_empty_query_short_circuits_in_service(self):
+        graph = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        service = BatchQueryService(graph, num_engines=2)
+        batch = service.run([Query(0, 3, 5), Query(0, 3, 5)])
+        assert batch.total_paths == 0
+        assert service.metrics.counter("empty_queries") == 2
+        assert all(r.device is None for r in batch.reports)
+
+    def test_empty_batch(self, graph):
+        batch = BatchQueryService(graph, num_engines=2).run([])
+        assert batch.num_queries == 0
+        assert batch.latency is None
+        assert batch.throughput_qps == 0.0
+        assert batch.batch_transfer_seconds == 0.0
+
+
+class TestConfigValidation:
+    def test_zero_engines_rejected(self, graph):
+        with pytest.raises(ConfigError):
+            BatchQueryService(graph, num_engines=0)
+
+    def test_unknown_scheduler_rejected(self, graph):
+        with pytest.raises(ConfigError):
+            BatchQueryService(graph, scheduler="magic")
+
+
+class TestRunnerIntegration:
+    def test_time_service_matches_reports(self, graph, queries):
+        service = BatchQueryService(graph, num_engines=2)
+        timings = time_service(service, queries)
+        assert len(timings) == len(queries)
+        agg = aggregate("pefp-service", 4, timings)
+        assert agg.num_queries == len(queries)
+        assert agg.mean_total_seconds > 0

@@ -1,0 +1,177 @@
+"""Tests for the shared artifact cache and the batch schedulers."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import generators as G
+from repro.host.cost_model import OpCounter
+from repro.host.query import Query
+from repro.preprocess.bfs import charged_reverse
+from repro.preprocess.prebfs import pre_bfs
+from repro.service.cache import GraphArtifactCache
+from repro.service.scheduler import (
+    SCHEDULERS,
+    estimate_query_work,
+    longest_first,
+    round_robin,
+)
+
+
+@pytest.fixture
+def graph():
+    return G.gnm_random(30, 140, seed=9)
+
+
+class TestChargedReverse:
+    """The root regression: per-graph reverse work must be paid once."""
+
+    def test_first_build_charged_per_edge(self, graph):
+        ops = OpCounter()
+        rev = charged_reverse(graph, ops)
+        assert ops.count("rev_build_edge") == graph.num_edges
+        assert ops.count("rev_cache_hit") == 0
+        assert rev is graph.reverse()
+
+    def test_cache_hit_free(self, graph):
+        charged_reverse(graph)
+        ops = OpCounter()
+        charged_reverse(graph, ops)
+        assert ops.count("rev_build_edge") == 0
+        assert ops.count("rev_cache_hit") == 1
+
+    def test_rev_builds_counter(self, graph):
+        assert graph.rev_builds == 0
+        graph.reverse()
+        graph.reverse()
+        assert graph.rev_builds == 1
+
+    def test_pre_bfs_batch_builds_reverse_once(self, graph):
+        """Regression for the per-query graph.reverse() recomputation."""
+        for seed in range(8):
+            query = Query(0, 5 + seed % 3, 4)
+            pre_bfs(graph, query)
+        assert graph.rev_builds == 1
+
+
+class TestGraphArtifactCache:
+    def test_reverse_hit_miss_counters(self, graph):
+        cache = GraphArtifactCache()
+        first = cache.reverse(graph)
+        second = cache.reverse(graph)
+        assert first is second
+        assert cache.reverse_misses == 1
+        assert cache.reverse_hits == 1
+
+    def test_separate_graphs_separate_entries(self, graph):
+        other = G.gnm_random(30, 140, seed=10)
+        cache = GraphArtifactCache()
+        assert cache.reverse(graph) is not cache.reverse(other)
+        assert cache.reverse_misses == 2
+
+    def test_prebfs_memo_returns_same_result(self, graph):
+        cache = GraphArtifactCache()
+        query = Query(0, 5, 4)
+        first = cache.pre_bfs(graph, query)
+        second = cache.pre_bfs(graph, query)
+        assert first is second
+        assert cache.prebfs_misses == 1
+        assert cache.prebfs_hits == 1
+
+    def test_prebfs_hit_charges_lookup_only(self, graph):
+        cache = GraphArtifactCache()
+        query = Query(0, 5, 4)
+        cache.pre_bfs(graph, query)
+        ops = OpCounter()
+        cache.pre_bfs(graph, query, ops)
+        assert ops.as_dict() == {"set_lookup": 1}
+
+    def test_prebfs_eviction(self, graph):
+        cache = GraphArtifactCache(max_prebfs_entries=1)
+        cache.pre_bfs(graph, Query(0, 5, 4))
+        cache.pre_bfs(graph, Query(0, 6, 4))
+        cache.pre_bfs(graph, Query(0, 5, 4))  # evicted, recomputed
+        assert cache.prebfs_misses == 3
+        assert cache.stats()["prebfs_entries"] == 1
+
+    def test_clear_drops_entries_keeps_counters(self, graph):
+        cache = GraphArtifactCache()
+        cache.reverse(graph)
+        cache.clear()
+        cache.reverse(graph)
+        assert cache.reverse_misses == 2
+
+    def test_single_flight_under_contention(self, graph):
+        cache = GraphArtifactCache()
+        query = Query(0, 5, 4)
+        results = []
+
+        def worker():
+            results.append(cache.pre_bfs(graph, query))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.prebfs_misses == 1
+        assert cache.prebfs_hits == 7
+        assert all(r is results[0] for r in results)
+        assert graph.rev_builds == 1
+
+
+class TestSchedulers:
+    def queries(self, n, k=4):
+        return [Query(i, i + 1, k) for i in range(n)]
+
+    def test_round_robin_deals_in_order(self):
+        assignment = round_robin(self.queries(7), 3)
+        assert assignment == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_round_robin_partitions(self):
+        assignment = round_robin(self.queries(10), 4)
+        flat = sorted(i for part in assignment for i in part)
+        assert flat == list(range(10))
+
+    def test_longest_first_is_lpt(self):
+        # weights 5,4,3,2,1 on 2 engines: LPT gives {5,2,1} and {4,3}
+        assignment = longest_first(self.queries(5), 2,
+                                   weights=[5, 4, 3, 2, 1])
+        assert assignment == [[0, 3, 4], [1, 2]]
+
+    def test_longest_first_balances_better_than_round_robin(self):
+        weights = [8.0, 1.0, 1.0, 1.0, 7.0, 1.0]
+
+        def makespan(assignment):
+            return max(sum(weights[i] for i in part) for part in assignment)
+
+        rr = round_robin(self.queries(6), 2)
+        lpt = longest_first(self.queries(6), 2, weights=weights)
+        assert makespan(lpt) <= makespan(rr)
+
+    def test_longest_first_needs_graph_or_weights(self):
+        with pytest.raises(ConfigError):
+            longest_first(self.queries(3), 2)
+
+    def test_longest_first_weight_length_checked(self):
+        with pytest.raises(ConfigError):
+            longest_first(self.queries(3), 2, weights=[1.0])
+
+    def test_longest_first_with_graph_estimate(self, graph):
+        queries = [Query(0, 5, 3), Query(1, 6, 5)]
+        assignment = longest_first(queries, 2, graph=graph)
+        flat = sorted(i for part in assignment for i in part)
+        assert flat == [0, 1]
+
+    def test_zero_engines_rejected(self):
+        with pytest.raises(ConfigError):
+            round_robin(self.queries(3), 0)
+
+    def test_estimate_grows_with_k(self, graph):
+        small = estimate_query_work(graph, Query(0, 5, 2))
+        large = estimate_query_work(graph, Query(0, 5, 6))
+        assert large > small
+
+    def test_registry_names(self):
+        assert set(SCHEDULERS) == {"round-robin", "longest-first"}

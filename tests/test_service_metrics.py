@@ -1,0 +1,110 @@
+"""Unit tests for the service metrics registry and percentile math."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    LatencySummary,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank_on_1_to_100(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 95) == 95.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile(samples, 100) == 100.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_single_sample(self):
+        for q in (0, 50, 99, 100):
+            assert percentile([7.5], q) == 7.5
+
+    def test_p0_is_minimum(self):
+        assert percentile([4.0, 2.0, 9.0], 0) == 2.0
+
+    def test_returns_actual_sample(self):
+        samples = [0.1, 0.2, 10.0]
+        assert percentile(samples, 99) in samples
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rank_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestLatencySummary:
+    def test_fields(self):
+        s = LatencySummary.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.p50 == 2.0
+        assert s.p99 == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_samples([])
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        m = MetricsRegistry()
+        assert m.counter("x") == 0
+        m.increment("x")
+        m.increment("x", 4)
+        assert m.counter("x") == 5
+
+    def test_observe_and_summary(self):
+        m = MetricsRegistry()
+        for v in (3.0, 1.0, 2.0):
+            m.observe("latency_seconds", v)
+        summary = m.summary("latency_seconds")
+        assert summary is not None
+        assert summary.count == 3
+        assert summary.p50 == 2.0
+
+    def test_summary_missing_series_is_none(self):
+        assert MetricsRegistry().summary("nope") is None
+
+    def test_samples_returns_copy(self):
+        m = MetricsRegistry()
+        m.observe("s", 1.0)
+        m.samples("s").append(99.0)
+        assert m.samples("s") == [1.0]
+
+    def test_snapshot(self):
+        m = MetricsRegistry()
+        m.increment("queries", 2)
+        m.observe("latency_seconds", 0.5)
+        snap = m.snapshot()
+        assert snap["counters"] == {"queries": 2}
+        assert snap["series"]["latency_seconds"].count == 1
+
+    def test_thread_safety_under_contention(self):
+        m = MetricsRegistry()
+
+        def hammer():
+            for _ in range(500):
+                m.increment("n")
+                m.observe("s", 1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.counter("n") == 2000
+        assert m.summary("s").count == 2000
