@@ -7,7 +7,6 @@ engines share the verification pipeline and caches, so the measured gap
 is attributable to the intermediate-path management alone.
 """
 
-import pytest
 
 from conftest import SEED
 from repro.core.config import PEFPConfig

@@ -9,7 +9,7 @@ the property that lets the FPGA cache the whole subgraph on chip.
 Run:  python examples/biological_pathways.py
 """
 
-from repro import PathEnumerationSystem, Query, pre_bfs
+from repro import PathEnumerationSystem, pre_bfs
 from repro.datasets import load_dataset
 from repro.reporting.tables import format_seconds
 from repro.workloads.queries import generate_queries

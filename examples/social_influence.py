@@ -11,7 +11,7 @@ Run:  python examples/social_influence.py
 
 from collections import Counter
 
-from repro import CpuCostModel, Join, PathEnumerationSystem, Query
+from repro import CpuCostModel, Join, PathEnumerationSystem
 from repro.datasets import load_dataset
 from repro.reporting.tables import format_seconds
 from repro.workloads.queries import generate_queries
@@ -36,7 +36,7 @@ def main() -> None:
         report = system.execute(query)
         lengths = Counter(len(p) - 1 for p in report.paths)
         profile = ", ".join(
-            f"{n}x len-{l}" for l, n in sorted(lengths.items())
+            f"{n}x len-{length}" for length, n in sorted(lengths.items())
         ) or "none"
         score = influence_score(report.paths)
 

@@ -22,9 +22,11 @@ from repro.errors import (
     CapacityError,
     ConfigError,
     DatasetError,
+    EngineFailure,
     GraphError,
     QueryError,
     ReproError,
+    ServiceError,
     VertexNotFoundError,
 )
 from repro.graph import CSRGraph, DiGraph, generators, read_edge_list
@@ -36,7 +38,13 @@ from repro.host import (
     QueryResult,
 )
 from repro.host.system import PEFPEnumerator, SystemReport
-from repro.core import PEFPConfig, PEFPEngine, make_engine, VARIANTS
+from repro.core import (
+    PEFPConfig,
+    PEFPEngine,
+    QueryBudget,
+    make_engine,
+    VARIANTS,
+)
 from repro.fpga import Device, DeviceConfig
 from repro.preprocess import pre_bfs, join_preprocess
 from repro.baselines import (
@@ -62,6 +70,8 @@ __all__ = [
     "ConfigError",
     "CapacityError",
     "DatasetError",
+    "ServiceError",
+    "EngineFailure",
     # graph
     "CSRGraph",
     "DiGraph",
@@ -77,6 +87,7 @@ __all__ = [
     "PEFPEnumerator",
     # core / fpga
     "PEFPConfig",
+    "QueryBudget",
     "PEFPEngine",
     "make_engine",
     "VARIANTS",

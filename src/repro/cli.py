@@ -135,6 +135,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.core.config import QueryBudget
     from repro.service import BatchQueryService
     from repro.workloads.queries import generate_queries
 
@@ -147,8 +148,18 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         num_engines=args.engines,
         scheduler=args.scheduler,
         use_threads=not args.no_threads,
+        inject_failures=args.inject_failures,
     )
-    report = service.run(queries)
+    budget = None
+    if args.max_results is not None or args.cycle_budget is not None:
+        budget = QueryBudget(max_results=args.max_results,
+                             max_cycles=args.cycle_budget)
+    report = service.run(
+        queries,
+        budget=budget,
+        deadline_ms=args.deadline_ms,
+        batch_deadline_ms=args.batch_deadline_ms,
+    )
     print(report.render())
     return 0
 
@@ -243,6 +254,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="query-generation seed")
     sv.add_argument("--no-threads", action="store_true",
                     help="dispatch engines sequentially (debugging)")
+    sv.add_argument("--max-results", type=int, default=None,
+                    help="per-query result budget: stop a kernel after "
+                         "this many paths (answers are exact subsets)")
+    sv.add_argument("--cycle-budget", type=int, default=None,
+                    help="per-query device cycle budget (checked at batch "
+                         "boundaries; overshoot is at most one batch)")
+    sv.add_argument("--deadline-ms", type=float, default=None,
+                    help="per-query modelled deadline, mapped to a device "
+                         "cycle budget at the kernel frequency")
+    sv.add_argument("--batch-deadline-ms", type=float, default=None,
+                    help="batch-level modelled deadline: engines past it "
+                         "serve remaining queries degraded (tightly "
+                         "budgeted) instead of dropping them")
+    sv.add_argument("--inject-failures", type=int, default=0,
+                    help="fault injection: this many engines die after one "
+                         "query; their work requeues onto survivors")
     sv.set_defaults(func=_cmd_serve_batch)
     return parser
 

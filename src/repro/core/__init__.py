@@ -6,7 +6,7 @@ batching (Algorithm 4), BRAM caching and the data-separated verification
 pipeline.  :mod:`repro.core.variants` builds the paper's ablations.
 """
 
-from repro.core.config import PEFPConfig, recommended_config
+from repro.core.config import PEFPConfig, QueryBudget, recommended_config
 from repro.core.engine import EngineStats, PEFPEngine
 from repro.core.naive_engine import LevelBFSEngine
 from repro.core.validation import cross_check, validate_paths
@@ -14,6 +14,7 @@ from repro.core.variants import make_engine, VARIANTS
 
 __all__ = [
     "PEFPConfig",
+    "QueryBudget",
     "recommended_config",
     "PEFPEngine",
     "LevelBFSEngine",

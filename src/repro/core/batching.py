@@ -12,7 +12,7 @@ scheduled partially and resumes in a later batch.
 
 from __future__ import annotations
 
-from repro.core.paths import BufferArea, PathRecord, ProcessingEntry
+from repro.core.paths import BufferArea, ProcessingEntry
 from repro.errors import ConfigError
 
 

@@ -60,6 +60,63 @@ class PEFPConfig:
             raise ConfigError("batch_overhead_cycles must be non-negative")
 
 
+@dataclass(frozen=True)
+class QueryBudget:
+    """Per-query enumeration budget for graceful degradation.
+
+    ``max_results`` bounds the number of result paths returned;
+    ``max_cycles`` bounds the modelled device clock.  ``None`` means
+    unlimited on that axis.  The engine checks the budget only at batch
+    boundaries, which gives the two guarantees the serving layer relies
+    on: a budgeted run returns an *exact subset* of the unbudgeted run's
+    answer (with ``truncated=True`` whenever anything may be missing),
+    and the device clock overshoots ``max_cycles`` by at most one
+    processing batch (including that batch's flush/refill stalls).
+    """
+
+    max_results: int | None = None
+    max_cycles: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_results is not None and self.max_results < 1:
+            raise ConfigError(
+                f"max_results must be >= 1 when set, got {self.max_results}"
+            )
+        if self.max_cycles is not None and self.max_cycles < 1:
+            raise ConfigError(
+                f"max_cycles must be >= 1 when set, got {self.max_cycles}"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        """Whether this budget imposes no constraint at all."""
+        return self.max_results is None and self.max_cycles is None
+
+    def tightened(
+        self,
+        max_results: int | None = None,
+        max_cycles: int | None = None,
+    ) -> "QueryBudget":
+        """This budget further constrained by the given limits.
+
+        Each axis takes the minimum of the present values; ``None``
+        leaves the axis as it is.  Used by the service to stack a user
+        budget, a per-query deadline and batch-level degradation.
+        """
+
+        def _min(a: int | None, b: int | None) -> int | None:
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        return QueryBudget(
+            max_results=_min(self.max_results, max_results),
+            max_cycles=_min(self.max_cycles, max_cycles),
+        )
+
+
 def recommended_config(
     num_vertices: int,
     num_edges: int,

@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.core.batching import batch_dfs, fifo_batch
 from repro.core.cache import CachedArray
-from repro.core.config import PEFPConfig
+from repro.core.config import PEFPConfig, QueryBudget
 from repro.core.paths import BufferArea, DramArea, PathRecord, record_words
 from repro.core.verify import VerificationModule
 from repro.errors import QueryError
@@ -90,6 +90,10 @@ class EngineRunResult:
     seconds: float
     stats: EngineStats
     device: Device
+    #: ``True`` when a :class:`~repro.core.config.QueryBudget` stopped the
+    #: run before the search space was exhausted — ``paths`` is then an
+    #: exact subset of the unbudgeted answer, possibly missing results.
+    truncated: bool = False
 
     @property
     def num_paths(self) -> int:
@@ -139,6 +143,7 @@ class PEFPEngine:
         barrier: np.ndarray,
         on_result=None,
         collect_paths: bool = True,
+        budget: QueryBudget | None = None,
     ) -> EngineRunResult:
         """Enumerate all s-t k-paths of ``graph`` on the simulated device.
 
@@ -153,6 +158,14 @@ class PEFPEngine:
         device streams results over PCIe anyway); with
         ``collect_paths=False`` the result list is not materialised —
         for result sets too large to hold, pair it with ``on_result``.
+
+        ``budget`` bounds the run (see :class:`QueryBudget`): the main
+        loop checks the cycle cap before each batch and the result cap
+        after each batch, terminates cleanly at the boundary and sets
+        ``truncated`` on the result when the answer may be incomplete.
+        The paths of a budgeted run are always an exact subset of the
+        unbudgeted answer, and the clock never overshoots ``max_cycles``
+        by more than one batch (including its flush/refill stalls).
         """
         if not 0 <= source < graph.num_vertices:
             raise QueryError(f"source {source} not in graph")
@@ -198,6 +211,9 @@ class PEFPEngine:
         batch_fn = batch_dfs if cfg.use_batch_dfs else fifo_batch
         dram_area = DramArea()
         results: list[tuple[int, ...]] = []
+        max_results = budget.max_results if budget is not None else None
+        max_cycles = budget.max_cycles if budget is not None else None
+        truncated = False
 
         # --- seed: the path consisting of just `source` ----------------
         lo = vertex_arr.read(source)
@@ -208,6 +224,11 @@ class PEFPEngine:
 
         # --- main loop (Algorithms 1 and 3) ----------------------------
         while True:
+            # Budget check at the batch boundary: truncated only when the
+            # stop leaves unexplored work behind.
+            if max_cycles is not None and clock.cycles >= max_cycles:
+                truncated = not buffer.is_empty or not dram_area.is_empty
+                break
             if buffer.is_empty:
                 if buffer_in_bram and not dram_area.is_empty:
                     # Θ1 refill from the DRAM tail: a serial stall.
@@ -220,6 +241,7 @@ class PEFPEngine:
                     stats.refills += 1
                     stats.refilled_paths += len(block)
                     stats.add_stage_cycles("refill", clock.cycles - before)
+                    continue  # re-check the cycle budget after the stall
                 else:
                     break
             entries = batch_fn(buffer, cfg.theta2)
@@ -300,6 +322,16 @@ class PEFPEngine:
             verify_cost.compute = verifier.batch_cycles(n_items)
             costs.append(verify_cost)
 
+            # Result budget: keep only what fits; dropped results mean the
+            # answer is definitively incomplete.  The kept prefix is still
+            # a subset of the unbudgeted answer (same deterministic order).
+            dropped_results = False
+            if max_results is not None:
+                room = max_results - stats.results
+                if len(batch_results) > room:
+                    batch_results = batch_results[:room]
+                    dropped_results = True
+
             # Stage 5: write-back — results to DRAM, survivors to buffer.
             wb = self._stage(bram, dram, costs)
             new_records: list[PathRecord] = []
@@ -357,6 +389,14 @@ class PEFPEngine:
                     stats.add_stage_cycles("flush", clock.cycles - before)
                 buffer.push(rec)
 
+            if max_results is not None and stats.results >= max_results:
+                truncated = (
+                    dropped_results
+                    or not buffer.is_empty
+                    or not dram_area.is_empty
+                )
+                break
+
         stats.peak_buffer_paths = buffer.peak_occupancy
         stats.peak_dram_paths = dram_area.peak_occupancy
         return EngineRunResult(
@@ -365,6 +405,7 @@ class PEFPEngine:
             seconds=device.elapsed_seconds(),
             stats=stats,
             device=device,
+            truncated=truncated,
         )
 
     # ------------------------------------------------------------------

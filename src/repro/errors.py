@@ -42,3 +42,15 @@ class CapacityError(ReproError):
 
 class DatasetError(ReproError):
     """An unknown dataset name or an unbuildable dataset recipe."""
+
+
+class ServiceError(ReproError):
+    """The batch query service could not complete a batch."""
+
+
+class EngineFailure(ServiceError):
+    """An engine instance died mid-batch (real or injected).
+
+    The service catches this per worker: the failed engine is retired and
+    its unfinished queries are requeued onto the surviving engines.
+    """

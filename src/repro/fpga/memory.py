@@ -11,7 +11,7 @@ footprint up front and overflow raises :class:`CapacityError`.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import CapacityError, ConfigError
 from repro.fpga.clock import Clock

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.baselines.base import PathEnumerator
+from repro.core.config import QueryBudget
 from repro.core.engine import EngineStats, PEFPEngine
 from repro.core.variants import make_engine, variant_uses_prebfs
 from repro.fpga.device import WORD_BYTES
@@ -44,6 +45,9 @@ class SystemReport:
     result_transfer_seconds: float = 0.0
     #: the simulated device the kernel ran on (for utilization reports).
     device: object | None = None
+    #: ``True`` when a :class:`~repro.core.config.QueryBudget` stopped the
+    #: kernel early — ``paths`` is an exact subset of the full answer.
+    truncated: bool = False
 
     @property
     def num_paths(self) -> int:
@@ -126,12 +130,19 @@ class PathEnumerationSystem:
             artifact_cache=artifact_cache,
         )
 
-    def execute(self, query: Query) -> SystemReport:
+    def execute(
+        self, query: Query, budget: QueryBudget | None = None
+    ) -> SystemReport:
         """Answer one query end to end.
 
         A query Pre-BFS proves empty (no vertex can lie on an s-t k-path)
         short-circuits: the zero-path report carries the preprocessing
         cost ``T1`` but no device is allocated and nothing is shipped.
+
+        ``budget`` bounds the kernel run (result count and/or device
+        cycles); a budgeted report sets ``truncated`` when the answer may
+        be incomplete.  Preprocessing is never budgeted — it either runs
+        or the query cannot run at all.
         """
         query.validate(self.graph)
         pre_ops = OpCounter()
@@ -179,7 +190,7 @@ class PathEnumerationSystem:
             3 + len(run_graph.indptr) + len(run_graph.indices) + len(barrier)
         )
         run = self.engine.run(run_graph, source, target, query.max_hops,
-                              barrier)
+                              barrier, budget=budget)
         transfer = run.device.dma_to_device_seconds(payload_words)
         result_words = sum(len(p) + 1 for p in run.paths)
         result_transfer = run.device.dma_from_device_seconds(result_words)
@@ -200,16 +211,19 @@ class PathEnumerationSystem:
             payload_words=payload_words,
             result_transfer_seconds=result_transfer,
             device=run.device,
+            truncated=run.truncated,
         )
 
-    def execute_batch(self, queries: list[Query]) -> BatchReport:
+    def execute_batch(
+        self, queries: list[Query], budget: QueryBudget | None = None
+    ) -> BatchReport:
         """Answer many queries, shipping all their data in one DMA.
 
         Matches the paper's measurement setup: per-query transfer cost is
         the batch transfer divided by the batch size (the setup latency
-        amortises away).
+        amortises away).  ``budget`` applies to every query individually.
         """
-        reports = [self.execute(q) for q in queries]
+        reports = [self.execute(q, budget=budget) for q in queries]
         total_words = sum(r.payload_words for r in reports)
         pcie = self.engine.device_config.pcie
         batch_transfer = pcie.transfer_seconds(total_words * WORD_BYTES)
@@ -230,12 +244,21 @@ class PEFPEnumerator(PathEnumerator):
         self.variant = variant
         self.engine_kwargs = engine_kwargs
         self.name = variant
+        # One system per (graph, enumerator): rebuilding it on every call
+        # made equivalence tests redo per-graph setup for every query.
+        # Single-slot keyed by graph identity — query streams are grouped
+        # by graph, and the slot never pins more than one graph alive.
+        self._system: PathEnumerationSystem | None = None
+
+    def _system_for(self, graph: CSRGraph) -> PathEnumerationSystem:
+        if self._system is None or self._system.graph is not graph:
+            self._system = PathEnumerationSystem.for_variant(
+                graph, self.variant, **self.engine_kwargs
+            )
+        return self._system
 
     def enumerate_paths(self, graph: CSRGraph, query: Query) -> QueryResult:
-        system = PathEnumerationSystem.for_variant(
-            graph, self.variant, **self.engine_kwargs
-        )
-        report = system.execute(query)
+        report = self._system_for(graph).execute(query)
         result = QueryResult(query=query)
         result.paths = report.paths
         result.preprocess_ops = report.preprocess_ops

@@ -393,7 +393,7 @@ def tab3_intermediate_paths(
     result = ExperimentResult(
         "tab3",
         f"Table III — new intermediate paths per 1,000 expansions (k={max_hops})",
-        ("dataset", *(f"l={l}" for l in lengths)),
+        ("dataset", *(f"l={length}" for length in lengths)),
     )
     for key in keys:
         graph = load_dataset(key)
@@ -404,7 +404,8 @@ def tab3_intermediate_paths(
         )
         row = (
             DATASETS[key].short_name,
-            *(counts[l].per_thousand if l in counts else 0 for l in lengths),
+            *(counts[length].per_thousand if length in counts else 0
+              for length in lengths),
         )
         result.rows.append(row)
         result.formatted_rows.append(tuple(str(v) for v in row))

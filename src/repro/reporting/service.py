@@ -27,11 +27,31 @@ def latency_table(report) -> str:
     rows += [
         ("throughput", f"{report.throughput_qps:.4g} queries/s"),
         ("batch makespan", format_seconds(report.makespan_seconds)),
+        ("host CPU total (T1)", format_seconds(report.host_seconds_total)),
+        ("device makespan (T2)",
+         format_seconds(report.device_makespan_seconds)),
         ("warmup (shared artifacts)", format_seconds(report.warmup_seconds)),
         ("batch DMA", format_seconds(report.batch_transfer_seconds)),
         ("host wall time", format_seconds(report.wall_seconds)),
     ]
     return render_table(("metric", "value"), rows, title="service batch")
+
+
+def robustness_table(report) -> str:
+    """Budget truncation, deadline degradation and failure recovery."""
+    rows: list[tuple[str, str]] = [
+        ("truncated queries", str(report.truncated_queries)),
+        ("requeued queries", str(report.requeued_queries)),
+        ("engine failures", str(report.engine_failures)),
+    ]
+    degraded = report.degraded_latency
+    if degraded is not None:
+        rows += [
+            ("degraded queries", str(degraded.count)),
+            ("degraded latency p50", format_seconds(degraded.p50)),
+            ("degraded latency p99", format_seconds(degraded.p99)),
+        ]
+    return render_table(("metric", "value"), rows, title="robustness")
 
 
 def cache_table(report) -> str:
@@ -50,16 +70,22 @@ def cache_table(report) -> str:
 def engine_table(report) -> str:
     """Per-engine load and utilization under the chosen scheduler."""
     utilization = report.engine_utilization
+    failed = set(getattr(report, "failed_engines", ()))
     rows = []
-    for e, busy in enumerate(report.engine_busy_seconds):
+    for e in range(report.num_engines):
+        served = report.metrics.counter(f"engine{e}_queries")
         rows.append(
             (f"engine {e}",
-             len(report.assignment[e]),
-             format_seconds(busy),
-             f"{utilization[e]:.1%}")
+             served,
+             format_seconds(report.engine_host_seconds[e]),
+             format_seconds(report.engine_device_seconds[e]),
+             f"{utilization[e]:.1%}",
+             "failed" if e in failed else "ok")
         )
     return render_table(
-        ("engine", "queries", "busy", "utilization"), rows,
+        ("engine", "queries", "host busy", "device busy", "utilization",
+         "status"),
+        rows,
         title=f"engines ({report.scheduler})",
     )
 
@@ -67,5 +93,6 @@ def engine_table(report) -> str:
 def service_report_table(report) -> str:
     """The full plain-text service report."""
     return "\n\n".join(
-        (latency_table(report), cache_table(report), engine_table(report))
+        (latency_table(report), robustness_table(report),
+         cache_table(report), engine_table(report))
     )

@@ -1,6 +1,10 @@
 """Batch query serving: shared preprocessing cache, N engines, metrics."""
 
-from repro.service.batch import BatchQueryService, ServiceBatchReport
+from repro.service.batch import (
+    BatchQueryService,
+    FlakyEngine,
+    ServiceBatchReport,
+)
 from repro.service.cache import GraphArtifactCache
 from repro.service.metrics import (
     LatencySummary,
@@ -11,11 +15,13 @@ from repro.service.scheduler import (
     SCHEDULERS,
     estimate_query_work,
     longest_first,
+    requeue,
     round_robin,
 )
 
 __all__ = [
     "BatchQueryService",
+    "FlakyEngine",
     "ServiceBatchReport",
     "GraphArtifactCache",
     "LatencySummary",
@@ -24,5 +30,6 @@ __all__ = [
     "SCHEDULERS",
     "estimate_query_work",
     "longest_first",
+    "requeue",
     "round_robin",
 ]

@@ -10,9 +10,30 @@ uses a thread pool (one worker per engine); because every engine simulates
 its own device clock, answers and modelled timings are independent of
 thread interleaving.
 
-Latency, throughput, cache and per-engine utilization metrics land in a
-:class:`repro.service.metrics.MetricsRegistry` and are summarised on the
-returned :class:`ServiceBatchReport`.
+Robustness layer
+----------------
+A single heavy query (large ``k``, dense neighbourhood) can otherwise
+dominate an engine for the whole batch, so serving supports graceful
+degradation end to end:
+
+- a per-query :class:`~repro.core.config.QueryBudget` (result and/or
+  device-cycle caps) bounds every kernel run; truncated answers are exact
+  subsets of the full answer and are flagged on the report;
+- ``deadline_ms`` maps a per-query modelled wall deadline to a device
+  cycle budget (``deadline x kernel frequency``);
+- ``batch_deadline_ms`` is a batch-level deadline: an engine whose own
+  modelled timeline (host + device busy so far) has passed it *degrades*
+  its remaining queries to tightly budgeted runs instead of dropping them;
+- an engine that raises :class:`~repro.errors.EngineFailure` mid-batch
+  (see :class:`FlakyEngine` for fault injection) is retired and its
+  unfinished queries are requeued onto the surviving engines.
+
+Latency, throughput, cache, robustness and per-engine utilization metrics
+land in a :class:`repro.service.metrics.MetricsRegistry` and are summarised
+on the returned :class:`ServiceBatchReport`.  Engine busy time is split
+into host (``T1`` preprocessing) and device (``T2`` kernel) seconds: the
+engines run device work concurrently, but all host preprocessing shares
+one modelled CPU.
 """
 
 from __future__ import annotations
@@ -21,7 +42,8 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigError
+from repro.core.config import QueryBudget
+from repro.errors import ConfigError, EngineFailure, ServiceError
 from repro.fpga.device import WORD_BYTES
 from repro.graph.csr import CSRGraph
 from repro.host.cost_model import CpuCostModel, OpCounter
@@ -29,7 +51,45 @@ from repro.host.query import Query
 from repro.host.system import PathEnumerationSystem, SystemReport
 from repro.service.cache import GraphArtifactCache
 from repro.service.metrics import LatencySummary, MetricsRegistry
-from repro.service.scheduler import SCHEDULERS, Assignment
+from repro.service.scheduler import SCHEDULERS, Assignment, requeue
+
+#: fraction of the batch deadline granted to each degraded query when no
+#: explicit ``degraded_cycle_budget`` is given.
+DEGRADED_BUDGET_FRACTION = 0.01
+
+
+class FlakyEngine:
+    """Fault-injection wrapper: an engine that dies after ``fail_after`` runs.
+
+    Wraps any PEFP engine and delegates everything to it, except that the
+    ``fail_after + 1``-th :meth:`run` raises
+    :class:`~repro.errors.EngineFailure` (and every run after that, too).
+    The service uses it to exercise mid-batch worker loss; tests and
+    operators can wrap ``service.systems[i].engine`` directly for custom
+    failure plans.
+    """
+
+    def __init__(self, inner, fail_after: int = 1) -> None:
+        if fail_after < 0:
+            raise ConfigError(
+                f"fail_after must be non-negative, got {fail_after}"
+            )
+        self.inner = inner
+        self.fail_after = fail_after
+        self.runs = 0
+        self.failed = False
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+    def run(self, *args, **kwargs):
+        if self.runs >= self.fail_after:
+            self.failed = True
+            raise EngineFailure(
+                f"injected engine failure after {self.runs} run(s)"
+            )
+        self.runs += 1
+        return self.inner.run(*args, **kwargs)
 
 
 @dataclass
@@ -44,10 +104,15 @@ class ServiceBatchReport:
     #: instead of inflating the first query's T1.
     warmup_ops: OpCounter
     warmup_seconds: float
-    engine_busy_seconds: list[float]
+    #: modelled host-CPU (``T1``) seconds of the queries each engine served.
+    engine_host_seconds: list[float]
+    #: modelled device (``T2``) seconds of the queries each engine served.
+    engine_device_seconds: list[float]
     wall_seconds: float
     metrics: MetricsRegistry
     cache_stats: dict[str, int] = field(default_factory=dict)
+    #: engines that raised :class:`~repro.errors.EngineFailure` mid-batch.
+    failed_engines: list[int] = field(default_factory=list)
 
     @property
     def num_queries(self) -> int:
@@ -55,14 +120,41 @@ class ServiceBatchReport:
 
     @property
     def num_engines(self) -> int:
-        return len(self.engine_busy_seconds)
+        return len(self.engine_device_seconds)
+
+    @property
+    def engine_busy_seconds(self) -> list[float]:
+        """Host + device seconds per engine (total modelled work)."""
+        return [
+            h + d
+            for h, d in zip(self.engine_host_seconds,
+                            self.engine_device_seconds)
+        ]
+
+    @property
+    def host_seconds_total(self) -> float:
+        """All modelled T1 work of the batch — one shared host CPU."""
+        return sum(self.engine_host_seconds)
+
+    @property
+    def device_makespan_seconds(self) -> float:
+        """The busiest engine's modelled device time."""
+        if not self.engine_device_seconds:
+            return 0.0
+        return max(self.engine_device_seconds)
 
     @property
     def makespan_seconds(self) -> float:
-        """Modelled batch completion time: the busiest engine's load."""
-        if not self.engine_busy_seconds:
-            return 0.0
-        return max(self.engine_busy_seconds)
+        """Modelled batch completion time.
+
+        Device runs overlap across engines, but every query's ``T1`` is
+        serviced by the single shared host CPU; with preprocessing
+        pipelined against enumeration the batch finishes no earlier than
+        the larger of the serial host total and the busiest engine's
+        device time.  (The old ``max(host + device per engine)`` figure
+        pretended each engine owned a private host CPU.)
+        """
+        return max(self.host_seconds_total, self.device_makespan_seconds)
 
     @property
     def throughput_qps(self) -> float:
@@ -74,16 +166,41 @@ class ServiceBatchReport:
 
     @property
     def engine_utilization(self) -> list[float]:
-        """Busy fraction of each engine relative to the makespan."""
-        makespan = self.makespan_seconds
+        """Device-busy fraction of each engine over the device makespan.
+
+        Based on ``query_seconds`` only: host preprocessing time is not
+        engine work and charging it here (as ``total_seconds`` once did)
+        overstated utilization whenever T1 was non-trivial.
+        """
+        makespan = self.device_makespan_seconds
         if makespan <= 0.0:
             return [0.0] * self.num_engines
-        return [busy / makespan for busy in self.engine_busy_seconds]
+        return [busy / makespan for busy in self.engine_device_seconds]
 
     @property
     def latency(self) -> LatencySummary | None:
         """Modelled per-query latency summary (p50/p95/p99 et al.)."""
         return self.metrics.summary("latency_seconds")
+
+    @property
+    def degraded_latency(self) -> LatencySummary | None:
+        """Latency summary of queries served past the batch deadline."""
+        return self.metrics.summary("degraded_latency_seconds")
+
+    @property
+    def truncated_queries(self) -> int:
+        """Queries whose answers a budget or deadline truncated."""
+        return self.metrics.counter("truncated_queries")
+
+    @property
+    def requeued_queries(self) -> int:
+        """Queries re-dispatched after their engine failed."""
+        return self.metrics.counter("requeued_queries")
+
+    @property
+    def engine_failures(self) -> int:
+        """Engines lost mid-batch."""
+        return self.metrics.counter("engine_failures")
 
     @property
     def total_paths(self) -> int:
@@ -118,6 +235,12 @@ class BatchQueryService:
     use_threads:
         Dispatch engines on a thread pool; ``False`` runs them in order
         (identical results, useful when debugging).
+    inject_failures:
+        Fault-injection hook: wrap the first N engines in
+        :class:`FlakyEngine` so each dies after serving one query.  Their
+        unfinished queries are requeued onto the surviving engines; with
+        no survivors :meth:`run` raises
+        :class:`~repro.errors.ServiceError`.
     """
 
     def __init__(
@@ -129,6 +252,7 @@ class BatchQueryService:
         cost_model: CpuCostModel | None = None,
         cache: GraphArtifactCache | None = None,
         use_threads: bool = True,
+        inject_failures: int = 0,
         **engine_kwargs,
     ) -> None:
         if num_engines < 1:
@@ -137,6 +261,11 @@ class BatchQueryService:
             raise ConfigError(
                 f"unknown scheduler {scheduler!r}; "
                 f"expected one of {sorted(SCHEDULERS)}"
+            )
+        if not 0 <= inject_failures <= num_engines:
+            raise ConfigError(
+                f"inject_failures must be in [0, {num_engines}], "
+                f"got {inject_failures}"
             )
         self.graph = graph
         self.variant = variant
@@ -155,15 +284,65 @@ class BatchQueryService:
             )
             for _ in range(num_engines)
         ]
+        for i in range(inject_failures):
+            self.systems[i].engine = FlakyEngine(self.systems[i].engine)
 
     @property
     def num_engines(self) -> int:
         return len(self.systems)
 
-    def run(self, queries: list[Query]) -> ServiceBatchReport:
-        """Serve one batch end to end and report answers plus metrics."""
+    def run(
+        self,
+        queries: list[Query],
+        budget: QueryBudget | None = None,
+        deadline_ms: float | None = None,
+        batch_deadline_ms: float | None = None,
+        degraded_cycle_budget: int | None = None,
+    ) -> ServiceBatchReport:
+        """Serve one batch end to end and report answers plus metrics.
+
+        ``budget`` applies to every query; ``deadline_ms`` additionally
+        caps each kernel at ``deadline x frequency`` device cycles.
+        ``batch_deadline_ms`` is batch-level: once an engine's modelled
+        busy time (host + device) passes it, the engine's remaining
+        queries run *degraded* — capped at ``degraded_cycle_budget``
+        cycles (default ``DEGRADED_BUDGET_FRACTION`` of the deadline) —
+        instead of being dropped, so every query is still answered.
+        Engines lost to :class:`~repro.errors.EngineFailure` have their
+        unfinished queries requeued onto the surviving engines.
+        """
         wall_start = time.perf_counter()
         stats_before = self.cache.stats()
+        frequency = self.systems[0].engine.device_config.frequency_hz
+
+        effective = budget or QueryBudget()
+        if deadline_ms is not None:
+            if deadline_ms <= 0:
+                raise ConfigError(
+                    f"deadline_ms must be positive, got {deadline_ms}"
+                )
+            effective = effective.tightened(
+                max_cycles=max(1, int(deadline_ms * 1e-3 * frequency))
+            )
+        batch_deadline_s: float | None = None
+        if batch_deadline_ms is not None:
+            if batch_deadline_ms <= 0:
+                raise ConfigError(
+                    f"batch_deadline_ms must be positive, "
+                    f"got {batch_deadline_ms}"
+                )
+            batch_deadline_s = batch_deadline_ms * 1e-3
+            if degraded_cycle_budget is None:
+                degraded_cycle_budget = max(
+                    1,
+                    int(DEGRADED_BUDGET_FRACTION * batch_deadline_s
+                        * frequency),
+                )
+        if degraded_cycle_budget is not None and degraded_cycle_budget < 1:
+            raise ConfigError(
+                f"degraded_cycle_budget must be >= 1, "
+                f"got {degraded_cycle_budget}"
+            )
 
         # One-time per-graph artifacts, charged to the batch, not query 1.
         warmup_ops = OpCounter()
@@ -174,33 +353,80 @@ class BatchQueryService:
             queries, self.num_engines, graph=self.graph
         )
         reports: list[SystemReport | None] = [None] * len(queries)
-        busy = [0.0] * self.num_engines
+        host_busy = [0.0] * self.num_engines
+        device_busy = [0.0] * self.num_engines
+        failed = [False] * self.num_engines
 
-        def serve_engine(engine_idx: int) -> None:
+        def serve_engine(engine_idx: int, indices: list[int]) -> list[int]:
+            """Serve ``indices`` on one engine; return what it left behind."""
             system = self.systems[engine_idx]
-            for query_idx in assignment[engine_idx]:
-                report = system.execute(queries[query_idx])
+            for pos, query_idx in enumerate(indices):
+                q_budget = effective
+                degraded = False
+                if (
+                    batch_deadline_s is not None
+                    and host_busy[engine_idx] + device_busy[engine_idx]
+                    >= batch_deadline_s
+                ):
+                    degraded = True
+                    q_budget = q_budget.tightened(
+                        max_cycles=degraded_cycle_budget
+                    )
+                try:
+                    report = system.execute(
+                        queries[query_idx],
+                        budget=None if q_budget.unlimited else q_budget,
+                    )
+                except EngineFailure:
+                    failed[engine_idx] = True
+                    self.metrics.increment("engine_failures")
+                    return indices[pos:]
                 reports[query_idx] = report
-                busy[engine_idx] += report.total_seconds
-                self._observe(report, engine_idx)
+                host_busy[engine_idx] += report.preprocess_seconds
+                device_busy[engine_idx] += report.query_seconds
+                self._observe(report, engine_idx, degraded=degraded)
+            return []
 
-        if self.use_threads and self.num_engines > 1:
-            with ThreadPoolExecutor(
-                max_workers=self.num_engines,
-                thread_name_prefix="pefp-engine",
-            ) as pool:
-                futures = [
-                    pool.submit(serve_engine, e)
-                    for e in range(self.num_engines)
-                ]
-                for future in futures:
-                    future.result()
-        else:
-            for e in range(self.num_engines):
-                serve_engine(e)
+        work = [list(part) for part in assignment]
+        while True:
+            active = [
+                e for e in range(self.num_engines)
+                if work[e] and not failed[e]
+            ]
+            unserved: list[int] = []
+            if self.use_threads and len(active) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=len(active),
+                    thread_name_prefix="pefp-engine",
+                ) as pool:
+                    futures = [
+                        pool.submit(serve_engine, e, work[e]) for e in active
+                    ]
+                    for future in futures:
+                        unserved.extend(future.result())
+            else:
+                for e in active:
+                    unserved.extend(serve_engine(e, work[e]))
+            if not unserved:
+                break
+            survivors = [
+                e for e in range(self.num_engines) if not failed[e]
+            ]
+            if not survivors:
+                raise ServiceError(
+                    f"all {self.num_engines} engine(s) failed with "
+                    f"{len(unserved)} of {len(queries)} queries unanswered"
+                )
+            unserved.sort()
+            self.metrics.increment("requeued_queries", len(unserved))
+            work = requeue(unserved, self.num_engines, survivors)
 
         done = [r for r in reports if r is not None]
-        assert len(done) == len(queries), "engine worker lost a query"
+        if len(done) != len(queries):
+            raise ServiceError(
+                f"engine workers lost {len(queries) - len(done)} of "
+                f"{len(queries)} queries"
+            )
 
         # Amortised DMA, as in PathEnumerationSystem.execute_batch.
         total_words = sum(r.payload_words for r in done)
@@ -221,13 +447,19 @@ class BatchQueryService:
             batch_transfer_seconds=batch_transfer,
             warmup_ops=warmup_ops,
             warmup_seconds=warmup_seconds,
-            engine_busy_seconds=busy,
+            engine_host_seconds=host_busy,
+            engine_device_seconds=device_busy,
             wall_seconds=wall_seconds,
             metrics=self.metrics,
             cache_stats=cache_stats,
+            failed_engines=[
+                e for e in range(self.num_engines) if failed[e]
+            ],
         )
 
-    def _observe(self, report: SystemReport, engine_idx: int) -> None:
+    def _observe(
+        self, report: SystemReport, engine_idx: int, degraded: bool = False
+    ) -> None:
         self.metrics.observe("latency_seconds", report.total_seconds)
         self.metrics.observe("preprocess_seconds",
                              report.preprocess_seconds)
@@ -237,3 +469,9 @@ class BatchQueryService:
         self.metrics.increment(f"engine{engine_idx}_queries")
         if report.device is None:
             self.metrics.increment("empty_queries")
+        if report.truncated:
+            self.metrics.increment("truncated_queries")
+        if degraded:
+            self.metrics.increment("degraded_queries")
+            self.metrics.observe("degraded_latency_seconds",
+                                 report.total_seconds)

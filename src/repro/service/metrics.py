@@ -101,13 +101,19 @@ class MetricsRegistry:
 
     # -- export --------------------------------------------------------
     def snapshot(self) -> dict[str, object]:
-        """Plain-dict view: counters plus per-series summaries."""
+        """Plain-dict view: counters plus per-series summaries.
+
+        Taken under a single lock acquisition so the counters and every
+        series summary describe the same instant — re-acquiring the lock
+        per series would let concurrent ``observe``/``increment`` calls
+        interleave and skew the view (e.g. a latency sample counted in a
+        series but not yet in its paired counter).
+        """
         with self._lock:
             counters = dict(self._counters)
-            names = list(self._samples)
-        out: dict[str, object] = {"counters": counters, "series": {}}
-        for name in names:
-            summary = self.summary(name)
-            if summary is not None:
-                out["series"][name] = summary  # type: ignore[index]
-        return out
+            series = {
+                name: LatencySummary.from_samples(samples)
+                for name, samples in self._samples.items()
+                if samples
+            }
+        return {"counters": counters, "series": series}

@@ -85,6 +85,31 @@ def longest_first(queries: Sequence[Query], num_engines: int,
     return assignment
 
 
+def requeue(pending: Sequence[int], num_engines: int,
+            surviving: Sequence[int]) -> Assignment:
+    """Redistribute unfinished batch indices onto the surviving engines.
+
+    ``pending`` are query indices an engine failed to serve; ``surviving``
+    names the engines still alive.  Returns a full-width assignment (dead
+    engines get empty lists) with the pending queries dealt round-robin
+    over the survivors in order — deterministic, so a requeued batch's
+    answers do not depend on thread interleaving.
+    """
+    _check(num_engines)
+    alive = list(dict.fromkeys(surviving))
+    for e in alive:
+        if not 0 <= e < num_engines:
+            raise ConfigError(
+                f"surviving engine {e} out of range for {num_engines} engines"
+            )
+    if not alive:
+        raise ConfigError("requeue needs at least one surviving engine")
+    assignment: Assignment = [[] for _ in range(num_engines)]
+    for i, query_idx in enumerate(pending):
+        assignment[alive[i % len(alive)]].append(query_idx)
+    return assignment
+
+
 def _check(num_engines: int) -> None:
     if num_engines < 1:
         raise ConfigError(f"need at least one engine, got {num_engines}")

@@ -13,7 +13,6 @@ from repro.graph import generators as G
 from repro.graph.csr import CSRGraph
 from repro.host.query import Query
 from repro.preprocess.bfs import distances_with_default, k_hop_bfs
-from repro.preprocess.prebfs import pre_bfs
 
 
 def run_engine(graph, s, t, k, engine=None):

@@ -8,10 +8,6 @@ cases (self-contained cycles, disconnected pieces, sinks, diamonds) that
 random testing may miss.
 """
 
-import itertools
-
-import pytest
-
 from conftest import brute_force_paths
 from repro.baselines import BCDFS, HPIndex, Join, Yens
 from repro.graph.csr import CSRGraph

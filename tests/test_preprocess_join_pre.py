@@ -1,6 +1,5 @@
 """Tests for JOIN's preprocessing (distance maps + middle-vertex cut)."""
 
-import numpy as np
 import pytest
 
 from conftest import brute_force_paths

@@ -4,7 +4,6 @@ import pytest
 
 from repro.datasets import load_dataset
 from repro.fpga.report import device_report
-from repro.host.query import Query
 from repro.host.system import PathEnumerationSystem
 from repro.workloads.queries import generate_queries
 

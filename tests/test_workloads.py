@@ -1,6 +1,5 @@
 """Tests for query generation, timing runners and Table III sampling."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import Join, NaiveDFS

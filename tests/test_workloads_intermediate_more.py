@@ -1,6 +1,5 @@
 """Additional Table III sampler invariants on controlled graphs."""
 
-import pytest
 
 from repro.graph import generators as G
 from repro.graph.csr import CSRGraph
@@ -16,7 +15,7 @@ class TestShapeOnControlledGraphs:
         counts = newly_generated_by_length(
             g, Query(0, 1, 6), sample_size=200, level_cap=800, seed=2
         )
-        values = [counts[l].per_thousand for l in sorted(counts)]
+        values = [counts[length].per_thousand for length in sorted(counts)]
         assert values[-1] == 0
         assert max(values) == max(values[:-1])  # peak is not at the end
 
@@ -26,8 +25,8 @@ class TestShapeOnControlledGraphs:
             g, Query(0, 7, 7), sample_size=100, level_cap=100, seed=0
         )
         # exactly one intermediate path per length, each expands to one
-        for l, c in counts.items():
-            if l < 6:
+        for length, c in counts.items():
+            if length < 6:
                 assert c.sampled_paths == 1
                 assert c.new_paths == 1
         assert counts[6].new_paths == 0
