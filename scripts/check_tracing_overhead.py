@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""CI guard: tracing must stay zero-cost when disabled.
+
+The observability layer promises that a run with ``tracer=None`` (the
+default everywhere) pays only falsy checks and no-op spans.  This script
+holds that promise to a budget:
+
+1. run a small serving workload with tracing disabled and enabled,
+   reporting both (the enabled cost is informational — it is allowed to
+   be slower);
+2. microbenchmark the disabled-path primitives the instrumented code
+   executes per event — the ``if tracer:`` guard and a
+   ``NULL_TRACER.span(...)`` context block — and project their total
+   cost over the number of events the enabled run actually recorded;
+3. fail (exit 1) if that projected disabled overhead exceeds
+   ``MAX_DISABLED_OVERHEAD`` of the disabled runtime.
+
+The projection deliberately over-counts (every event priced as a full
+null-span ``with`` block, though hot-loop sites use a bare guard), so a
+pass here is conservative.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_tracing_overhead.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.graph import generators
+from repro.host.query import Query
+from repro.host.system import PathEnumerationSystem
+from repro.observability import NULL_TRACER, Tracer
+
+#: maximum tolerated disabled-path overhead (fraction of runtime).
+MAX_DISABLED_OVERHEAD = 0.02
+
+REPEATS = 5
+NUM_QUERIES = 12
+GUARD_ITERS = 200_000
+
+
+def build_workload():
+    graph = generators.chung_lu(400, 2400, seed=5)
+    system = PathEnumerationSystem(graph)
+    queries = [
+        Query(source=(7 * i) % 400, target=(11 * i + 3) % 400, max_hops=4)
+        for i in range(NUM_QUERIES)
+    ]
+    return system, [q for q in queries if q.source != q.target]
+
+
+def run_workload(system, queries, tracer) -> float:
+    start = time.perf_counter()
+    for query in queries:
+        system.execute(query, tracer=tracer)
+    return time.perf_counter() - start
+
+
+def median_runtime(system, queries, tracer) -> float:
+    times = [run_workload(system, queries, tracer) for _ in range(REPEATS)]
+    return sorted(times)[len(times) // 2]
+
+
+def per_event_disabled_cost() -> float:
+    """Seconds per instrumentation event on the disabled path."""
+    tracer = None
+    start = time.perf_counter()
+    for _ in range(GUARD_ITERS):
+        if tracer:  # the engine hot loop's guard
+            raise AssertionError("unreachable")
+        with NULL_TRACER.span("x"):  # the host layer's with-block
+            pass
+    return (time.perf_counter() - start) / GUARD_ITERS
+
+
+def main() -> int:
+    system, queries = build_workload()
+    # Warm caches/JIT-ish effects before timing.
+    run_workload(system, queries, None)
+
+    disabled = median_runtime(system, queries, None)
+    enabled_tracer = Tracer()
+    enabled = median_runtime(system, queries, enabled_tracer)
+    events = len(enabled_tracer.records()) / REPEATS
+
+    event_cost = per_event_disabled_cost()
+    projected = events * event_cost
+    overhead = projected / disabled if disabled > 0 else 0.0
+
+    print(f"disabled runtime (median of {REPEATS}): {disabled * 1e3:.2f} ms")
+    print(f"enabled  runtime (median of {REPEATS}): {enabled * 1e3:.2f} ms "
+          f"({enabled / disabled:.2f}x, informational)")
+    print(f"events per run: {events:.0f}")
+    print(f"disabled-path cost per event: {event_cost * 1e9:.0f} ns")
+    print(f"projected disabled overhead: {overhead * 100:.3f}% "
+          f"(budget {MAX_DISABLED_OVERHEAD * 100:.0f}%)")
+
+    if overhead > MAX_DISABLED_OVERHEAD:
+        print("FAIL: disabled tracing exceeds the overhead budget",
+              file=sys.stderr)
+        return 1
+    print("OK: disabled tracing is within the overhead budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -149,18 +149,96 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         use_threads=not args.no_threads,
         inject_failures=args.inject_failures,
+        failure_seed=args.failure_seed,
     )
     budget = None
     if args.max_results is not None or args.cycle_budget is not None:
         budget = QueryBudget(max_results=args.max_results,
                              max_cycles=args.cycle_budget)
+    tracer = None
+    if args.trace_dir is not None:
+        from repro.observability import Tracer
+
+        tracer = Tracer()
     report = service.run(
         queries,
         budget=budget,
         deadline_ms=args.deadline_ms,
         batch_deadline_ms=args.batch_deadline_ms,
+        tracer=tracer,
+        profile=args.profile,
     )
     print(report.render())
+    if args.profile:
+        from repro.reporting.trace import profile_table
+
+        summary = report.profile_summary()
+        if summary is not None:
+            print()
+            print(profile_table(summary))
+    if tracer is not None or args.metrics_out is not None:
+        _write_observability_artifacts(args, service, report, tracer)
+    return 0
+
+
+def _write_observability_artifacts(args, service, report, tracer) -> int:
+    """Persist trace/profile/metrics files after a serve-batch run."""
+    import json
+    import os
+
+    from repro.observability import render_prometheus, write_chrome_trace
+
+    written = []
+    if tracer is not None:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        trace_path = os.path.join(args.trace_dir, "trace.jsonl")
+        tracer.write_jsonl(trace_path)
+        written.append(trace_path)
+        chrome_path = os.path.join(args.trace_dir, "trace_chrome.json")
+        write_chrome_trace(tracer.records(), chrome_path)
+        written.append(chrome_path)
+        prom_path = os.path.join(args.trace_dir, "metrics.prom")
+        with open(prom_path, "w", encoding="utf-8") as fh:
+            fh.write(render_prometheus(service.metrics))
+        written.append(prom_path)
+        if args.profile:
+            profile_path = os.path.join(args.trace_dir, "profile.json")
+            with open(profile_path, "w", encoding="utf-8") as fh:
+                json.dump(report.profile_summary(), fh, indent=2)
+            written.append(profile_path)
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(render_prometheus(service.metrics))
+        written.append(args.metrics_out)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.observability import read_jsonl
+    from repro.reporting.trace import trace_report
+
+    path = args.trace
+    if os.path.isdir(path):
+        trace_path = os.path.join(path, "trace.jsonl")
+        profile_path = os.path.join(path, "profile.json")
+    else:
+        trace_path = path
+        profile_path = os.path.join(os.path.dirname(path), "profile.json")
+    records = read_jsonl(trace_path) if os.path.exists(trace_path) else []
+    profile = None
+    if os.path.exists(profile_path):
+        with open(profile_path, encoding="utf-8") as fh:
+            profile = json.load(fh)
+    if not records and profile is None:
+        print(f"error: no trace.jsonl or profile.json under {path}",
+              file=sys.stderr)
+        return 1
+    print(trace_report(records, profile))
     return 0
 
 
@@ -268,9 +346,33 @@ def build_parser() -> argparse.ArgumentParser:
                          "serve remaining queries degraded (tightly "
                          "budgeted) instead of dropping them")
     sv.add_argument("--inject-failures", type=int, default=0,
-                    help="fault injection: this many engines die after one "
-                         "query; their work requeues onto survivors")
+                    help="fault injection: this many engines die mid-batch; "
+                         "their work requeues onto survivors")
+    sv.add_argument("--failure-seed", type=int, default=None,
+                    help="seed the fault-injection plan (which engines die, "
+                         "after how many runs); default: first N engines "
+                         "after one run each")
+    sv.add_argument("--trace-dir", default=None, metavar="DIR",
+                    help="record a span trace and write trace.jsonl, "
+                         "trace_chrome.json (chrome://tracing) and "
+                         "metrics.prom into DIR")
+    sv.add_argument("--profile", action="store_true",
+                    help="collect per-batch device cycle breakdowns; "
+                         "prints a profile summary and, with --trace-dir, "
+                         "writes profile.json")
+    sv.add_argument("--metrics-out", default=None, metavar="FILE",
+                    help="write the metrics registry to FILE in Prometheus "
+                         "text exposition format")
     sv.set_defaults(func=_cmd_serve_batch)
+
+    tre = sub.add_parser(
+        "trace-report",
+        help="summarise a recorded trace directory (see serve-batch "
+             "--trace-dir/--profile)",
+    )
+    tre.add_argument("trace",
+                     help="trace directory, or a trace.jsonl file")
+    tre.set_defaults(func=_cmd_trace_report)
     return parser
 
 

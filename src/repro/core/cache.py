@@ -54,6 +54,15 @@ class CachedArray:
     def fully_cached(self) -> bool:
         return self.cached_len >= len(self._data)
 
+    def counters(self) -> dict[str, int]:
+        """Hit/miss and residency counters for device profiling."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "cached_words": self.cached_len,
+            "total_words": len(self._data),
+        }
+
     def read(self, index: int) -> int:
         """Random single-element read; 1 cycle on hit, DRAM latency on miss."""
         if index < self.cached_len:

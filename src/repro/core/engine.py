@@ -32,6 +32,7 @@ full DRAM latency per access.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -45,6 +46,7 @@ from repro.errors import QueryError
 from repro.fpga.clock import Clock
 from repro.fpga.device import Device, DeviceConfig
 from repro.fpga.pipeline import PipelineModel
+from repro.fpga.profile import DeviceProfile, DeviceProfiler
 from repro.graph.csr import CSRGraph
 
 
@@ -94,6 +96,9 @@ class EngineRunResult:
     #: run before the search space was exhausted — ``paths`` is then an
     #: exact subset of the unbudgeted answer, possibly missing results.
     truncated: bool = False
+    #: per-batch cycle breakdown and device counters; only populated when
+    #: :meth:`PEFPEngine.run` was called with ``profile=True``.
+    profile: DeviceProfile | None = None
 
     @property
     def num_paths(self) -> int:
@@ -144,6 +149,8 @@ class PEFPEngine:
         on_result=None,
         collect_paths: bool = True,
         budget: QueryBudget | None = None,
+        tracer=None,
+        profile: bool = False,
     ) -> EngineRunResult:
         """Enumerate all s-t k-paths of ``graph`` on the simulated device.
 
@@ -166,6 +173,14 @@ class PEFPEngine:
         The paths of a budgeted run are always an exact subset of the
         unbudgeted answer, and the clock never overshoots ``max_cycles``
         by more than one batch (including its flush/refill stalls).
+
+        ``tracer`` (a :class:`repro.observability.Tracer`) emits one span
+        per processing batch and refill stall on the caller's current
+        span; ``profile=True`` collects a
+        :class:`~repro.fpga.profile.DeviceProfile` (per-batch cycle
+        breakdown, cache hit/miss, high-water marks) onto the result.
+        Both default off and cost nothing when disabled — the hot loop
+        pays one falsy check per batch.
         """
         if not 0 <= source < graph.num_vertices:
             raise QueryError(f"source {source} not in graph")
@@ -210,17 +225,26 @@ class PEFPEngine:
         verifier = VerificationModule(self.pipeline, cfg.use_data_separation)
         batch_fn = batch_dfs if cfg.use_batch_dfs else fifo_batch
         dram_area = DramArea()
+        profiler = DeviceProfiler() if profile else None
+        observing = profiler is not None or bool(tracer)
+        frequency = self.device_config.frequency_hz
         results: list[tuple[int, ...]] = []
         max_results = budget.max_results if budget is not None else None
         max_cycles = budget.max_cycles if budget is not None else None
         truncated = False
 
         # --- seed: the path consisting of just `source` ----------------
+        setup_wall = time.perf_counter_ns() if tracer else 0
         lo = vertex_arr.read(source)
         hi = vertex_arr.read(source + 1)
         if lo < hi:
             self._charge_push(bram, dram, rec_w, buffer_in_bram)
             buffer.push(PathRecord((source,), lo, hi))
+        if profiler is not None:
+            profiler.mark_setup(clock.cycles)
+        if tracer:
+            tracer.complete("kernel_setup", setup_wall,
+                            modelled_seconds=clock.cycles / frequency)
 
         # --- main loop (Algorithms 1 and 3) ----------------------------
         while True:
@@ -233,6 +257,7 @@ class PEFPEngine:
                 if buffer_in_bram and not dram_area.is_empty:
                     # Θ1 refill from the DRAM tail: a serial stall.
                     before = clock.cycles
+                    refill_wall = time.perf_counter_ns() if tracer else 0
                     block = dram_area.fetch_tail(cfg.theta1)
                     dram.burst_read(len(block) * rec_w)
                     bram.write(len(block) * rec_w)
@@ -240,10 +265,24 @@ class PEFPEngine:
                         buffer.push(rec)
                     stats.refills += 1
                     stats.refilled_paths += len(block)
-                    stats.add_stage_cycles("refill", clock.cycles - before)
+                    refill_cycles = clock.cycles - before
+                    stats.add_stage_cycles("refill", refill_cycles)
+                    if profiler is not None:
+                        profiler.record_refill(refill_cycles, len(block))
+                    if tracer:
+                        tracer.complete(
+                            "refill", refill_wall,
+                            modelled_seconds=refill_cycles / frequency,
+                            paths=len(block),
+                        )
                     continue  # re-check the cycle budget after the stall
                 else:
                     break
+            if observing:
+                iter_cycles0 = clock.cycles
+                iter_wall0 = time.perf_counter_ns() if tracer else 0
+                flush_cycles0 = stats.stage_cycles.get("flush", 0)
+                flushes0 = stats.flushes
             entries = batch_fn(buffer, cfg.theta2)
             if not entries:
                 break  # defensive: cannot happen with a non-empty buffer
@@ -389,6 +428,39 @@ class PEFPEngine:
                     stats.add_stage_cycles("flush", clock.cycles - before)
                 buffer.push(rec)
 
+            if observing:
+                iter_cycles = clock.cycles - iter_cycles0
+                stage_breakdown = dict(zip(
+                    ("load", "edge_fetch", "barrier_fetch", "verify",
+                     "writeback"),
+                    (c.total for c in costs),
+                ))
+                if profiler is not None:
+                    profiler.record_batch(
+                        entries=len(entries),
+                        expansions=n_items,
+                        results=len(batch_results),
+                        new_paths=len(valid_paths),
+                        cycles=iter_cycles,
+                        pipeline_cycles=(batch_cycles
+                                         - cfg.batch_overhead_cycles),
+                        overhead_cycles=cfg.batch_overhead_cycles,
+                        flush_cycles=(stats.stage_cycles.get("flush", 0)
+                                      - flush_cycles0),
+                        flushes=stats.flushes - flushes0,
+                        dram_cycles=sum(c.dram for c in costs),
+                        buffer_paths=len(buffer),
+                        stage_cycles=stage_breakdown,
+                    )
+                if tracer:
+                    tracer.complete(
+                        "batch", iter_wall0,
+                        modelled_seconds=iter_cycles / frequency,
+                        entries=len(entries),
+                        expansions=n_items,
+                        results=len(batch_results),
+                    )
+
             if max_results is not None and stats.results >= max_results:
                 truncated = (
                     dropped_results
@@ -406,6 +478,15 @@ class PEFPEngine:
             stats=stats,
             device=device,
             truncated=truncated,
+            profile=(
+                profiler.finish(
+                    device,
+                    (vertex_arr, edge_arr, bar_arr),
+                    buffer.peak_occupancy,
+                    dram_area.peak_occupancy,
+                )
+                if profiler is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -57,9 +57,7 @@ class VerificationModule:
 
     def batch_cycles(self, n_items: int) -> int:
         """Latency of verifying ``n_items`` under the configured design."""
-        if self.data_separation:
-            return self.pipeline.dataflow_cycles(n_items)
-        return self.pipeline.basic_cycles(n_items)
+        return self.pipeline.cycles(n_items, self.data_separation)
 
     def verify_batch(
         self,

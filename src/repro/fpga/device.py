@@ -84,6 +84,21 @@ class Device:
         """FPGA DRAM -> host transfer time for ``num_words`` words."""
         return self.pcie.transfer_seconds_from_device(num_words * WORD_BYTES)
 
+    def memory_counters(self) -> dict[str, dict[str, int]]:
+        """Port traffic + capacity of both memories, for profiling.
+
+        Keys ``"bram"``/``"dram"``; each value holds the
+        :class:`~repro.fpga.memory.MemoryPort` counters plus
+        ``allocated_words`` and ``capacity_words``.
+        """
+        out = {}
+        for mem in (self.bram, self.dram):
+            counters = mem.port.as_dict()
+            counters["allocated_words"] = mem.allocated_words
+            counters["capacity_words"] = mem.capacity_words
+            out[mem.name] = counters
+        return out
+
     def __repr__(self) -> str:
         return (
             f"Device(freq={self.config.frequency_hz / 1e6:.0f}MHz, "

@@ -34,6 +34,16 @@ class MemoryPort:
         self.write_words += other.write_words
         self.stall_cycles += other.stall_cycles
 
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view for profiling exports."""
+        return {
+            "reads": self.reads,
+            "read_words": self.read_words,
+            "writes": self.writes,
+            "write_words": self.write_words,
+            "stall_cycles": self.stall_cycles,
+        }
+
 
 @dataclass
 class _Allocation:

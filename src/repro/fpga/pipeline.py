@@ -86,3 +86,22 @@ class PipelineModel:
             self.dataflow_initiation_interval,
             self.merge_latency,
         )
+
+    def cycles(self, n_items: int, data_separation: bool = True) -> int:
+        """Latency of one batch under either design (dispatch helper)."""
+        if data_separation:
+            return self.dataflow_cycles(n_items)
+        return self.basic_cycles(n_items)
+
+    def occupancy(self, n_items: int, window_cycles: int,
+                  data_separation: bool = True) -> float:
+        """Fraction of a ``window_cycles`` window this module was busy.
+
+        The profiling layer divides each batch's verification latency by
+        the batch's overlapped pipeline window to get per-batch stage
+        occupancy; values near 1.0 mean verification bounds the batch.
+        """
+        if window_cycles <= 0:
+            return 0.0
+        return min(1.0, self.cycles(n_items, data_separation)
+                   / window_cycles)

@@ -16,8 +16,10 @@ from repro.core.config import QueryBudget
 from repro.core.engine import EngineStats, PEFPEngine
 from repro.core.variants import make_engine, variant_uses_prebfs
 from repro.fpga.device import WORD_BYTES
+from repro.fpga.profile import DeviceProfile
 from repro.graph.csr import CSRGraph
 from repro.host.cost_model import CpuCostModel, OpCounter
+from repro.observability.tracer import NULL_TRACER
 from repro.host.query import Query, QueryResult
 from repro.preprocess.bfs import (
     charged_reverse,
@@ -48,6 +50,8 @@ class SystemReport:
     #: ``True`` when a :class:`~repro.core.config.QueryBudget` stopped the
     #: kernel early — ``paths`` is an exact subset of the full answer.
     truncated: bool = False
+    #: per-batch device cycle breakdown (``execute(..., profile=True)``).
+    profile: DeviceProfile | None = None
 
     @property
     def num_paths(self) -> int:
@@ -131,7 +135,11 @@ class PathEnumerationSystem:
         )
 
     def execute(
-        self, query: Query, budget: QueryBudget | None = None
+        self,
+        query: Query,
+        budget: QueryBudget | None = None,
+        tracer=None,
+        profile: bool = False,
     ) -> SystemReport:
         """Answer one query end to end.
 
@@ -143,76 +151,121 @@ class PathEnumerationSystem:
         cycles); a budgeted report sets ``truncated`` when the answer may
         be incomplete.  Preprocessing is never budgeted — it either runs
         or the query cannot run at all.
+
+        ``tracer`` (see :mod:`repro.observability`) records the query
+        lifecycle as nested spans — preprocessing, kernel (with per-batch
+        child spans), and the two PCIe transfers on a detached ``pcie``
+        track — each carrying its modelled duration.  ``profile=True``
+        attaches the kernel's :class:`~repro.fpga.profile.DeviceProfile`
+        to the report.  Both default off with no overhead.
         """
         query.validate(self.graph)
+        tr = tracer or NULL_TRACER
         pre_ops = OpCounter()
-        if self.use_prebfs:
-            if self.artifact_cache is not None:
-                prep = self.artifact_cache.pre_bfs(self.graph, query,
-                                                   pre_ops)
-            else:
-                prep = pre_bfs(self.graph, query, pre_ops)
-            if prep.is_empty:
+        with tr.span("query", source=query.source, target=query.target,
+                     max_hops=query.max_hops) as qspan:
+            with tr.span("preprocess") as pspan:
+                if self.use_prebfs:
+                    if self.artifact_cache is not None:
+                        prep = self.artifact_cache.pre_bfs(
+                            self.graph, query, pre_ops, tracer=tracer
+                        )
+                    else:
+                        prep = pre_bfs(self.graph, query, pre_ops)
+                    empty = prep.is_empty
+                else:
+                    # PEFP-No-Pre-BFS (Fig. 12): the barrier is integral
+                    # to the verification module, so the host still runs
+                    # the k-hop reverse BFS for sd_t — what it skips is
+                    # the forward BFS and the induced-subgraph
+                    # extraction, so the engine sees the full graph
+                    # (typically too large for the BRAM caches).
+                    if self.artifact_cache is not None:
+                        rev = self.artifact_cache.reverse(
+                            self.graph, pre_ops, tracer=tracer
+                        )
+                    else:
+                        rev = charged_reverse(self.graph, pre_ops)
+                    sd_t = k_hop_bfs(rev, query.target, query.max_hops,
+                                     pre_ops)
+                    barrier = distances_with_default(
+                        sd_t, query.max_hops + 1
+                    )
+                    empty = False
+                t1 = self.cost_model.seconds(pre_ops)
+                pspan.set_modelled(t1)
+
+            if empty:
+                qspan.set_modelled(t1).set(paths=0, empty=True)
                 return SystemReport(
                     query=query,
                     paths=[],
-                    preprocess_seconds=self.cost_model.seconds(pre_ops),
+                    preprocess_seconds=t1,
                     query_seconds=0.0,
                     transfer_seconds=0.0,
                     fpga_cycles=0,
                     engine_stats=EngineStats(),
                     preprocess_ops=pre_ops,
                 )
-            run_graph = prep.subgraph
-            source, target = prep.source, prep.target
-            barrier = prep.barrier
-            translate = prep.translate_path
-        else:
-            # PEFP-No-Pre-BFS (Fig. 12): the barrier is integral to the
-            # verification module, so the host still runs the k-hop reverse
-            # BFS for sd_t — what it skips is the forward BFS and the
-            # induced-subgraph extraction, so the engine sees the full
-            # graph (typically too large for the BRAM caches).
-            run_graph = self.graph
-            source, target = query.source, query.target
-            if self.artifact_cache is not None:
-                rev = self.artifact_cache.reverse(self.graph, pre_ops)
+            if self.use_prebfs:
+                run_graph = prep.subgraph
+                source, target = prep.source, prep.target
+                barrier = prep.barrier
+                translate = prep.translate_path
             else:
-                rev = charged_reverse(self.graph, pre_ops)
-            sd_t = k_hop_bfs(rev, target, query.max_hops, pre_ops)
-            barrier = distances_with_default(sd_t, query.max_hops + 1)
-            translate = None
+                run_graph = self.graph
+                source, target = query.source, query.target
+                translate = None
 
-        t1 = self.cost_model.seconds(pre_ops)
+            # DMA: s, t, k header + CSR arrays + barrier.
+            payload_words = (
+                3 + len(run_graph.indptr) + len(run_graph.indices)
+                + len(barrier)
+            )
+            with tr.span("kernel") as kspan:
+                run = self.engine.run(run_graph, source, target,
+                                      query.max_hops, barrier,
+                                      budget=budget, tracer=tracer,
+                                      profile=profile)
+                kspan.set_modelled(run.seconds).set(
+                    cycles=run.cycles,
+                    batches=run.stats.batches,
+                    truncated=run.truncated,
+                )
+            with tr.span("dma_to_device", detach=True, track="pcie",
+                         words=payload_words) as dspan:
+                transfer = run.device.dma_to_device_seconds(payload_words)
+                dspan.set_modelled(transfer)
+            result_words = sum(len(p) + 1 for p in run.paths)
+            with tr.span("dma_from_device", detach=True, track="pcie",
+                         words=result_words) as dspan:
+                result_transfer = run.device.dma_from_device_seconds(
+                    result_words
+                )
+                dspan.set_modelled(result_transfer)
 
-        # DMA: s, t, k header + CSR arrays + barrier.
-        payload_words = (
-            3 + len(run_graph.indptr) + len(run_graph.indices) + len(barrier)
-        )
-        run = self.engine.run(run_graph, source, target, query.max_hops,
-                              barrier, budget=budget)
-        transfer = run.device.dma_to_device_seconds(payload_words)
-        result_words = sum(len(p) + 1 for p in run.paths)
-        result_transfer = run.device.dma_from_device_seconds(result_words)
-
-        if translate is not None:
-            paths = [translate(p) for p in run.paths]
-        else:
-            paths = list(run.paths)
-        return SystemReport(
-            query=query,
-            paths=paths,
-            preprocess_seconds=t1,
-            query_seconds=run.seconds,
-            transfer_seconds=transfer,
-            fpga_cycles=run.cycles,
-            engine_stats=run.stats,
-            preprocess_ops=pre_ops,
-            payload_words=payload_words,
-            result_transfer_seconds=result_transfer,
-            device=run.device,
-            truncated=run.truncated,
-        )
+            if translate is not None:
+                paths = [translate(p) for p in run.paths]
+            else:
+                paths = list(run.paths)
+            qspan.set_modelled(t1 + run.seconds).set(
+                paths=len(paths), truncated=run.truncated
+            )
+            return SystemReport(
+                query=query,
+                paths=paths,
+                preprocess_seconds=t1,
+                query_seconds=run.seconds,
+                transfer_seconds=transfer,
+                fpga_cycles=run.cycles,
+                engine_stats=run.stats,
+                preprocess_ops=pre_ops,
+                payload_words=payload_words,
+                result_transfer_seconds=result_transfer,
+                device=run.device,
+                truncated=run.truncated,
+                profile=run.profile,
+            )
 
     def execute_batch(
         self, queries: list[Query], budget: QueryBudget | None = None

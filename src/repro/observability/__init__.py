@@ -1,0 +1,50 @@
+"""Tracing and profiling for the PEFP simulation.
+
+Three pieces, all opt-in and zero-cost when off:
+
+- :mod:`repro.observability.tracer` — span tracer threaded through the
+  query lifecycle (Pre-BFS, cache lookups, PCIe, per-batch kernel work),
+  recording wall *and* modelled time, exported as JSONL;
+- :mod:`repro.observability.chrome` — ``chrome://tracing`` /  Perfetto
+  ``trace_event`` export of a recorded trace, laid out on the modelled
+  clock;
+- :mod:`repro.observability.prometheus` — text exposition (and a tiny
+  HTTP endpoint) for :class:`repro.service.metrics.MetricsRegistry`.
+
+Device-side profiling counters live with the FPGA model in
+:mod:`repro.fpga.profile`; the batch service folds them into registry
+histograms.  See ``docs/OBSERVABILITY.md`` for the span taxonomy and the
+reconciliation invariants the test suite enforces.
+"""
+
+from repro.observability.chrome import (
+    chrome_trace,
+    query_durations_seconds,
+    write_chrome_trace,
+)
+from repro.observability.prometheus import (
+    MetricsHTTPServer,
+    render_prometheus,
+)
+from repro.observability.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    read_jsonl,
+)
+
+__all__ = [
+    "MetricsHTTPServer",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace",
+    "query_durations_seconds",
+    "read_jsonl",
+    "render_prometheus",
+    "write_chrome_trace",
+]

@@ -1,0 +1,118 @@
+"""Chrome ``trace_event`` export of a span trace, on the modelled clock.
+
+Open the exported file in ``chrome://tracing`` / Perfetto to see the
+batch as a timeline: one row ("thread") per track — the host, each
+engine, the PCIe bus — with query spans subdivided into preprocessing,
+kernel and per-batch spans.
+
+The timeline is laid out in **modelled time**, not wall time: every
+span's duration is the seconds the timing model charged for it
+(``SpanRecord.modelled_seconds``, falling back to the sum of its
+children), and each track packs its top-level spans back to back from
+t=0.  Tracks are therefore independent modelled clocks — within a track
+durations are exact, across tracks only durations (not offsets) are
+comparable.  Spans with no modelled duration anywhere below them become
+instant events (``ph: "i"``), marking things like cache-lookup outcomes.
+
+Timestamps are microseconds, the unit the Chrome trace format specifies.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability.tracer import SpanRecord
+
+#: pid used for every event (one simulated system per trace).
+_PID = 1
+
+
+def _span_tree(records: list[SpanRecord]):
+    """Children ordered under each parent, plus ordered per-track roots."""
+    by_parent: dict[int | None, list[SpanRecord]] = {}
+    for record in sorted(records, key=lambda r: (r.start_ns, r.span_id)):
+        by_parent.setdefault(record.parent_id, []).append(record)
+    known = {r.span_id for r in records}
+    roots: dict[str, list[SpanRecord]] = {}
+    for record in sorted(records, key=lambda r: (r.start_ns, r.span_id)):
+        # A span whose parent is missing from the trace (e.g. filtered
+        # out) is promoted to a root of its track.
+        if record.parent_id is None or record.parent_id not in known:
+            roots.setdefault(record.track, []).append(record)
+    return by_parent, roots
+
+
+def _duration_seconds(record: SpanRecord, by_parent) -> float | None:
+    """Modelled duration: the span's own, else the sum of its children."""
+    if record.modelled_seconds is not None:
+        return record.modelled_seconds
+    children = by_parent.get(record.span_id, ())
+    total = None
+    for child in children:
+        d = _duration_seconds(child, by_parent)
+        if d is not None:
+            total = (total or 0.0) + d
+    return total
+
+
+def chrome_trace(records: list[SpanRecord]) -> dict:
+    """Build the ``{"traceEvents": [...]}`` document for a span list."""
+    by_parent, roots = _span_tree(records)
+    events: list[dict] = []
+    tids = {track: i for i, track in enumerate(sorted(roots), start=1)}
+    for track, tid in tids.items():
+        events.append({
+            "ph": "M", "pid": _PID, "tid": tid,
+            "name": "thread_name", "args": {"name": track},
+        })
+        events.append({
+            "ph": "M", "pid": _PID, "tid": tid,
+            "name": "thread_sort_index", "args": {"sort_index": tid},
+        })
+
+    def emit(record: SpanRecord, start_s: float, tid: int) -> float:
+        """Emit ``record`` at ``start_s``; return its modelled duration."""
+        duration = _duration_seconds(record, by_parent)
+        args = dict(record.attrs)
+        args["span_id"] = record.span_id
+        args["wall_ms"] = round(record.wall_seconds * 1e3, 6)
+        if duration is None:
+            events.append({
+                "ph": "i", "pid": _PID, "tid": tid, "s": "t",
+                "name": record.name, "ts": start_s * 1e6, "args": args,
+            })
+            return 0.0
+        events.append({
+            "ph": "X", "pid": _PID, "tid": tid,
+            "name": record.name, "cat": record.track,
+            "ts": start_s * 1e6, "dur": duration * 1e6, "args": args,
+        })
+        cursor = start_s
+        for child in by_parent.get(record.span_id, ()):
+            cursor += emit(child, cursor, tid)
+        return duration
+
+    for track, track_roots in roots.items():
+        cursor = 0.0
+        for root in track_roots:
+            cursor += emit(root, cursor, tids[track])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: list[SpanRecord], path) -> None:
+    """Write the Chrome ``trace_event`` JSON for ``records`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(records), fh)
+
+
+def query_durations_seconds(document: dict) -> list[float]:
+    """Modelled durations (s) of every ``query`` span in an exported trace.
+
+    The reconciliation test uses this: these durations must match the
+    ``latency_seconds`` series in the service's ``MetricsRegistry``.
+    """
+    return [
+        event["dur"] / 1e6
+        for event in document.get("traceEvents", ())
+        if event.get("ph") == "X" and event.get("name") == "query"
+    ]

@@ -1,0 +1,140 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry`.
+
+:func:`render_prometheus` turns a registry snapshot into the Prometheus
+text format (version 0.0.4): counters become ``counter`` metrics, sample
+series become ``summary`` metrics (quantiles from the reservoir, exact
+``_sum``/``_count``), histograms become ``histogram`` metrics with
+cumulative ``le`` buckets.  :class:`MetricsHTTPServer` serves the
+rendering at ``/metrics`` from a background thread, so a long-running
+service can be scraped while batches are in flight — the registry is
+locked per snapshot, never per scrape line.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # registry is duck-typed; avoids a service<->host cycle
+    from repro.service.metrics import MetricsRegistry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    name = _NAME_RE.sub("_", name)
+    return f"{prefix}_{name}" if prefix else name
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry,
+                      prefix: str = "pefp") -> str:
+    """The registry's current state in Prometheus text exposition format."""
+    snap = registry.snapshot()
+    lines: list[str] = []
+
+    for name in sorted(snap["counters"]):
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snap['counters'][name]}")
+
+    for name in sorted(snap["series"]):
+        summary = snap["series"][name]
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} summary")
+        for q, value in (("0.5", summary.p50), ("0.95", summary.p95),
+                         ("0.99", summary.p99)):
+            lines.append(f'{metric}{{quantile="{q}"}} {_fmt(value)}')
+        lines.append(f"{metric}_sum {_fmt(summary.mean * summary.count)}")
+        lines.append(f"{metric}_count {summary.count}")
+
+    for name in sorted(snap["histograms"]):
+        hist = snap["histograms"][name]
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} histogram")
+        for le, cumulative in hist.cumulative():
+            lines.append(
+                f'{metric}_bucket{{le="{_fmt(le)}"}} {cumulative}'
+            )
+        lines.append(f"{metric}_sum {_fmt(hist.total)}")
+        lines.append(f"{metric}_count {hist.count}")
+
+    return "\n".join(lines) + "\n"
+
+
+class MetricsHTTPServer:
+    """Background ``/metrics`` endpoint over one registry.
+
+    >>> server = MetricsHTTPServer(registry, port=0)   # doctest: +SKIP
+    >>> server.url                                     # doctest: +SKIP
+    'http://127.0.0.1:43817/metrics'
+    >>> server.close()                                 # doctest: +SKIP
+
+    ``port=0`` binds an ephemeral port (see :attr:`port`).  Paths other
+    than ``/metrics`` return 404; the server runs on a daemon thread and
+    never outlives :meth:`close`.
+    """
+
+    def __init__(self, registry: MetricsRegistry, port: int = 0,
+                 host: str = "127.0.0.1", prefix: str = "pefp") -> None:
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                if self.path.split("?", 1)[0] != "/metrics":
+                    self.send_error(404)
+                    return
+                body = render_prometheus(
+                    outer.registry, prefix=outer.prefix
+                ).encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt, *args) -> None:
+                pass  # keep scrapes out of stderr
+
+        self.registry = registry
+        self.prefix = prefix
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="pefp-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        """Stop serving and join the background thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

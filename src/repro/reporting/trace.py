@@ -1,0 +1,149 @@
+"""Plain-text summaries of recorded traces and device profiles.
+
+``repro trace-report DIR`` renders these over the artifacts a traced
+``serve-batch`` run leaves behind (``trace.jsonl``, ``profile.json``):
+a per-span breakdown of where the modelled time went, per-track totals,
+and — when profiling was on — the device-side cycle story (stage
+occupancy, BRAM hit rates, buffer high-water marks).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.observability.tracer import SpanRecord
+from repro.reporting.tables import format_seconds, render_table
+
+
+def span_summary_table(records: list[SpanRecord]) -> str:
+    """Per-span-name totals: count, modelled time, wall time.
+
+    Marker spans (no modelled duration) count but contribute no modelled
+    time; the wall column is the simulation's own cost of that region.
+    """
+    by_name: dict[str, list[SpanRecord]] = defaultdict(list)
+    for record in records:
+        by_name[record.name].append(record)
+    rows = []
+    for name in sorted(
+        by_name,
+        key=lambda n: -sum(r.modelled_seconds or 0.0 for r in by_name[n]),
+    ):
+        spans = by_name[name]
+        modelled = sum(r.modelled_seconds or 0.0 for r in spans)
+        timed = [r.modelled_seconds for r in spans
+                 if r.modelled_seconds is not None]
+        wall = sum(r.wall_seconds for r in spans)
+        rows.append((
+            name,
+            len(spans),
+            format_seconds(modelled),
+            format_seconds(max(timed)) if timed else "-",
+            format_seconds(wall),
+        ))
+    return render_table(
+        ("span", "count", "modelled total", "modelled max", "wall total"),
+        rows,
+        title="spans",
+    )
+
+
+def track_summary_table(records: list[SpanRecord]) -> str:
+    """Modelled seconds per track, counting top-level spans only.
+
+    Child spans re-account time their parent already carries, so summing
+    everything would double-count; a track's total is the sum of its
+    parentless spans (queries, detached DMA transfers).
+    """
+    totals: dict[str, float] = defaultdict(float)
+    counts: dict[str, int] = defaultdict(int)
+    for record in records:
+        if record.parent_id is None:
+            totals[record.track] += record.modelled_seconds or 0.0
+            counts[record.track] += 1
+    rows = [
+        (track, counts[track], format_seconds(totals[track]))
+        for track in sorted(totals)
+    ]
+    return render_table(
+        ("track", "top-level spans", "modelled total"),
+        rows,
+        title="tracks",
+    )
+
+
+def profile_table(profile: dict) -> str:
+    """Render an aggregated device-profile dict (see ``profile.json``).
+
+    Accepts either a single :meth:`DeviceProfile.to_dict` or the
+    service-level aggregate from
+    :func:`repro.fpga.profile.aggregate_profiles`.
+    """
+    total = profile.get("total_cycles", 0)
+
+    def pct(cycles: int) -> str:
+        return f"{100.0 * cycles / total:.1f}%" if total else "-"
+
+    rows = [("total", total, "100.0%" if total else "-")]
+    for key in ("setup_cycles", "stall_cycles", "flush_cycles",
+                "refill_cycles"):
+        rows.append((key.removesuffix("_cycles"), profile.get(key, 0),
+                     pct(profile.get(key, 0))))
+    lines = [render_table(("where", "cycles", "share of total"), rows,
+                          title="device cycles (clock deltas)")]
+
+    # expand/verify are raw per-stage costs before pipeline overlap, so
+    # they exceed the overlapped clock total by design; occupancy (stage
+    # cycles over the summed pipeline windows) is the honest view.
+    occupancy = profile.get("stage_occupancy", {})
+    if occupancy:
+        stage_totals = profile.get("stage_cycles", {})
+        lines.append("")
+        lines.append(render_table(
+            ("stage", "raw cycles", "occupancy"),
+            [(stage, stage_totals.get(stage, 0), f"{frac:.2f}")
+             for stage, frac in occupancy.items()],
+            title="pipeline stages (raw, pre-overlap)",
+        ))
+
+    caches = profile.get("cache_counters", {})
+    if caches:
+        cache_rows = []
+        for label in sorted(caches):
+            c = caches[label]
+            touched = c["hits"] + c["misses"]
+            rate = f"{c['hits'] / touched:.3f}" if touched else "-"
+            cache_rows.append((label, c["hits"], c["misses"], rate))
+        lines.append("")
+        lines.append(render_table(
+            ("array", "bram hits", "dram misses", "hit rate"),
+            cache_rows,
+            title="BRAM prefix caches",
+        ))
+
+    rows = [
+        ("buffer area peak paths", profile.get("buffer_peak_paths", 0)),
+        ("DRAM area peak paths", profile.get("dram_peak_paths", 0)),
+        ("batches", profile.get("num_batches", 0)),
+        ("refills", profile.get("num_refills", 0)),
+    ]
+    lines.append("")
+    lines.append(render_table(("high-water mark", "value"), rows,
+                              title="occupancy peaks"))
+    return "\n".join(lines)
+
+
+def trace_report(records: list[SpanRecord],
+                 profile: dict | None = None) -> str:
+    """The full ``repro trace-report`` rendering."""
+    parts = []
+    if records:
+        parts.append(span_summary_table(records))
+        parts.append("")
+        parts.append(track_summary_table(records))
+    else:
+        parts.append("(no spans recorded)")
+    if profile is not None:
+        parts.append("")
+        parts.append(profile_table(profile))
+    return "\n".join(parts)

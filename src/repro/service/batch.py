@@ -38,6 +38,7 @@ one modelled CPU.
 
 from __future__ import annotations
 
+import random
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -45,10 +46,12 @@ from dataclasses import dataclass, field
 from repro.core.config import QueryBudget
 from repro.errors import ConfigError, EngineFailure, ServiceError
 from repro.fpga.device import WORD_BYTES
+from repro.fpga.profile import DeviceProfile, aggregate_profiles
 from repro.graph.csr import CSRGraph
 from repro.host.cost_model import CpuCostModel, OpCounter
 from repro.host.query import Query
 from repro.host.system import PathEnumerationSystem, SystemReport
+from repro.observability.tracer import NULL_TRACER
 from repro.service.cache import GraphArtifactCache
 from repro.service.metrics import LatencySummary, MetricsRegistry
 from repro.service.scheduler import SCHEDULERS, Assignment, requeue
@@ -56,6 +59,20 @@ from repro.service.scheduler import SCHEDULERS, Assignment, requeue
 #: fraction of the batch deadline granted to each degraded query when no
 #: explicit ``degraded_cycle_budget`` is given.
 DEGRADED_BUDGET_FRACTION = 0.01
+
+#: histogram bucket upper edges for per-batch device cycle counts
+#: (a 1-2.5-5 ladder from 10 cycles to 5e7; +Inf catches the rest).
+CYCLE_BUCKETS = tuple(
+    base * 10.0 ** exp for exp in range(1, 8) for base in (1.0, 2.5, 5.0)
+)
+
+#: histogram bucket upper edges for occupancy fractions and hit rates.
+FRACTION_BUCKETS = tuple(i / 10 for i in range(1, 11))
+
+#: histogram bucket upper edges for path/entry counts per batch.
+COUNT_BUCKETS = tuple(
+    base * 10.0 ** exp for exp in range(0, 7) for base in (1.0, 2.5, 5.0)
+)
 
 
 class FlakyEngine:
@@ -113,6 +130,9 @@ class ServiceBatchReport:
     cache_stats: dict[str, int] = field(default_factory=dict)
     #: engines that raised :class:`~repro.errors.EngineFailure` mid-batch.
     failed_engines: list[int] = field(default_factory=list)
+    #: the seeded fault-injection plan the service ran under, as
+    #: ``(engine index, fail_after)`` pairs (empty without injection).
+    failure_plan: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def num_queries(self) -> int:
@@ -206,6 +226,17 @@ class ServiceBatchReport:
     def total_paths(self) -> int:
         return sum(r.num_paths for r in self.reports)
 
+    @property
+    def device_profiles(self) -> list[DeviceProfile]:
+        """Per-query device profiles (non-empty only under ``profile=True``;
+        empty-answer queries never allocate a device, so have none)."""
+        return [r.profile for r in self.reports if r.profile is not None]
+
+    def profile_summary(self) -> dict | None:
+        """Aggregated device-profile dict, or ``None`` when not profiled."""
+        profiles = self.device_profiles
+        return aggregate_profiles(profiles) if profiles else None
+
     def path_sets(self) -> list[frozenset[tuple[int, ...]]]:
         """Per-query answer sets, in batch order (for equivalence checks)."""
         return [frozenset(r.paths) for r in self.reports]
@@ -236,11 +267,18 @@ class BatchQueryService:
         Dispatch engines on a thread pool; ``False`` runs them in order
         (identical results, useful when debugging).
     inject_failures:
-        Fault-injection hook: wrap the first N engines in
-        :class:`FlakyEngine` so each dies after serving one query.  Their
-        unfinished queries are requeued onto the surviving engines; with
-        no survivors :meth:`run` raises
+        Fault-injection hook: wrap N engines in :class:`FlakyEngine`.
+        Their unfinished queries are requeued onto the surviving engines;
+        with no survivors :meth:`run` raises
         :class:`~repro.errors.ServiceError`.
+    failure_seed:
+        Seeds the fault-injection plan: *which* engines fail and after
+        how many runs (1-3) is drawn from ``random.Random(failure_seed)``,
+        so a failure scenario reproduces exactly from its seed.  ``None``
+        (the default) keeps the legacy fixed plan — the first
+        ``inject_failures`` engines, each failing after one run.  The
+        chosen plan is exposed as ``failure_plan`` on the service and its
+        reports.
     """
 
     def __init__(
@@ -253,6 +291,7 @@ class BatchQueryService:
         cache: GraphArtifactCache | None = None,
         use_threads: bool = True,
         inject_failures: int = 0,
+        failure_seed: int | None = None,
         **engine_kwargs,
     ) -> None:
         if num_engines < 1:
@@ -284,8 +323,17 @@ class BatchQueryService:
             )
             for _ in range(num_engines)
         ]
-        for i in range(inject_failures):
-            self.systems[i].engine = FlakyEngine(self.systems[i].engine)
+        if failure_seed is None:
+            self.failure_plan = [(i, 1) for i in range(inject_failures)]
+        else:
+            rng = random.Random(failure_seed)
+            victims = sorted(rng.sample(range(num_engines),
+                                        inject_failures))
+            self.failure_plan = [(i, rng.randint(1, 3)) for i in victims]
+        for engine_idx, fail_after in self.failure_plan:
+            self.systems[engine_idx].engine = FlakyEngine(
+                self.systems[engine_idx].engine, fail_after=fail_after
+            )
 
     @property
     def num_engines(self) -> int:
@@ -298,6 +346,8 @@ class BatchQueryService:
         deadline_ms: float | None = None,
         batch_deadline_ms: float | None = None,
         degraded_cycle_budget: int | None = None,
+        tracer=None,
+        profile: bool = False,
     ) -> ServiceBatchReport:
         """Serve one batch end to end and report answers plus metrics.
 
@@ -310,7 +360,28 @@ class BatchQueryService:
         instead of being dropped, so every query is still answered.
         Engines lost to :class:`~repro.errors.EngineFailure` have their
         unfinished queries requeued onto the surviving engines.
+
+        ``tracer`` (a :class:`repro.observability.Tracer`) records the
+        full lifecycle as spans — each engine worker's queries on its own
+        ``engine{i}`` track, PCIe transfers on a ``pcie`` track.
+        ``profile=True`` collects a per-batch device cycle breakdown for
+        every kernel run (attached to each :class:`SystemReport` and fed
+        into the registry's histograms).  Both default off and cost
+        nothing when off.
         """
+        tr = tracer or NULL_TRACER
+        with tr.span("serve_batch", queries=len(queries),
+                     engines=self.num_engines,
+                     scheduler=self.scheduler) as bspan:
+            return self._run_traced(
+                queries, budget, deadline_ms, batch_deadline_ms,
+                degraded_cycle_budget, tracer, profile, tr, bspan,
+            )
+
+    def _run_traced(
+        self, queries, budget, deadline_ms, batch_deadline_ms,
+        degraded_cycle_budget, tracer, profile, tr, bspan,
+    ) -> ServiceBatchReport:
         wall_start = time.perf_counter()
         stats_before = self.cache.stats()
         frequency = self.systems[0].engine.device_config.frequency_hz
@@ -346,8 +417,10 @@ class BatchQueryService:
 
         # One-time per-graph artifacts, charged to the batch, not query 1.
         warmup_ops = OpCounter()
-        self.cache.warm(self.graph, warmup_ops)
-        warmup_seconds = self.cost_model.seconds(warmup_ops)
+        with tr.span("warmup") as wspan:
+            self.cache.warm(self.graph, warmup_ops, tracer=tracer)
+            warmup_seconds = self.cost_model.seconds(warmup_ops)
+            wspan.set_modelled(warmup_seconds)
 
         assignment = SCHEDULERS[self.scheduler](
             queries, self.num_engines, graph=self.graph
@@ -360,31 +433,37 @@ class BatchQueryService:
         def serve_engine(engine_idx: int, indices: list[int]) -> list[int]:
             """Serve ``indices`` on one engine; return what it left behind."""
             system = self.systems[engine_idx]
-            for pos, query_idx in enumerate(indices):
-                q_budget = effective
-                degraded = False
-                if (
-                    batch_deadline_s is not None
-                    and host_busy[engine_idx] + device_busy[engine_idx]
-                    >= batch_deadline_s
-                ):
-                    degraded = True
-                    q_budget = q_budget.tightened(
-                        max_cycles=degraded_cycle_budget
-                    )
-                try:
-                    report = system.execute(
-                        queries[query_idx],
-                        budget=None if q_budget.unlimited else q_budget,
-                    )
-                except EngineFailure:
-                    failed[engine_idx] = True
-                    self.metrics.increment("engine_failures")
-                    return indices[pos:]
-                reports[query_idx] = report
-                host_busy[engine_idx] += report.preprocess_seconds
-                device_busy[engine_idx] += report.query_seconds
-                self._observe(report, engine_idx, degraded=degraded)
+            # Every query span this worker opens lands on the engine's
+            # own row of the trace timeline.
+            with tr.track(f"engine{engine_idx}"):
+                for pos, query_idx in enumerate(indices):
+                    q_budget = effective
+                    degraded = False
+                    if (
+                        batch_deadline_s is not None
+                        and host_busy[engine_idx] + device_busy[engine_idx]
+                        >= batch_deadline_s
+                    ):
+                        degraded = True
+                        q_budget = q_budget.tightened(
+                            max_cycles=degraded_cycle_budget
+                        )
+                    try:
+                        report = system.execute(
+                            queries[query_idx],
+                            budget=(None if q_budget.unlimited
+                                    else q_budget),
+                            tracer=tracer,
+                            profile=profile,
+                        )
+                    except EngineFailure:
+                        failed[engine_idx] = True
+                        self.metrics.increment("engine_failures")
+                        return indices[pos:]
+                    reports[query_idx] = report
+                    host_busy[engine_idx] += report.preprocess_seconds
+                    device_busy[engine_idx] += report.query_seconds
+                    self._observe(report, engine_idx, degraded=degraded)
             return []
 
         work = [list(part) for part in assignment]
@@ -431,7 +510,12 @@ class BatchQueryService:
         # Amortised DMA, as in PathEnumerationSystem.execute_batch.
         total_words = sum(r.payload_words for r in done)
         pcie = self.systems[0].engine.device_config.pcie
-        batch_transfer = pcie.transfer_seconds(total_words * WORD_BYTES)
+        with tr.span("batch_dma", detach=True, track="pcie",
+                     words=total_words) as dspan:
+            batch_transfer = pcie.transfer_seconds(
+                total_words * WORD_BYTES
+            )
+            dspan.set_modelled(batch_transfer)
 
         wall_seconds = time.perf_counter() - wall_start
         cache_stats = self.cache.stats()
@@ -440,7 +524,7 @@ class BatchQueryService:
             self.metrics.increment(key,
                                    cache_stats[key] - stats_before[key])
 
-        return ServiceBatchReport(
+        report = ServiceBatchReport(
             reports=done,
             assignment=assignment,
             scheduler=self.scheduler,
@@ -455,7 +539,13 @@ class BatchQueryService:
             failed_engines=[
                 e for e in range(self.num_engines) if failed[e]
             ],
+            failure_plan=list(self.failure_plan),
         )
+        bspan.set_modelled(report.makespan_seconds).set(
+            paths=report.total_paths,
+            truncated=report.truncated_queries,
+        )
+        return report
 
     def _observe(
         self, report: SystemReport, engine_idx: int, degraded: bool = False
@@ -475,3 +565,34 @@ class BatchQueryService:
             self.metrics.increment("degraded_queries")
             self.metrics.observe("degraded_latency_seconds",
                                  report.total_seconds)
+        if report.profile is not None:
+            self._observe_profile(report.profile)
+
+    def _observe_profile(self, prof) -> None:
+        """Fold one kernel run's device profile into the registry."""
+        self.metrics.increment("profiled_queries")
+        self.metrics.increment("device_cycles", prof.total_cycles)
+        self.metrics.increment("device_expand_cycles", prof.expand_cycles)
+        self.metrics.increment("device_verify_cycles", prof.verify_cycles)
+        self.metrics.increment("device_stall_cycles", prof.stall_cycles)
+        for batch in prof.batches:
+            self.metrics.observe_hist("batch_cycles", batch.cycles,
+                                      bounds=CYCLE_BUCKETS)
+            self.metrics.observe_hist("batch_entries", batch.entries,
+                                      bounds=COUNT_BUCKETS)
+            self.metrics.observe_hist("verify_occupancy",
+                                      batch.occupancy("verify"),
+                                      bounds=FRACTION_BUCKETS)
+        self.metrics.observe_hist("buffer_peak_paths",
+                                  prof.buffer_peak_paths,
+                                  bounds=COUNT_BUCKETS)
+        self.metrics.observe_hist("dram_peak_paths",
+                                  prof.dram_peak_paths,
+                                  bounds=COUNT_BUCKETS)
+        for label, counters in prof.cache_counters.items():
+            self.metrics.increment(f"{label}_hits", counters["hits"])
+            self.metrics.increment(f"{label}_misses", counters["misses"])
+            self.metrics.observe_hist(
+                f"{label}_hit_rate", prof.cache_hit_rate(label),
+                bounds=FRACTION_BUCKETS,
+            )

@@ -20,6 +20,7 @@ never computed twice.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 
 from repro.graph.csr import CSRGraph
@@ -82,13 +83,17 @@ class GraphArtifactCache:
 
     # -- reverse CSR ---------------------------------------------------
     def reverse(self, graph: CSRGraph,
-                counter: OpCounter | None = None) -> CSRGraph:
+                counter: OpCounter | None = None,
+                tracer=None) -> CSRGraph:
         """``G_rev`` for ``graph``, built at most once per graph.
 
         On a miss the construction cost is charged to ``counter`` (see
         :func:`repro.preprocess.bfs.charged_reverse`); hits are free.
+        ``tracer`` records the lookup as a ``reverse_cache`` span tagged
+        with whether it hit.
         """
         key = id(graph)
+        start = time.perf_counter_ns() if tracer else 0
 
         def lookup():
             entry = self._reverse.get(key)
@@ -101,6 +106,8 @@ class GraphArtifactCache:
 
         cached, latch = self._claim(("rev", key), lookup, on_hit)
         if latch is None:
+            if tracer:
+                tracer.complete("reverse_cache", start, hit=True)
             return cached
         try:
             rev = charged_reverse(graph, counter)
@@ -109,27 +116,34 @@ class GraphArtifactCache:
                 self.reverse_misses += 1
         finally:
             self._release(("rev", key), latch)
+        if tracer:
+            tracer.complete("reverse_cache", start, hit=False)
         return rev
 
     def warm(self, graph: CSRGraph,
-             counter: OpCounter | None = None) -> CSRGraph:
+             counter: OpCounter | None = None,
+             tracer=None) -> CSRGraph:
         """Eagerly build the per-graph artifacts before a batch runs.
 
         Charges the one-time build to ``counter`` so the service can
         account it as batch setup instead of inflating the first query's
         ``T1``.
         """
-        return self.reverse(graph, counter)
+        return self.reverse(graph, counter, tracer=tracer)
 
     # -- Pre-BFS memo --------------------------------------------------
     def pre_bfs(self, graph: CSRGraph, query: Query,
-                counter: OpCounter | None = None) -> PreBFSResult:
+                counter: OpCounter | None = None,
+                tracer=None) -> PreBFSResult:
         """Memoised :func:`repro.preprocess.prebfs.pre_bfs`.
 
         A hit charges one ``set_lookup`` (the memo probe) to ``counter``;
-        a miss runs Pre-BFS normally, charging its full cost.
+        a miss runs Pre-BFS normally, charging its full cost.  ``tracer``
+        records the lookup as a ``prebfs_cache`` span tagged with whether
+        it hit.
         """
         key = (id(graph), query.source, query.target, query.max_hops)
+        start = time.perf_counter_ns() if tracer else 0
 
         def lookup():
             entry = self._prebfs.get(key)
@@ -145,11 +159,13 @@ class GraphArtifactCache:
 
         cached, latch = self._claim(key, lookup, on_hit)
         if latch is None:
+            if tracer:
+                tracer.complete("prebfs_cache", start, hit=True)
             return cached
         try:
             # Route the reverse lookup through the cache first so its
             # hit/miss tally reflects this query too.
-            self.reverse(graph, counter)
+            self.reverse(graph, counter, tracer=tracer)
             prep = pre_bfs(graph, query, counter)
             with self._lock:
                 self._prebfs[key] = (graph, prep)
@@ -158,6 +174,8 @@ class GraphArtifactCache:
                     self._prebfs.popitem(last=False)
         finally:
             self._release(key, latch)
+        if tracer:
+            tracer.complete("prebfs_cache", start, hit=False)
         return prep
 
     # -- introspection -------------------------------------------------

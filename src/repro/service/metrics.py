@@ -1,19 +1,49 @@
 """Observability for the batch query service.
 
-A :class:`MetricsRegistry` is a small, thread-safe store of monotonically
-increasing counters plus named sample series (latencies, payload sizes).
-Sample series summarise into :class:`LatencySummary` — count, mean, min,
-max and the nearest-rank p50/p95/p99 percentiles every serving system
-reports — and the registry snapshots into a plain dict for rendering or
-export.  No wall-clock reads happen here; callers observe whatever notion
-of latency (modelled or measured) they want to track.
+A :class:`MetricsRegistry` is a small, thread-safe store of three metric
+kinds:
+
+- **counters** — monotonically increasing integers;
+- **sample series** — latency-style observations summarised into
+  :class:`LatencySummary` (count, mean, min, max, nearest-rank
+  p50/p95/p99).  Raw samples are bounded by *reservoir sampling*
+  (Vitter's Algorithm R): the first ``max_samples_per_series``
+  observations are kept verbatim, after which each new observation
+  replaces a uniformly random reservoir slot with probability
+  ``capacity / count`` — so a million-query run holds a fixed-size
+  uniform sample instead of every observation, while count, mean, min
+  and max stay exact (they are tracked as running aggregates, not
+  derived from the reservoir);
+- **histograms** — Prometheus-style cumulative-bucket distributions for
+  high-volume device counters (per-batch cycles, stage occupancy) where
+  even a reservoir is more than needed.
+
+The registry snapshots into a plain dict for rendering or export, and
+:mod:`repro.observability.prometheus` renders it in the Prometheus text
+exposition format.  No wall-clock reads happen here; callers observe
+whatever notion of latency (modelled or measured) they want to track.
 """
 
 from __future__ import annotations
 
+import bisect
+import random
 import threading
 from collections import Counter
 from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: raw samples retained per series before reservoir sampling kicks in.
+DEFAULT_RESERVOIR_SIZE = 4096
+
+#: default histogram buckets for modelled seconds: a 1-2.5-5 ladder from
+#: 1 µs to 100 s (upper bounds; an implicit +Inf bucket catches the rest).
+DEFAULT_SECONDS_BUCKETS = tuple(
+    base * 10.0 ** exp
+    for exp in range(-6, 2)
+    for base in (1.0, 2.5, 5.0)
+)
 
 
 def percentile(samples: list[float], q: float) -> float:
@@ -62,13 +92,126 @@ class LatencySummary:
         )
 
 
-class MetricsRegistry:
-    """Thread-safe counters + sample series for one service instance."""
+class _Series:
+    """One sample series: exact running aggregates + a bounded reservoir."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "reservoir")
 
     def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.reservoir: list[float] = []
+
+    def observe(self, value: float, capacity: int,
+                rng: random.Random) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self.reservoir) < capacity:
+            self.reservoir.append(value)
+        else:
+            # Algorithm R: keep each of the `count` observations with
+            # equal probability capacity / count.
+            slot = rng.randrange(self.count)
+            if slot < capacity:
+                self.reservoir[slot] = value
+
+    def summary(self) -> LatencySummary:
+        return LatencySummary(
+            count=self.count,
+            mean=self.total / self.count,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            p50=percentile(self.reservoir, 50),
+            p95=percentile(self.reservoir, 95),
+            p99=percentile(self.reservoir, 99),
+        )
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Frozen view of one histogram.
+
+    ``bounds`` are the bucket upper edges; ``counts`` has one entry per
+    bound plus a final overflow (+Inf) entry.  ``cumulative()`` gives the
+    Prometheus ``le`` view.
+    """
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+    count: int
+    total: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le, cumulative count)`` pairs, ending with ``(inf, count)``."""
+        out, running = [], 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+
+class _Histogram:
+    """Mutable histogram: fixed bucket bounds, integer counts."""
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        if not bounds:
+            raise ConfigError("histogram needs at least one bucket bound")
+        ordered = tuple(sorted(float(b) for b in bounds))
+        if len(set(ordered)) != len(ordered):
+            raise ConfigError("histogram bucket bounds must be distinct")
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def snapshot(self) -> HistogramSnapshot:
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(self.counts),
+            count=self.count,
+            total=self.total,
+        )
+
+
+class MetricsRegistry:
+    """Thread-safe counters + sample series + histograms for one service.
+
+    ``max_samples_per_series`` bounds the memory of every sample series
+    (reservoir sampling past that size); ``seed`` makes the reservoir's
+    replacement choices deterministic for reproducible snapshots.
+    """
+
+    def __init__(self, max_samples_per_series: int = DEFAULT_RESERVOIR_SIZE,
+                 seed: int = 0) -> None:
+        if max_samples_per_series < 1:
+            raise ConfigError(
+                f"max_samples_per_series must be >= 1, "
+                f"got {max_samples_per_series}"
+            )
         self._lock = threading.Lock()
         self._counters: Counter[str] = Counter()
-        self._samples: dict[str, list[float]] = {}
+        self._series: dict[str, _Series] = {}
+        self._histograms: dict[str, _Histogram] = {}
+        self._capacity = max_samples_per_series
+        self._rng = random.Random(seed)
 
     # -- counters ------------------------------------------------------
     def increment(self, name: str, n: int = 1) -> None:
@@ -83,25 +226,66 @@ class MetricsRegistry:
 
     # -- sample series -------------------------------------------------
     def observe(self, name: str, value: float) -> None:
-        """Append one sample to series ``name``."""
+        """Record one sample into series ``name``."""
         with self._lock:
-            self._samples.setdefault(name, []).append(float(value))
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = _Series()
+            series.observe(float(value), self._capacity, self._rng)
 
     def samples(self, name: str) -> list[float]:
-        """Copy of series ``name`` (empty list if never observed)."""
+        """Copy of the *retained* samples of series ``name``.
+
+        Up to ``max_samples_per_series`` observations this is every
+        sample; past it, a uniform reservoir.  Use :meth:`summary` for
+        exact count/mean/min/max.
+        """
         with self._lock:
-            return list(self._samples.get(name, ()))
+            series = self._series.get(name)
+            return list(series.reservoir) if series else []
+
+    def sample_count(self, name: str) -> int:
+        """Exact number of observations made to series ``name``."""
+        with self._lock:
+            series = self._series.get(name)
+            return series.count if series else 0
 
     def summary(self, name: str) -> LatencySummary | None:
-        """Summary of series ``name``, or ``None`` when it has no samples."""
-        series = self.samples(name)
-        if not series:
-            return None
-        return LatencySummary.from_samples(series)
+        """Summary of series ``name``, or ``None`` when it has no samples.
+
+        Count, mean, min and max are exact; percentiles are computed
+        over the reservoir (exact until the series exceeds the cap).
+        """
+        with self._lock:
+            series = self._series.get(name)
+            return series.summary() if series else None
+
+    # -- histograms ----------------------------------------------------
+    def observe_hist(self, name: str, value: float,
+                     bounds: tuple[float, ...] | None = None) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        ``bounds`` (bucket upper edges) are fixed on first use — defaults
+        to :data:`DEFAULT_SECONDS_BUCKETS` — and ignored afterwards.
+        """
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = _Histogram(
+                    bounds if bounds is not None
+                    else DEFAULT_SECONDS_BUCKETS
+                )
+            hist.observe(float(value))
+
+    def histogram(self, name: str) -> HistogramSnapshot | None:
+        """Snapshot of histogram ``name`` (``None`` if never observed)."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            return hist.snapshot() if hist else None
 
     # -- export --------------------------------------------------------
     def snapshot(self) -> dict[str, object]:
-        """Plain-dict view: counters plus per-series summaries.
+        """Plain-dict view: counters, per-series summaries, histograms.
 
         Taken under a single lock acquisition so the counters and every
         series summary describe the same instant — re-acquiring the lock
@@ -112,8 +296,17 @@ class MetricsRegistry:
         with self._lock:
             counters = dict(self._counters)
             series = {
-                name: LatencySummary.from_samples(samples)
-                for name, samples in self._samples.items()
-                if samples
+                name: s.summary()
+                for name, s in self._series.items()
+                if s.count
             }
-        return {"counters": counters, "series": series}
+            histograms = {
+                name: h.snapshot()
+                for name, h in self._histograms.items()
+                if h.count
+            }
+        return {
+            "counters": counters,
+            "series": series,
+            "histograms": histograms,
+        }

@@ -124,3 +124,53 @@ class TestBenchCommand:
         rc = main(["bench", "fig99"])
         assert rc == 1
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_trace_dir_writes_artifacts(self, graph_file, tmp_path, capsys):
+        trace_dir = tmp_path / "trace"
+        rc = main(["serve-batch", graph_file, "-k", "4", "-n", "6",
+                   "--engines", "2", "--profile",
+                   "--trace-dir", str(trace_dir)])
+        assert rc == 0
+        for name in ("trace.jsonl", "trace_chrome.json", "metrics.prom",
+                     "profile.json"):
+            assert (trace_dir / name).exists(), name
+        out = capsys.readouterr().out
+        assert "device cycles" in out  # profile summary printed
+        import json
+
+        doc = json.loads((trace_dir / "trace_chrome.json").read_text())
+        assert any(e.get("name") == "query" for e in doc["traceEvents"])
+        assert "pefp_queries" in (trace_dir / "metrics.prom").read_text()
+
+    def test_trace_report_subcommand(self, graph_file, tmp_path, capsys):
+        trace_dir = tmp_path / "trace"
+        assert main(["serve-batch", graph_file, "-k", "4", "-n", "4",
+                     "--profile", "--trace-dir", str(trace_dir)]) == 0
+        capsys.readouterr()
+        rc = main(["trace-report", str(trace_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "spans" in out and "tracks" in out
+        assert "serve_batch" in out
+
+    def test_trace_report_missing_dir(self, tmp_path, capsys):
+        rc = main(["trace-report", str(tmp_path / "nothing")])
+        assert rc == 1
+        assert "no trace" in capsys.readouterr().err
+
+    def test_metrics_out_without_trace_dir(self, graph_file, tmp_path,
+                                           capsys):
+        metrics_file = tmp_path / "metrics.prom"
+        rc = main(["serve-batch", graph_file, "-k", "4", "-n", "4",
+                   "--metrics-out", str(metrics_file)])
+        assert rc == 0
+        assert "# TYPE pefp_queries counter" in metrics_file.read_text()
+
+    def test_failure_seed_flag(self, graph_file, capsys):
+        rc = main(["serve-batch", graph_file, "-k", "4", "-n", "8",
+                   "--engines", "3", "--inject-failures", "1",
+                   "--failure-seed", "21"])
+        assert rc == 0
+        assert "failed" in capsys.readouterr().out

@@ -108,3 +108,92 @@ class TestMetricsRegistry:
             t.join()
         assert m.counter("n") == 2000
         assert m.summary("s").count == 2000
+
+
+class TestReservoirSampling:
+    def test_exact_below_capacity(self):
+        registry = MetricsRegistry(max_samples_per_series=10)
+        for v in range(7):
+            registry.observe("x", float(v))
+        assert sorted(registry.samples("x")) == [float(v) for v in range(7)]
+        assert registry.sample_count("x") == 7
+
+    def test_capped_above_capacity(self):
+        registry = MetricsRegistry(max_samples_per_series=64)
+        for v in range(10_000):
+            registry.observe("x", float(v))
+        assert len(registry.samples("x")) == 64
+        assert registry.sample_count("x") == 10_000
+
+    def test_aggregates_stay_exact_past_cap(self):
+        registry = MetricsRegistry(max_samples_per_series=16)
+        values = [float(v) for v in range(1, 1001)]
+        for v in values:
+            registry.observe("x", v)
+        summary = registry.summary("x")
+        assert summary.count == 1000
+        assert summary.mean == pytest.approx(sum(values) / 1000)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 1000.0
+
+    def test_reservoir_is_seed_deterministic(self):
+        def fill(seed):
+            registry = MetricsRegistry(max_samples_per_series=32,
+                                       seed=seed)
+            for v in range(2000):
+                registry.observe("x", float(v))
+            return registry.samples("x")
+
+        assert fill(5) == fill(5)
+
+    def test_reservoir_percentiles_are_plausible(self):
+        registry = MetricsRegistry(max_samples_per_series=512)
+        for v in range(20_000):
+            registry.observe("x", float(v))
+        summary = registry.summary("x")
+        # A uniform 512-sample reservoir puts p50 well inside the middle.
+        assert 20_000 * 0.3 < summary.p50 < 20_000 * 0.7
+
+    def test_capacity_validated(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            MetricsRegistry(max_samples_per_series=0)
+
+
+class TestHistograms:
+    def test_bucketing_and_overflow(self):
+        registry = MetricsRegistry()
+        for v in (5.0, 50.0, 500.0, 5000.0):
+            registry.observe_hist("cycles", v, bounds=(10.0, 100.0, 1000.0))
+        hist = registry.histogram("cycles")
+        assert hist.counts == (1, 1, 1, 1)
+        assert hist.count == 4
+        assert hist.total == 5555.0
+        assert hist.cumulative() == [
+            (10.0, 1), (100.0, 2), (1000.0, 3), (float("inf"), 4)
+        ]
+
+    def test_bounds_fixed_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.observe_hist("h", 1.0, bounds=(2.0,))
+        registry.observe_hist("h", 3.0, bounds=(100.0,))  # ignored
+        assert registry.histogram("h").bounds == (2.0,)
+
+    def test_missing_histogram_is_none(self):
+        assert MetricsRegistry().histogram("nope") is None
+
+    def test_invalid_bounds_rejected(self):
+        from repro.errors import ConfigError
+
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            registry.observe_hist("h", 1.0, bounds=())
+        with pytest.raises(ConfigError):
+            registry.observe_hist("h", 1.0, bounds=(1.0, 1.0))
+
+    def test_snapshot_includes_histograms(self):
+        registry = MetricsRegistry()
+        registry.observe_hist("h", 1.0, bounds=(2.0,))
+        snap = registry.snapshot()
+        assert snap["histograms"]["h"].count == 1
