@@ -1,0 +1,48 @@
+"""The continuous-benchmarking quick set, run as one benchmark.
+
+``repro bench run --quick`` is the CI perf gate's workload; this wrapper
+runs the same scenario registry under pytest-benchmark so the quick set
+stays runnable next to the paper experiments (``pytest benchmarks/``) and
+its scenario structure is exercised even where the CLI never is.
+
+Beyond printing every scenario's headline metrics, it asserts the
+contract the regression gate depends on: scenarios emit stable metric
+sets, and everything the detector compares exactly (``cycles``, ``count``
+and ``modelled`` classes) reproduces bit-for-bit across repeated runs in
+one process.
+"""
+
+from conftest import SEED, run_once
+from repro.perfbench.record import CLASS_WALL
+from repro.perfbench.report import snapshot_table
+from repro.perfbench.scenarios import run_scenario, scenario_names
+from repro.perfbench.snapshot import Snapshot, config_fingerprint
+
+
+def run_quick_set():
+    return {
+        name: run_scenario(name, seed=SEED, runs=2)
+        for name in scenario_names(quick=True)
+    }
+
+
+def test_quick_scenarios_are_deterministic(benchmark):
+    collected = run_once(benchmark, run_quick_set)
+
+    assert set(collected) == set(scenario_names(quick=True))
+    for name, stats in collected.items():
+        for metric in stats.metrics.values():
+            if metric.metric_class == CLASS_WALL:
+                continue
+            assert metric.spread == 0.0, (
+                f"{name}:{metric.name} varied across runs "
+                f"({metric.values})"
+            )
+
+    snapshot = Snapshot(
+        git_sha="bench", seed=SEED, runs=2, quick=True,
+        config_fingerprint=config_fingerprint(),
+        created_at="", scenarios=collected,
+    )
+    print()
+    print(snapshot_table(snapshot))

@@ -122,14 +122,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perfbench.cli import BENCH_COMMANDS, dispatch
+
+    if args.experiment in BENCH_COMMANDS:
+        return dispatch(args.experiment, args.rest)
+
+    # Legacy spelling: `repro bench fig8 [--seed N]` regenerates one
+    # paper experiment and prints its table.
     from repro.reporting.experiments import experiment_by_name
 
+    legacy = argparse.ArgumentParser(prog=f"repro bench {args.experiment}")
+    legacy.add_argument("--seed", type=int, default=7)
+    opts = legacy.parse_args(args.rest)
     try:
         fn, kwargs = experiment_by_name(args.experiment)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 1
-    result = fn(seed=args.seed, **kwargs)
+    result = fn(seed=opts.seed, **kwargs)
     print(result.table())
     return 0
 
@@ -306,11 +316,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     b = sub.add_parser(
         "bench",
-        help="regenerate one paper experiment (tab2, fig8..fig15, tab3)",
+        help="regenerate one paper experiment (tab2, fig8..fig15, tab3) "
+             "or drive continuous benchmarking "
+             "(run | compare | report | trend | list)",
     )
     b.add_argument("experiment",
-                   help="experiment id, e.g. fig8, fig14, tab3")
-    b.add_argument("--seed", type=int, default=7)
+                   help="experiment id (e.g. fig8, fig14, tab3) or a "
+                        "perfbench command: run, compare, report, "
+                        "trend, list")
+    b.add_argument("rest", nargs=argparse.REMAINDER,
+                   help="arguments of the chosen command "
+                        "(see `repro bench run --help`)")
     b.set_defaults(func=_cmd_bench)
 
     sv = sub.add_parser(

@@ -58,6 +58,10 @@ class EngineStats:
     expansions: int = 0
     results: int = 0
     intermediate_paths: int = 0
+    #: successors equal to the target — emitted as results when the hop
+    #: bound allows, but always *rejected as intermediates* (a simple path
+    #: cannot continue through t), mirroring Algorithm 2's first check.
+    rejected_target: int = 0
     rejected_barrier: int = 0
     rejected_visited: int = 0
     flushes: int = 0
@@ -338,11 +342,11 @@ class PEFPEngine:
                 parent = entry.vertices
                 hops = len(parent) - 1
                 is_target = nbrs == target
-                if is_target.any() and hops + 1 <= max_hops:
+                n_target = int(np.count_nonzero(is_target))
+                stats.rejected_target += n_target
+                if n_target and hops + 1 <= max_hops:
                     full = parent + (target,)
-                    batch_results.extend(
-                        [full] * int(np.count_nonzero(is_target))
-                    )
+                    batch_results.extend([full] * n_target)
                 rest = nbrs[~is_target]
                 rest_bars = bars[~is_target]
                 bar_ok = hops + 1 + rest_bars <= max_hops
@@ -484,6 +488,13 @@ class PEFPEngine:
                     (vertex_arr, edge_arr, bar_arr),
                     buffer.peak_occupancy,
                     dram_area.peak_occupancy,
+                    verify_funnel={
+                        "expansions": stats.expansions,
+                        "rejected_target": stats.rejected_target,
+                        "rejected_barrier": stats.rejected_barrier,
+                        "rejected_visited": stats.rejected_visited,
+                        "survivors": stats.intermediate_paths,
+                    },
                 )
                 if profiler is not None else None
             ),

@@ -117,6 +117,11 @@ class DeviceProfile:
     memory_counters: dict[str, dict[str, int]]
     buffer_peak_paths: int
     dram_peak_paths: int
+    #: the verification funnel — how many scheduled expansions each check
+    #: of Algorithm 2 killed (``expansions``, ``rejected_target``,
+    #: ``rejected_barrier``, ``rejected_visited``, ``survivors``).  The
+    #: counts account exactly: expansions = rejections + survivors.
+    verify_funnel: dict[str, int] = field(default_factory=dict)
 
     # -- reconciliation ------------------------------------------------
     @property
@@ -199,6 +204,7 @@ class DeviceProfile:
             "memory_counters": self.memory_counters,
             "buffer_peak_paths": self.buffer_peak_paths,
             "dram_peak_paths": self.dram_peak_paths,
+            "verify_funnel": dict(self.verify_funnel),
         }
 
 
@@ -225,6 +231,7 @@ def aggregate_profiles(profiles: list[DeviceProfile]) -> dict:
         "memory_counters": {},
         "buffer_peak_paths": 0,
         "dram_peak_paths": 0,
+        "verify_funnel": {},
     }
     for profile in profiles:
         d = profile.to_dict()
@@ -251,6 +258,10 @@ def aggregate_profiles(profiles: list[DeviceProfile]) -> dict:
                                        d["buffer_peak_paths"])
         out["dram_peak_paths"] = max(out["dram_peak_paths"],
                                      d["dram_peak_paths"])
+        for check, count in d["verify_funnel"].items():
+            out["verify_funnel"][check] = (
+                out["verify_funnel"].get(check, 0) + count
+            )
     window = sum(
         b.pipeline_cycles for p in profiles for b in p.batches
     )
@@ -283,13 +294,16 @@ class DeviceProfiler:
         self._refills.append(RefillProfile(cycles=cycles, paths=paths))
 
     def finish(self, device, cached_arrays, buffer_peak_paths: int,
-               dram_peak_paths: int) -> DeviceProfile:
+               dram_peak_paths: int,
+               verify_funnel: dict[str, int] | None = None) -> DeviceProfile:
         """Freeze the collected events into a :class:`DeviceProfile`.
 
         ``cached_arrays`` is the engine's list of
         :class:`~repro.core.cache.CachedArray` instances; their hit/miss
         counters and the device's memory-port traffic are snapshotted
-        here, after the clock stopped.
+        here, after the clock stopped.  ``verify_funnel`` carries the
+        engine's per-check rejection counters (see
+        :attr:`DeviceProfile.verify_funnel`).
         """
         return DeviceProfile(
             frequency_hz=device.config.frequency_hz,
@@ -303,4 +317,5 @@ class DeviceProfiler:
             memory_counters=device.memory_counters(),
             buffer_peak_paths=buffer_peak_paths,
             dram_peak_paths=dram_peak_paths,
+            verify_funnel=dict(verify_funnel or {}),
         )

@@ -25,8 +25,9 @@ plain truth test; :data:`NULL_TRACER` (and any :class:`NullTracer`) is
 falsy, so both ``None`` and an explicitly disabled tracer skip all
 work — the engine's hot loop pays one ``if tracer:`` per batch.  Code
 that prefers uniform ``with`` blocks can call ``NULL_TRACER.span(...)``,
-which returns a shared no-op span.  ``scripts/check_tracing_overhead.py``
-holds the disabled path to <2% overhead in CI.
+which returns a shared no-op span.  The ``overhead.tracing`` perfbench
+scenario (see :mod:`repro.perfbench.overhead`) holds the disabled path
+to <2% overhead in CI.
 """
 
 from __future__ import annotations

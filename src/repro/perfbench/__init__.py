@@ -1,0 +1,60 @@
+"""Continuous benchmarking: perf snapshots, trajectories, regression gates.
+
+The paper's contribution is quantitative, so the reproduction's health is
+too: this package measures every build against the last one.  It has four
+parts:
+
+- :mod:`repro.perfbench.record` — the metric model: every scenario run
+  emits named :class:`~repro.perfbench.record.Metric` values tagged with
+  a *metric class* (modelled cycles are exact, wall seconds are noisy)
+  and a direction (lower/higher/exact), repeated runs fold into
+  median-of-N :class:`~repro.perfbench.record.MetricStats`;
+- :mod:`repro.perfbench.scenarios` — the scenario registry: wrappers
+  over the paper experiments (:mod:`repro.reporting.experiments`) plus
+  micro-scenarios for the serving layer (engine throughput, the cache
+  hit path, degraded/deadline serving, the kernel profile with its
+  verification-funnel kill rates, the tracing-overhead guard);
+- :mod:`repro.perfbench.snapshot` — schema-versioned ``BENCH_<n>.json``
+  files carrying git SHA, config fingerprint, seed and per-scenario
+  stats, so the repository accumulates a machine-readable performance
+  trajectory;
+- :mod:`repro.perfbench.regress` — the regression detector: compares a
+  candidate snapshot against a committed baseline with per-class noise
+  tolerance and classifies every scenario as improved / flat / regressed
+  (plus new / removed / skipped bookkeeping verdicts).
+
+``repro bench run | compare | report | trend`` (see
+:mod:`repro.perfbench.cli`) drives all of it from the command line;
+``BENCH_0.json`` at the repository root is the committed baseline the CI
+perf gate compares against.
+"""
+
+from repro.perfbench.record import (  # noqa: F401
+    METRIC_CLASSES,
+    Metric,
+    MetricStats,
+    ScenarioStats,
+    collect_stats,
+)
+from repro.perfbench.regress import (  # noqa: F401
+    MetricComparison,
+    ScenarioComparison,
+    SnapshotComparison,
+    TolerancePolicy,
+    compare_snapshots,
+)
+from repro.perfbench.scenarios import (  # noqa: F401
+    SCENARIOS,
+    Scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.perfbench.snapshot import (  # noqa: F401
+    SNAPSHOT_SCHEMA_VERSION,
+    Snapshot,
+    config_fingerprint,
+    load_snapshot,
+    next_snapshot_path,
+    snapshot_paths,
+    write_snapshot,
+)

@@ -1,0 +1,218 @@
+"""Handlers behind ``repro bench run | compare | report | trend | list``.
+
+The top-level parser (``repro.cli``) forwards the raw argument tail here
+so the legacy spelling ``repro bench fig8`` keeps working next to the
+perfbench verbs.  Exit codes: 0 success, 1 usage/data errors (via
+:class:`~repro.errors.ReproError`), 3 regression-gate failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import sys
+
+from repro.errors import ConfigError
+from repro.perfbench.record import ScenarioStats
+from repro.perfbench.regress import TolerancePolicy, compare_snapshots
+from repro.perfbench.report import (
+    comparison_table,
+    snapshot_table,
+    trend_table,
+)
+from repro.perfbench.scenarios import (
+    DEFAULT_RUNS,
+    DEFAULT_SEED,
+    SCENARIOS,
+    iter_scenarios,
+    run_scenario,
+)
+from repro.perfbench.snapshot import (
+    Snapshot,
+    config_fingerprint,
+    git_sha,
+    load_snapshot,
+    next_snapshot_path,
+    snapshot_paths,
+    write_snapshot,
+)
+
+#: the perfbench verbs (anything else is a legacy experiment id).
+BENCH_COMMANDS = ("run", "compare", "report", "trend", "list")
+
+#: exit code of a failed regression gate (distinct from usage errors).
+GATE_FAILED = 3
+
+
+def _parser(command: str) -> argparse.ArgumentParser:
+    return argparse.ArgumentParser(prog=f"repro bench {command}")
+
+
+def _cmd_run(argv: list[str]) -> int:
+    parser = _parser("run")
+    parser.add_argument("--quick", action="store_true",
+                        help="only the quick (CI perf-gate) scenario "
+                             "subset")
+    parser.add_argument("--runs", type=int, default=DEFAULT_RUNS,
+                        help=f"repetitions per scenario "
+                             f"(default {DEFAULT_RUNS}; medians are "
+                             f"compared)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help=f"workload seed (default {DEFAULT_SEED}; "
+                             f"must match the baseline's)")
+    parser.add_argument("--dir", default=".",
+                        help="snapshot directory (default: cwd)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="output path (default: next BENCH_<n>.json "
+                             "in --dir)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        metavar="NAME",
+                        help="run only NAME (repeatable; see "
+                             "`repro bench list`)")
+    opts = parser.parse_args(argv)
+
+    scenarios = iter_scenarios(names=opts.scenario, quick=opts.quick)
+    collected: dict[str, ScenarioStats] = {}
+    for scenario in scenarios:
+        print(f"running {scenario.name} (x{opts.runs}) ...", flush=True)
+        collected[scenario.name] = run_scenario(
+            scenario.name, seed=opts.seed, runs=opts.runs
+        )
+    snapshot = Snapshot(
+        git_sha=git_sha(opts.dir),
+        seed=opts.seed,
+        runs=opts.runs,
+        quick=opts.quick,
+        config_fingerprint=config_fingerprint(),
+        created_at=datetime.date.today().isoformat(),
+        scenarios=collected,
+    )
+    out = opts.out or next_snapshot_path(opts.dir)
+    write_snapshot(snapshot, out)
+    print()
+    print(snapshot_table(snapshot))
+    print(f"\nwrote {out}")
+    return 0
+
+
+def _default_compare_pair(directory: str) -> tuple[str, str]:
+    """Latest snapshot as candidate, the one before it as baseline."""
+    found = snapshot_paths(directory)
+    if len(found) < 2:
+        raise ConfigError(
+            f"need two BENCH_<n>.json snapshots in {directory!r} to "
+            f"compare (found {len(found)}); pass --baseline/--candidate"
+        )
+    return found[-2][1], found[-1][1]
+
+
+def _cmd_compare(argv: list[str]) -> int:
+    parser = _parser("compare")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline snapshot (default: second-latest "
+                             "BENCH_<n>.json in --dir)")
+    parser.add_argument("--candidate", default=None, metavar="PATH",
+                        help="candidate snapshot (default: latest "
+                             "BENCH_<n>.json in --dir)")
+    parser.add_argument("--dir", default=".",
+                        help="snapshot directory (default: cwd)")
+    parser.add_argument("--wall-tolerance", type=float, default=None,
+                        metavar="FRAC",
+                        help="relative tolerance for wall-clock metrics "
+                             "(default 0.25)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print flat metrics")
+    opts = parser.parse_args(argv)
+
+    baseline_path, candidate_path = opts.baseline, opts.candidate
+    if baseline_path is None or candidate_path is None:
+        default_base, default_cand = _default_compare_pair(opts.dir)
+        baseline_path = baseline_path or default_base
+        candidate_path = candidate_path or default_cand
+    baseline = load_snapshot(baseline_path)
+    candidate = load_snapshot(candidate_path)
+    if baseline.seed != candidate.seed:
+        print(
+            f"WARNING: seeds differ (baseline {baseline.seed}, "
+            f"candidate {candidate.seed}); workloads are not the same",
+            file=sys.stderr,
+        )
+    policy = TolerancePolicy()
+    if opts.wall_tolerance is not None:
+        relative = dict(policy.relative)
+        relative["wall"] = opts.wall_tolerance
+        policy = TolerancePolicy(relative=relative,
+                                 absolute=dict(policy.absolute))
+    comparison = compare_snapshots(baseline, candidate, policy)
+    print(f"comparing {baseline_path} -> {candidate_path}")
+    print(comparison_table(comparison, verbose=opts.verbose))
+    return 0 if comparison.passed else GATE_FAILED
+
+
+def _cmd_report(argv: list[str]) -> int:
+    parser = _parser("report")
+    parser.add_argument("snapshot", nargs="?", default=None,
+                        help="snapshot path (default: latest "
+                             "BENCH_<n>.json in --dir)")
+    parser.add_argument("--dir", default=".",
+                        help="snapshot directory (default: cwd)")
+    parser.add_argument("--all", action="store_true",
+                        help="every metric, not just headlines")
+    opts = parser.parse_args(argv)
+
+    path = opts.snapshot
+    if path is None:
+        found = snapshot_paths(opts.dir)
+        if not found:
+            raise ConfigError(
+                f"no BENCH_<n>.json snapshots in {opts.dir!r}"
+            )
+        path = found[-1][1]
+    snapshot = load_snapshot(path)
+    print(f"{path}  (created {snapshot.created_at or 'unknown'})")
+    print(snapshot_table(snapshot, headline_only=not opts.all))
+    return 0
+
+
+def _cmd_trend(argv: list[str]) -> int:
+    parser = _parser("trend")
+    parser.add_argument("--dir", default=".",
+                        help="snapshot directory (default: cwd)")
+    parser.add_argument("--wall", action="store_true",
+                        help="include machine-dependent wall metrics")
+    opts = parser.parse_args(argv)
+
+    snapshots = [
+        (index, load_snapshot(path))
+        for index, path in snapshot_paths(opts.dir)
+    ]
+    print(trend_table(snapshots, wall=opts.wall))
+    return 0
+
+
+def _cmd_list(argv: list[str]) -> int:
+    parser = _parser("list")
+    parser.parse_args(argv)
+    from repro.reporting.tables import render_table
+
+    rows = [
+        (sc.name, sc.kind, "quick" if sc.quick else "full",
+         sc.description)
+        for sc in SCENARIOS.values()
+    ]
+    print(render_table(("scenario", "kind", "set", "description"), rows))
+    return 0
+
+
+_HANDLERS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "report": _cmd_report,
+    "trend": _cmd_trend,
+    "list": _cmd_list,
+}
+
+
+def dispatch(command: str, argv: list[str]) -> int:
+    """Route one perfbench verb; ``command`` must be in BENCH_COMMANDS."""
+    return _HANDLERS[command](list(argv))

@@ -1,0 +1,149 @@
+"""The perfbench metric model: classed metrics and median-of-N stats.
+
+Every scenario run produces a flat ``{name: Metric}`` mapping.  A metric
+carries three axes of meaning beyond its value:
+
+- **metric class** — how trustworthy the number is between two runs on
+  possibly different machines.  ``cycles`` and ``count`` come from the
+  deterministic simulation and must reproduce *exactly*; ``modelled``
+  seconds/ratios are deterministic floats (compared with a vanishing
+  tolerance that only absorbs serialisation round-off); ``wall`` seconds
+  measure the simulator itself and get a wide tolerance band;
+- **direction** — which way is better.  ``lower`` (latencies, cycles),
+  ``higher`` (throughput, speedups, hit rates) or ``exact`` (answer
+  counts, funnel rejections: any drift is a red flag, not an
+  improvement);
+- **headline** — whether ``repro bench trend`` shows the metric by
+  default.
+
+Repeated runs of one scenario fold into :class:`MetricStats` — the full
+value tuple plus a low-median (an actually observed value, so exact
+classes stay exact even for even run counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import ConfigError
+
+#: metric classes, from strictest to loosest comparison contract.
+CLASS_CYCLES = "cycles"
+CLASS_COUNT = "count"
+CLASS_MODELLED = "modelled"
+CLASS_WALL = "wall"
+METRIC_CLASSES = (CLASS_CYCLES, CLASS_COUNT, CLASS_MODELLED, CLASS_WALL)
+
+DIRECTIONS = ("lower", "higher", "exact")
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One measured value of one scenario run."""
+
+    name: str
+    value: float
+    metric_class: str
+    direction: str = "lower"
+    unit: str = ""
+    headline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.metric_class not in METRIC_CLASSES:
+            raise ConfigError(
+                f"unknown metric class {self.metric_class!r}; "
+                f"expected one of {METRIC_CLASSES}"
+            )
+        if self.direction not in DIRECTIONS:
+            raise ConfigError(
+                f"unknown direction {self.direction!r}; "
+                f"expected one of {DIRECTIONS}"
+            )
+
+
+def _median_low(values: tuple[float, ...]) -> float:
+    """The lower middle element — always an observed value."""
+    ordered = sorted(values)
+    return ordered[(len(ordered) - 1) // 2]
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """One metric over a scenario's repeated runs."""
+
+    name: str
+    metric_class: str
+    direction: str
+    unit: str
+    headline: bool
+    values: tuple[float, ...]
+
+    @property
+    def median(self) -> float:
+        """Low median of the observed values (the compared statistic)."""
+        return _median_low(self.values)
+
+    @property
+    def spread(self) -> float:
+        """max - min over the runs (0.0 for deterministic metrics)."""
+        return max(self.values) - min(self.values)
+
+    @property
+    def runs(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class ScenarioStats:
+    """Everything one scenario contributed to a snapshot."""
+
+    scenario: str
+    kind: str
+    runs: int
+    metrics: dict[str, MetricStats]
+
+    def metric(self, name: str) -> MetricStats:
+        return self.metrics[name]
+
+
+def collect_stats(
+    scenario: str,
+    kind: str,
+    build: Callable[[int], Mapping[str, Metric]],
+    seed: int,
+    runs: int,
+) -> ScenarioStats:
+    """Run ``build`` ``runs`` times and fold the metrics into stats.
+
+    Every repetition must emit the same metric set with identical
+    class/direction tags — a scenario whose *shape* varies between runs
+    is a bug, not noise, and raises :class:`~repro.errors.ConfigError`.
+    """
+    if runs < 1:
+        raise ConfigError(f"runs must be >= 1, got {runs}")
+    observed: list[Mapping[str, Metric]] = []
+    for _ in range(runs):
+        observed.append(dict(build(seed)))
+    first = observed[0]
+    for later in observed[1:]:
+        if set(later) != set(first):
+            missing = set(first) ^ set(later)
+            raise ConfigError(
+                f"scenario {scenario!r} emitted a varying metric set "
+                f"across runs (mismatch: {sorted(missing)})"
+            )
+    stats: dict[str, MetricStats] = {}
+    for name, metric in first.items():
+        values = tuple(float(run[name].value) for run in observed)
+        stats[name] = MetricStats(
+            name=name,
+            metric_class=metric.metric_class,
+            direction=metric.direction,
+            unit=metric.unit,
+            headline=metric.headline,
+            values=values,
+        )
+    return ScenarioStats(
+        scenario=scenario, kind=kind, runs=runs, metrics=stats
+    )

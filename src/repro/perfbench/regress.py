@@ -1,0 +1,228 @@
+"""The regression detector: candidate snapshot vs committed baseline.
+
+Comparison is median-of-N against median-of-N with a per-metric-class
+noise model (:class:`TolerancePolicy`):
+
+- ``cycles`` and ``count`` come from the deterministic simulation and
+  must match *exactly* — one cycle of drift on a modelled clock is a
+  behaviour change, not noise;
+- ``modelled`` seconds/ratios are deterministic floats; a vanishing
+  relative tolerance absorbs JSON round-off and nothing else;
+- ``wall`` seconds time the simulator itself, so they get a wide band
+  and never gate — a slow CI runner must not fail the build.
+
+Per metric the delta classifies as improved / flat / regressed following
+the metric's direction (``exact`` metrics can only be flat or regressed:
+there is no "improved" answer count).  Per scenario the worst gated
+metric wins: any regressed cycles/count/modelled metric marks the
+scenario ``regressed``; wall-only drift marks it ``drifted`` (reported,
+never fatal); otherwise improvements win over flat.  Scenarios present
+on only one side become ``new`` / ``removed`` bookkeeping verdicts —
+visible, non-gating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perfbench.record import (
+    CLASS_COUNT,
+    CLASS_CYCLES,
+    CLASS_MODELLED,
+    CLASS_WALL,
+    MetricStats,
+)
+from repro.perfbench.snapshot import Snapshot
+
+#: metric verdicts, worst first.
+METRIC_VERDICTS = ("regressed", "improved", "flat")
+
+#: scenario verdicts, worst first; only ``regressed`` gates.
+SCENARIO_VERDICTS = (
+    "regressed", "drifted", "improved", "flat", "new", "removed",
+)
+
+
+@dataclass(frozen=True)
+class TolerancePolicy:
+    """Per-class noise tolerance: ``|delta| <= rel * scale + absolute``.
+
+    ``scale`` is ``max(|baseline|, |candidate|)``.  Classes listed in
+    ``gated_classes`` fail the gate when regressed; the rest only warn.
+    """
+
+    relative: dict[str, float] = field(default_factory=lambda: {
+        CLASS_CYCLES: 0.0,
+        CLASS_COUNT: 0.0,
+        CLASS_MODELLED: 1e-9,
+        CLASS_WALL: 0.25,
+    })
+    absolute: dict[str, float] = field(default_factory=lambda: {
+        CLASS_CYCLES: 0.0,
+        CLASS_COUNT: 0.0,
+        CLASS_MODELLED: 1e-12,
+        CLASS_WALL: 0.05,
+    })
+    gated_classes: tuple[str, ...] = (
+        CLASS_CYCLES, CLASS_COUNT, CLASS_MODELLED,
+    )
+
+    def within(self, metric_class: str, baseline: float,
+               candidate: float) -> bool:
+        """Is the delta indistinguishable from noise for this class?"""
+        delta = abs(candidate - baseline)
+        scale = max(abs(baseline), abs(candidate))
+        rel = self.relative.get(metric_class, 0.0)
+        absolute = self.absolute.get(metric_class, 0.0)
+        return delta <= rel * scale + absolute
+
+    def gates(self, metric_class: str) -> bool:
+        return metric_class in self.gated_classes
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's baseline-vs-candidate verdict."""
+
+    name: str
+    metric_class: str
+    direction: str
+    unit: str
+    baseline: float
+    candidate: float
+    verdict: str  # one of METRIC_VERDICTS
+    gated: bool
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    @property
+    def ratio(self) -> float | None:
+        """candidate / baseline, when the baseline is non-zero."""
+        if self.baseline == 0.0:
+            return None
+        return self.candidate / self.baseline
+
+
+@dataclass(frozen=True)
+class ScenarioComparison:
+    """One scenario's verdict plus its per-metric detail."""
+
+    scenario: str
+    verdict: str  # one of SCENARIO_VERDICTS
+    metrics: tuple[MetricComparison, ...] = ()
+
+    @property
+    def regressions(self) -> tuple[MetricComparison, ...]:
+        return tuple(
+            m for m in self.metrics if m.verdict == "regressed"
+        )
+
+    @property
+    def gated_regressions(self) -> tuple[MetricComparison, ...]:
+        return tuple(m for m in self.regressions if m.gated)
+
+
+@dataclass(frozen=True)
+class SnapshotComparison:
+    """The full compare result ``repro bench compare`` renders and gates."""
+
+    baseline_sha: str
+    candidate_sha: str
+    fingerprint_match: bool
+    scenarios: tuple[ScenarioComparison, ...]
+
+    @property
+    def gate_failures(self) -> tuple[ScenarioComparison, ...]:
+        """Scenarios that must fail the build."""
+        return tuple(
+            s for s in self.scenarios if s.verdict == "regressed"
+        )
+
+    @property
+    def passed(self) -> bool:
+        return not self.gate_failures
+
+    def counts(self) -> dict[str, int]:
+        out = {verdict: 0 for verdict in SCENARIO_VERDICTS}
+        for scenario in self.scenarios:
+            out[scenario.verdict] += 1
+        return out
+
+
+def _metric_verdict(policy: TolerancePolicy, base: MetricStats,
+                    cand: MetricStats) -> MetricComparison:
+    b, c = base.median, cand.median
+    if policy.within(cand.metric_class, b, c):
+        verdict = "flat"
+    elif cand.direction == "exact":
+        verdict = "regressed"  # any real drift in an exact metric
+    elif cand.direction == "higher":
+        verdict = "improved" if c > b else "regressed"
+    else:  # lower is better
+        verdict = "improved" if c < b else "regressed"
+    return MetricComparison(
+        name=cand.name,
+        metric_class=cand.metric_class,
+        direction=cand.direction,
+        unit=cand.unit,
+        baseline=b,
+        candidate=c,
+        verdict=verdict,
+        gated=policy.gates(cand.metric_class),
+    )
+
+
+def _scenario_verdict(metrics: tuple[MetricComparison, ...]) -> str:
+    if any(m.verdict == "regressed" and m.gated for m in metrics):
+        return "regressed"
+    if any(m.verdict == "regressed" for m in metrics):
+        return "drifted"  # wall-only drift: reported, never fatal
+    if any(m.verdict == "improved" and m.gated for m in metrics):
+        return "improved"
+    return "flat"
+
+
+def compare_snapshots(
+    baseline: Snapshot,
+    candidate: Snapshot,
+    policy: TolerancePolicy | None = None,
+) -> SnapshotComparison:
+    """Classify every scenario of ``candidate`` against ``baseline``.
+
+    Metrics present on only one side of a shared scenario are skipped
+    (schema growth is expected between builds); scenarios present on one
+    side only become ``new`` / ``removed`` verdicts.
+    """
+    policy = policy or TolerancePolicy()
+    comparisons: list[ScenarioComparison] = []
+    for name, cand_stats in candidate.scenarios.items():
+        base_stats = baseline.scenarios.get(name)
+        if base_stats is None:
+            comparisons.append(ScenarioComparison(name, "new"))
+            continue
+        shared = [
+            m for m in cand_stats.metrics
+            if m in base_stats.metrics
+        ]
+        metrics = tuple(
+            _metric_verdict(
+                policy, base_stats.metrics[m], cand_stats.metrics[m]
+            )
+            for m in shared
+        )
+        comparisons.append(
+            ScenarioComparison(name, _scenario_verdict(metrics), metrics)
+        )
+    for name in baseline.scenarios:
+        if name not in candidate.scenarios:
+            comparisons.append(ScenarioComparison(name, "removed"))
+    return SnapshotComparison(
+        baseline_sha=baseline.git_sha,
+        candidate_sha=candidate.git_sha,
+        fingerprint_match=(
+            baseline.config_fingerprint == candidate.config_fingerprint
+        ),
+        scenarios=tuple(comparisons),
+    )

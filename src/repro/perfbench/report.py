@@ -1,0 +1,152 @@
+"""Plain-text rendering for snapshots, comparisons and the trend view."""
+
+from __future__ import annotations
+
+from repro.perfbench.record import CLASS_WALL, MetricStats
+from repro.perfbench.regress import SnapshotComparison
+from repro.perfbench.snapshot import Snapshot
+from repro.reporting.tables import format_seconds, render_table
+
+#: compare rows worth printing in full (the rest are summarised).
+_DETAIL_VERDICTS = ("regressed", "drifted", "improved")
+
+
+def _format_value(stats_or_unit, value: float) -> str:
+    unit = getattr(stats_or_unit, "unit", stats_or_unit)
+    if unit == "s":
+        return format_seconds(value)
+    if unit == "cyc":
+        return f"{int(value):,}"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:.4g}"
+
+
+def _spread_note(stats: MetricStats) -> str:
+    if stats.runs <= 1 or stats.spread == 0.0:
+        return ""
+    scale = max(abs(v) for v in stats.values)
+    if scale == 0.0:
+        return ""
+    return f"±{100.0 * stats.spread / scale / 2:.0f}%"
+
+
+def snapshot_table(snapshot: Snapshot, headline_only: bool = True) -> str:
+    """One snapshot as a table (headline metrics unless asked for all)."""
+    rows = []
+    for name, stats in snapshot.scenarios.items():
+        for metric in stats.metrics.values():
+            if headline_only and not metric.headline:
+                continue
+            rows.append((
+                name, metric.name, metric.metric_class,
+                _format_value(metric, metric.median),
+                _spread_note(metric) or "-",
+            ))
+    title = (
+        f"snapshot {snapshot.git_sha} seed={snapshot.seed} "
+        f"runs={snapshot.runs} "
+        f"({'quick' if snapshot.quick else 'full'} set, "
+        f"fingerprint {snapshot.config_fingerprint})"
+    )
+    return render_table(
+        ("scenario", "metric", "class", "median", "spread"), rows,
+        title=title,
+    )
+
+
+def comparison_table(comparison: SnapshotComparison,
+                     verbose: bool = False) -> str:
+    """The compare verdict: per-scenario lines plus offending metrics."""
+    lines = [
+        f"baseline {comparison.baseline_sha} -> "
+        f"candidate {comparison.candidate_sha}"
+    ]
+    if not comparison.fingerprint_match:
+        lines.append(
+            "WARNING: config fingerprints differ — the performance "
+            "model or scenario set changed; treat deltas as "
+            "informational and refresh the baseline."
+        )
+    rows = []
+    for scenario in sorted(comparison.scenarios,
+                           key=lambda s: s.scenario):
+        detail = ""
+        if scenario.verdict in _DETAIL_VERDICTS:
+            interesting = [
+                m for m in scenario.metrics if m.verdict != "flat"
+            ]
+            detail = "; ".join(
+                f"{m.name} {_format_value(m, m.baseline)}"
+                f"->{_format_value(m, m.candidate)}"
+                + (f" ({m.ratio:.2f}x)" if m.ratio else "")
+                for m in interesting[:4]
+            )
+            if len(interesting) > 4:
+                detail += f"; +{len(interesting) - 4} more"
+        rows.append((scenario.scenario, scenario.verdict, detail))
+    lines.append(render_table(("scenario", "verdict", "metrics"), rows))
+    if verbose:
+        for scenario in comparison.scenarios:
+            flats = [m for m in scenario.metrics if m.verdict == "flat"]
+            if flats:
+                lines.append(render_table(
+                    ("metric", "class", "baseline", "candidate"),
+                    [(m.name, m.metric_class,
+                      _format_value(m, m.baseline),
+                      _format_value(m, m.candidate)) for m in flats],
+                    title=f"{scenario.scenario}: flat metrics",
+                ))
+    counts = comparison.counts()
+    summary = ", ".join(
+        f"{n} {verdict}" for verdict, n in counts.items() if n
+    )
+    lines.append(f"verdict: {summary or 'nothing compared'}")
+    lines.append(
+        "gate: PASS" if comparison.passed
+        else f"gate: FAIL ({len(comparison.gate_failures)} scenario(s) "
+             f"regressed on exact/modelled metrics)"
+    )
+    return "\n".join(lines)
+
+
+def trend_table(snapshots: list[tuple[int, Snapshot]],
+                wall: bool = False) -> str:
+    """Headline metrics across the committed snapshot sequence.
+
+    One row per (scenario, headline metric); one column per snapshot
+    index.  Wall-clock metrics are machine-dependent, so they are hidden
+    unless ``wall=True``.
+    """
+    if not snapshots:
+        return "no BENCH_*.json snapshots found"
+    names: list[tuple[str, str]] = []
+    seen = set()
+    for _, snapshot in snapshots:
+        for sc_name, stats in snapshot.scenarios.items():
+            for metric in stats.metrics.values():
+                if not metric.headline:
+                    continue
+                if not wall and metric.metric_class == CLASS_WALL:
+                    continue
+                key = (sc_name, metric.name)
+                if key not in seen:
+                    seen.add(key)
+                    names.append(key)
+    headers = ["scenario", "metric"] + [
+        f"#{index} ({snapshot.git_sha})" for index, snapshot in snapshots
+    ]
+    rows = []
+    for sc_name, metric_name in names:
+        row: list[str] = [sc_name, metric_name]
+        for _, snapshot in snapshots:
+            stats = snapshot.scenarios.get(sc_name)
+            metric = stats.metrics.get(metric_name) if stats else None
+            row.append(
+                _format_value(metric, metric.median) if metric else "-"
+            )
+        rows.append(tuple(row))
+    return render_table(
+        headers, rows,
+        title=f"performance trajectory over {len(snapshots)} snapshot(s)",
+    )

@@ -1,0 +1,176 @@
+"""Schema-versioned ``BENCH_<n>.json`` performance snapshots.
+
+A snapshot freezes one benchmarking session: which build produced it
+(git SHA + config fingerprint), how it was run (seed, runs per scenario,
+quick or full set) and every scenario's folded
+:class:`~repro.perfbench.record.MetricStats`.  Snapshots committed at
+the repository root (``BENCH_0.json``, ``BENCH_1.json``, ...) form the
+performance trajectory ``repro bench trend`` renders and the baseline
+``repro bench compare`` gates against.
+
+The config fingerprint hashes the default device/algorithm configuration
+plus the scenario registry, so a comparison across incompatible builds
+is flagged instead of silently producing nonsense deltas.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import subprocess
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.perfbench.record import MetricStats, ScenarioStats
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: committed snapshot filename pattern at the repository root.
+_SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def git_sha(directory: str | os.PathLike[str] = ".") -> str:
+    """Short git SHA of ``directory``'s checkout, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "-C", os.fspath(directory), "rev-parse",
+             "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def config_fingerprint() -> str:
+    """Hash of everything that must match for snapshots to be comparable.
+
+    Covers the default algorithm and device configurations (any change
+    to the performance model's constants changes modelled numbers) and
+    the registered scenario names.  Deliberately *not* the git SHA —
+    most commits leave the model untouched and their snapshots should
+    compare cleanly.
+    """
+    from repro.core.config import PEFPConfig
+    from repro.fpga.device import DeviceConfig
+    from repro.perfbench.scenarios import SCENARIOS
+
+    payload = "|".join([
+        repr(PEFPConfig()),
+        repr(DeviceConfig()),
+        ",".join(sorted(SCENARIOS)),
+    ])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Snapshot:
+    """One benchmarking session, ready to serialise."""
+
+    git_sha: str
+    seed: int
+    runs: int
+    quick: bool
+    config_fingerprint: str
+    created_at: str  # ISO date, supplied by the caller (CLI)
+    scenarios: dict[str, ScenarioStats] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "git_sha": self.git_sha,
+            "seed": self.seed,
+            "runs": self.runs,
+            "quick": self.quick,
+            "config_fingerprint": self.config_fingerprint,
+            "created_at": self.created_at,
+            "scenarios": {
+                name: {
+                    "kind": stats.kind,
+                    "runs": stats.runs,
+                    "metrics": {
+                        m.name: {
+                            "class": m.metric_class,
+                            "direction": m.direction,
+                            "unit": m.unit,
+                            "headline": m.headline,
+                            "values": list(m.values),
+                        }
+                        for m in stats.metrics.values()
+                    },
+                }
+                for name, stats in self.scenarios.items()
+            },
+        }
+
+
+def _stats_from_dict(name: str, raw: dict) -> ScenarioStats:
+    metrics: dict[str, MetricStats] = {}
+    for metric_name, m in raw["metrics"].items():
+        metrics[metric_name] = MetricStats(
+            name=metric_name,
+            metric_class=m["class"],
+            direction=m["direction"],
+            unit=m.get("unit", ""),
+            headline=bool(m.get("headline", False)),
+            values=tuple(float(v) for v in m["values"]),
+        )
+    return ScenarioStats(
+        scenario=name, kind=raw["kind"], runs=int(raw["runs"]),
+        metrics=metrics,
+    )
+
+
+def write_snapshot(snapshot: Snapshot,
+                   path: str | os.PathLike[str]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_snapshot(path: str | os.PathLike[str]) -> Snapshot:
+    with open(path, encoding="utf-8") as handle:
+        raw = json.load(handle)
+    version = raw.get("schema_version")
+    if version != SNAPSHOT_SCHEMA_VERSION:
+        raise ConfigError(
+            f"{os.fspath(path)}: unsupported snapshot schema version "
+            f"{version!r} (this build reads "
+            f"{SNAPSHOT_SCHEMA_VERSION})"
+        )
+    return Snapshot(
+        git_sha=raw.get("git_sha", "unknown"),
+        seed=int(raw["seed"]),
+        runs=int(raw["runs"]),
+        quick=bool(raw.get("quick", False)),
+        config_fingerprint=raw.get("config_fingerprint", ""),
+        created_at=raw.get("created_at", ""),
+        scenarios={
+            name: _stats_from_dict(name, stats)
+            for name, stats in raw["scenarios"].items()
+        },
+    )
+
+
+def snapshot_paths(directory: str | os.PathLike[str] = ".") \
+        -> list[tuple[int, str]]:
+    """``(index, path)`` of every ``BENCH_<n>.json`` in ``directory``,
+    sorted by index."""
+    found: list[tuple[int, str]] = []
+    for entry in os.listdir(directory):
+        match = _SNAPSHOT_RE.match(entry)
+        if match:
+            found.append(
+                (int(match.group(1)), os.path.join(directory, entry))
+            )
+    return sorted(found)
+
+
+def next_snapshot_path(directory: str | os.PathLike[str] = ".") -> str:
+    """Path of the next unused snapshot index in ``directory``."""
+    existing = snapshot_paths(directory)
+    index = existing[-1][0] + 1 if existing else 0
+    return os.path.join(directory, f"BENCH_{index}.json")

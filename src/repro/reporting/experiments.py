@@ -8,8 +8,10 @@ in seconds on the scaled-down stand-ins; the benchmarks pass their own.
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.config import PEFPConfig
 from repro.baselines.join import Join
@@ -39,6 +41,21 @@ ABLATION_CONFIG = PEFPConfig(
 )
 
 
+#: format version of :meth:`ExperimentResult.to_record` documents (also
+#: what :mod:`repro.reporting.export` writes to disk).
+RESULT_SCHEMA_VERSION = 1
+
+
+def jsonable_cell(value: Any) -> Any:
+    """One table cell as a JSON-safe value (inf/nan become strings)."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+    return value
+
+
 @dataclass
 class ExperimentResult:
     """Raw rows plus presentation for one experiment."""
@@ -53,6 +70,28 @@ class ExperimentResult:
         return render_table(
             self.headers, self.formatted_rows or self.rows, title=self.title
         )
+
+    def to_record(self) -> dict:
+        """Machine-readable form of this result.
+
+        The one serialisation every consumer shares: the JSON export
+        (:mod:`repro.reporting.export`), the perfbench scenario registry
+        and EXPERIMENTS.md regeneration all read this shape instead of
+        re-walking ``rows`` themselves.
+        """
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [
+                [jsonable_cell(cell) for cell in row] for row in self.rows
+            ],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The :meth:`to_record` document as a JSON string."""
+        return json.dumps(self.to_record(), indent=indent)
 
 
 def _fmt(value: object) -> str:
@@ -148,6 +187,7 @@ def fig8_query_time(
     keys: Sequence[str] | None = None,
     queries_per_point: int = 5,
     seed: int = 7,
+    k_overrides: dict[str, tuple[int, ...]] | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         "fig8",
@@ -155,7 +195,7 @@ def fig8_query_time(
         ("dataset", "k", "paths", "JOIN T2", "PEFP T2", "speedup"),
     )
     for key in keys or dataset_keys():
-        for k in DATASETS[key].k_range:
+        for k in (k_overrides or {}).get(key, DATASETS[key].k_range):
             join_agg, pefp_agg = _compare(key, k, queries_per_point, seed)
             speedup = _ratio(join_agg.mean_query_seconds,
                              pefp_agg.mean_query_seconds)
@@ -321,11 +361,13 @@ def fig12_prebfs(
     keys: Sequence[str] = ("bs", "bd"),
     queries_per_point: int = 5,
     seed: int = 7,
+    k_overrides: dict[str, tuple[int, ...]] | None = None,
 ) -> ExperimentResult:
     """Pre-BFS ablation: PEFP vs PEFP-No-Pre-BFS (total time)."""
     return _ablation(
         "fig12", "Fig. 12 — Pre-BFS ablation (total time)",
         "pefp-no-pre-bfs", keys, "T", queries_per_point, seed, None,
+        k_overrides=k_overrides,
     )
 
 
@@ -339,6 +381,7 @@ def fig13_batchdfs(
     queries_per_point: int = 5,
     seed: int = 7,
     config: PEFPConfig = ABLATION_CONFIG,
+    k_overrides: dict[str, tuple[int, ...]] | None = None,
 ) -> ExperimentResult:
     """Batch-DFS ablation: stack-top batching vs FIFO (query time).
 
@@ -351,7 +394,7 @@ def fig13_batchdfs(
     return _ablation(
         "fig13", "Fig. 13 — Batch-DFS ablation (query time)",
         "pefp-no-batch-dfs", keys, "T2", queries_per_point, seed, config,
-        k_overrides=FIG13_K, max_distance=2,
+        k_overrides=k_overrides or FIG13_K, max_distance=2,
     )
 
 
@@ -359,11 +402,13 @@ def fig14_caching(
     keys: Sequence[str] = ("rt", "wg"),
     queries_per_point: int = 5,
     seed: int = 7,
+    k_overrides: dict[str, tuple[int, ...]] | None = None,
 ) -> ExperimentResult:
     """Caching ablation: BRAM caches vs all-DRAM (query time)."""
     return _ablation(
         "fig14", "Fig. 14 — caching ablation (query time)",
         "pefp-no-cache", keys, "T2", queries_per_point, seed, None,
+        k_overrides=k_overrides,
     )
 
 
@@ -371,11 +416,13 @@ def fig15_datasep(
     keys: Sequence[str] = ("rt", "wg"),
     queries_per_point: int = 5,
     seed: int = 7,
+    k_overrides: dict[str, tuple[int, ...]] | None = None,
 ) -> ExperimentResult:
     """Data-separation ablation: dataflow vs serial checks (query time)."""
     return _ablation(
         "fig15", "Fig. 15 — data separation ablation (query time)",
         "pefp-no-datasep", keys, "T2", queries_per_point, seed, None,
+        k_overrides=k_overrides,
     )
 
 

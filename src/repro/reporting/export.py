@@ -8,34 +8,25 @@ EXPERIMENTS.md regeneration and regression diffing can consume them.
 from __future__ import annotations
 
 import json
-import math
 import os
-from typing import Any
 
-from repro.reporting.experiments import ExperimentResult
+from repro.reporting.experiments import (
+    RESULT_SCHEMA_VERSION,
+    ExperimentResult,
+    jsonable_cell,
+)
 
-#: format version for the exported documents.
-SCHEMA_VERSION = 1
+#: format version for the exported documents (the results' own version).
+SCHEMA_VERSION = RESULT_SCHEMA_VERSION
 
-
-def _jsonable(value: Any) -> Any:
-    if isinstance(value, float):
-        if math.isinf(value):
-            return "inf" if value > 0 else "-inf"
-        if math.isnan(value):
-            return "nan"
-    return value
+#: kept as a module-level name for existing importers; the canonical
+#: implementation lives next to :class:`ExperimentResult`.
+_jsonable = jsonable_cell
 
 
 def result_to_dict(result: ExperimentResult) -> dict:
-    """Plain-dict form of one experiment result."""
-    return {
-        "schema_version": SCHEMA_VERSION,
-        "experiment": result.experiment,
-        "title": result.title,
-        "headers": list(result.headers),
-        "rows": [[_jsonable(cell) for cell in row] for row in result.rows],
-    }
+    """Plain-dict form of one experiment result (= ``result.to_record()``)."""
+    return result.to_record()
 
 
 def dump_result(result: ExperimentResult,

@@ -106,6 +106,11 @@ def profile_table(profile: dict) -> str:
             title="pipeline stages (raw, pre-overlap)",
         ))
 
+    funnel = profile.get("verify_funnel", {})
+    if funnel.get("expansions"):
+        lines.append("")
+        lines.append(verify_funnel_table(funnel))
+
     caches = profile.get("cache_counters", {})
     if caches:
         cache_rows = []
@@ -131,6 +136,37 @@ def profile_table(profile: dict) -> str:
     lines.append(render_table(("high-water mark", "value"), rows,
                               title="occupancy peaks"))
     return "\n".join(lines)
+
+
+def verify_funnel_table(funnel: dict) -> str:
+    """Render the verification funnel: what each check of Algorithm 2 kills.
+
+    ``funnel`` is the ``verify_funnel`` dict of a device profile (single
+    or aggregated): scheduled expansions in, per-check rejection counts,
+    and the survivors that became new intermediate paths.  Kill rates are
+    the paper's pruning-effectiveness story — a falling barrier kill rate
+    means Pre-BFS distances stopped pruning, long before total time shows
+    it.
+    """
+    expansions = funnel.get("expansions", 0)
+
+    def share(count: int) -> str:
+        return f"{100.0 * count / expansions:.1f}%" if expansions else "-"
+
+    rows = [("expansions scheduled", expansions, "100.0%" if expansions
+             else "-")]
+    for check, label in (("rejected_target", "target check (reached t)"),
+                         ("rejected_barrier", "barrier check (> k hops)"),
+                         ("rejected_visited", "visited check (not simple)")):
+        count = funnel.get(check, 0)
+        rows.append((label, count, share(count)))
+    survivors = funnel.get("survivors", 0)
+    rows.append(("survivors (new paths)", survivors, share(survivors)))
+    return render_table(
+        ("verification funnel", "expansions", "share"),
+        rows,
+        title="verification funnel (Algorithm 2 kill rates)",
+    )
 
 
 def trace_report(records: list[SpanRecord],
