@@ -157,6 +157,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         variant=args.algorithm,
         num_engines=args.engines,
         scheduler=args.scheduler,
+        backend=args.backend,
         use_threads=not args.no_threads,
         inject_failures=args.inject_failures,
         failure_seed=args.failure_seed,
@@ -170,14 +171,17 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         from repro.observability import Tracer
 
         tracer = Tracer()
-    report = service.run(
-        queries,
-        budget=budget,
-        deadline_ms=args.deadline_ms,
-        batch_deadline_ms=args.batch_deadline_ms,
-        tracer=tracer,
-        profile=args.profile,
-    )
+    try:
+        report = service.run(
+            queries,
+            budget=budget,
+            deadline_ms=args.deadline_ms,
+            batch_deadline_ms=args.batch_deadline_ms,
+            tracer=tracer,
+            profile=args.profile,
+        )
+    finally:
+        service.close()
     print(report.render())
     if args.profile:
         from repro.reporting.trace import profile_table
@@ -341,13 +345,20 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--engines", type=int, default=2,
                     help="simulated engine instances (default 2)")
     sv.add_argument("--scheduler", default="round-robin",
-                    choices=("round-robin", "longest-first"))
+                    choices=("round-robin", "longest-first",
+                             "work-stealing"))
+    sv.add_argument("--backend", default="thread",
+                    choices=("thread", "process"),
+                    help="engine dispatch: 'thread' (GIL-bound, default) "
+                         "or 'process' (one worker process per engine; "
+                         "real host-side parallelism, identical answers)")
     sv.add_argument("--algorithm", default="pefp", choices=list(VARIANTS),
                     help="PEFP variant each engine runs")
     sv.add_argument("--seed", type=int, default=7,
                     help="query-generation seed")
     sv.add_argument("--no-threads", action="store_true",
-                    help="dispatch engines sequentially (debugging)")
+                    help="thread backend: dispatch engines sequentially "
+                         "(debugging)")
     sv.add_argument("--max-results", type=int, default=None,
                     help="per-query result budget: stop a kernel after "
                          "this many paths (answers are exact subsets)")

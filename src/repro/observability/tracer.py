@@ -253,6 +253,33 @@ class Tracer:
             self._open -= 1
             self._records.append(record)
 
+    def ingest(self, records) -> None:
+        """Merge spans recorded by another tracer into this one.
+
+        The process-parallel serving backend runs a private tracer in
+        every engine worker and ships the finished
+        :class:`SpanRecord` lists back to the coordinator; ``ingest``
+        folds them in, remapping span ids onto this tracer's id space so
+        records from different workers can never collide.  Parent links
+        are preserved within each ingested batch (spans open their ids
+        before their children, so parents sort first); a parent outside
+        the batch becomes ``None``, i.e. a top-level span on its track.
+        """
+        from dataclasses import replace
+
+        ordered = sorted(records, key=lambda r: r.span_id)
+        with self._lock:
+            mapping: dict[int, int] = {}
+            for record in ordered:
+                new_id = next(self._ids)
+                mapping[record.span_id] = new_id
+                self._records.append(replace(
+                    record,
+                    span_id=new_id,
+                    parent_id=(None if record.parent_id is None
+                               else mapping.get(record.parent_id)),
+                ))
+
     # -- introspection / export ----------------------------------------
     @property
     def open_spans(self) -> int:
@@ -320,6 +347,9 @@ class NullTracer:
         return _NULL_SPAN
 
     def complete(self, name: str, start_ns: int, **kwargs) -> None:
+        pass
+
+    def ingest(self, records) -> None:
         pass
 
     @contextmanager

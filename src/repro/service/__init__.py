@@ -1,7 +1,9 @@
 """Batch query serving: shared preprocessing cache, N engines, metrics."""
 
 from repro.service.batch import (
+    BACKENDS,
     BatchQueryService,
+    EngineServer,
     FlakyEngine,
     ServiceBatchReport,
 )
@@ -11,25 +13,36 @@ from repro.service.metrics import (
     MetricsRegistry,
     percentile,
 )
+from repro.service.parallel import BatchOutcome, ProcessEnginePool
 from repro.service.scheduler import (
+    SCHEDULER_NAMES,
     SCHEDULERS,
+    WORK_STEALING,
     estimate_query_work,
     longest_first,
     requeue,
     round_robin,
+    steal_order,
 )
 
 __all__ = [
+    "BACKENDS",
     "BatchQueryService",
+    "EngineServer",
     "FlakyEngine",
     "ServiceBatchReport",
     "GraphArtifactCache",
     "LatencySummary",
     "MetricsRegistry",
     "percentile",
+    "BatchOutcome",
+    "ProcessEnginePool",
+    "SCHEDULER_NAMES",
     "SCHEDULERS",
+    "WORK_STEALING",
     "estimate_query_work",
     "longest_first",
     "requeue",
     "round_robin",
+    "steal_order",
 ]

@@ -5,10 +5,24 @@ implies but never names: 1,000 queries arrive as one batch against a
 resident graph, per-graph preprocessing artifacts (the reverse CSR, memoised
 Pre-BFS results) are shared across all of them, and the batch is dispatched
 over N engine instances — each a full :class:`PathEnumerationSystem` whose
-kernel runs keep their own per-device cycle accounting.  Worker dispatch
-uses a thread pool (one worker per engine); because every engine simulates
-its own device clock, answers and modelled timings are independent of
-thread interleaving.
+kernel runs keep their own per-device cycle accounting.
+
+Two dispatch backends serve the same contract:
+
+- ``backend="thread"`` (the default) runs one worker thread per engine.
+  This only *overlaps modelled device time*: each engine advances its own
+  simulated device clock independently, but the host-side enumeration that
+  produces those clocks is pure Python and therefore GIL-bound — N thread
+  workers add almost no wall-clock throughput over one.  Answers and
+  modelled timings are independent of thread interleaving either way.
+- ``backend="process"`` (see :mod:`repro.service.parallel`) runs one
+  engine per worker *process*: the graph and its reverse CSR ship to each
+  worker once, queries stream over a work queue, and answers, metrics,
+  trace spans and device profiles are marshalled back to the coordinator.
+  Host-side enumeration then runs genuinely in parallel, which is where
+  real wall-clock scaling comes from; every modelled number is identical
+  to the thread backend by construction (the differential test suite
+  asserts this).
 
 Robustness layer
 ----------------
@@ -32,14 +46,18 @@ Latency, throughput, cache, robustness and per-engine utilization metrics
 land in a :class:`repro.service.metrics.MetricsRegistry` and are summarised
 on the returned :class:`ServiceBatchReport`.  Engine busy time is split
 into host (``T1`` preprocessing) and device (``T2`` kernel) seconds: the
-engines run device work concurrently, but all host preprocessing shares
-one modelled CPU.
+engines overlap *modelled* device time, while all host preprocessing
+shares one modelled CPU (and, under the thread backend, one real GIL-bound
+interpreter).
 """
 
 from __future__ import annotations
 
+import json
 import random
+import threading
 import time
+from collections import Counter, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -54,7 +72,17 @@ from repro.host.system import PathEnumerationSystem, SystemReport
 from repro.observability.tracer import NULL_TRACER
 from repro.service.cache import GraphArtifactCache
 from repro.service.metrics import LatencySummary, MetricsRegistry
-from repro.service.scheduler import SCHEDULERS, Assignment, requeue
+from repro.service.scheduler import (
+    SCHEDULER_NAMES,
+    SCHEDULERS,
+    WORK_STEALING,
+    Assignment,
+    requeue,
+    steal_order,
+)
+
+#: dispatch backends the service supports.
+BACKENDS = ("thread", "process")
 
 #: fraction of the batch deadline granted to each degraded query when no
 #: explicit ``degraded_cycle_budget`` is given.
@@ -109,6 +137,137 @@ class FlakyEngine:
         return self.inner.run(*args, **kwargs)
 
 
+class EngineServer:
+    """The per-engine serving loop state, shared by every backend.
+
+    Wraps one :class:`PathEnumerationSystem` with the batch-level serving
+    policy — budget tightening, batch-deadline degradation driven by the
+    engine's own modelled busy time — so the thread workers, the serial
+    fallback and the process workers all run *exactly* the same per-query
+    decision logic.  This is what makes the backends differentially
+    equivalent by construction rather than by coincidence.
+    """
+
+    __slots__ = ("system", "budget", "batch_deadline_s",
+                 "degraded_cycle_budget", "profile",
+                 "host_busy", "device_busy")
+
+    def __init__(self, system, budget: QueryBudget,
+                 batch_deadline_s: float | None,
+                 degraded_cycle_budget: int | None,
+                 profile: bool) -> None:
+        self.system = system
+        self.budget = budget
+        self.batch_deadline_s = batch_deadline_s
+        self.degraded_cycle_budget = degraded_cycle_budget
+        self.profile = profile
+        self.host_busy = 0.0
+        self.device_busy = 0.0
+
+    def serve(self, query: Query, tracer=None):
+        """Answer one query; returns ``(report, degraded)``.
+
+        Propagates :class:`~repro.errors.EngineFailure` — requeueing is
+        the dispatcher's job, not the engine's.
+        """
+        q_budget = self.budget
+        degraded = False
+        if (
+            self.batch_deadline_s is not None
+            and self.host_busy + self.device_busy >= self.batch_deadline_s
+        ):
+            degraded = True
+            q_budget = q_budget.tightened(
+                max_cycles=self.degraded_cycle_budget
+            )
+        report = self.system.execute(
+            query,
+            budget=None if q_budget.unlimited else q_budget,
+            tracer=tracer,
+            profile=self.profile,
+        )
+        self.host_busy += report.preprocess_seconds
+        self.device_busy += report.query_seconds
+        return report, degraded
+
+
+def observe_report(metrics: MetricsRegistry, report: SystemReport,
+                   engine_idx: int, degraded: bool = False) -> None:
+    """Fold one query's outcome into a metrics registry.
+
+    A module function (not a service method) because the process backend
+    runs it inside worker processes against worker-local registries that
+    are merged on the coordinator afterwards — both backends must observe
+    identically for the merged view to match the thread backend's.
+    """
+    metrics.observe("latency_seconds", report.total_seconds)
+    metrics.observe("preprocess_seconds", report.preprocess_seconds)
+    metrics.observe("query_seconds", report.query_seconds)
+    metrics.increment("queries")
+    metrics.increment("paths_found", report.num_paths)
+    metrics.increment(f"engine{engine_idx}_queries")
+    if report.device is None:
+        metrics.increment("empty_queries")
+    if report.truncated:
+        metrics.increment("truncated_queries")
+    if degraded:
+        metrics.increment("degraded_queries")
+        metrics.observe("degraded_latency_seconds", report.total_seconds)
+    if report.profile is not None:
+        observe_profile(metrics, report.profile)
+
+
+def observe_profile(metrics: MetricsRegistry, prof) -> None:
+    """Fold one kernel run's device profile into a registry."""
+    metrics.increment("profiled_queries")
+    metrics.increment("device_cycles", prof.total_cycles)
+    metrics.increment("device_expand_cycles", prof.expand_cycles)
+    metrics.increment("device_verify_cycles", prof.verify_cycles)
+    metrics.increment("device_stall_cycles", prof.stall_cycles)
+    for batch in prof.batches:
+        metrics.observe_hist("batch_cycles", batch.cycles,
+                             bounds=CYCLE_BUCKETS)
+        metrics.observe_hist("batch_entries", batch.entries,
+                             bounds=COUNT_BUCKETS)
+        metrics.observe_hist("verify_occupancy",
+                             batch.occupancy("verify"),
+                             bounds=FRACTION_BUCKETS)
+    metrics.observe_hist("buffer_peak_paths", prof.buffer_peak_paths,
+                         bounds=COUNT_BUCKETS)
+    metrics.observe_hist("dram_peak_paths", prof.dram_peak_paths,
+                         bounds=COUNT_BUCKETS)
+    for label, counters in prof.cache_counters.items():
+        metrics.increment(f"{label}_hits", counters["hits"])
+        metrics.increment(f"{label}_misses", counters["misses"])
+        metrics.observe_hist(
+            f"{label}_hit_rate", prof.cache_hit_rate(label),
+            bounds=FRACTION_BUCKETS,
+        )
+
+
+class _StealQueue:
+    """Shared work queue for the thread backend's work-stealing mode."""
+
+    __slots__ = ("_items", "_lock")
+
+    def __init__(self, indices) -> None:
+        self._items: deque[int] = deque(indices)
+        self._lock = threading.Lock()
+
+    def take(self) -> int | None:
+        with self._lock:
+            return self._items.popleft() if self._items else None
+
+    def put_back(self, idx: int) -> None:
+        """Return a query a failing engine could not finish."""
+        with self._lock:
+            self._items.appendleft(idx)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
 @dataclass
 class ServiceBatchReport:
     """Everything one batch produced: answers, timings, observability."""
@@ -133,6 +292,8 @@ class ServiceBatchReport:
     #: the seeded fault-injection plan the service ran under, as
     #: ``(engine index, fail_after)`` pairs (empty without injection).
     failure_plan: list[tuple[int, int]] = field(default_factory=list)
+    #: dispatch backend that served the batch (``thread`` or ``process``).
+    backend: str = "thread"
 
     @property
     def num_queries(self) -> int:
@@ -241,6 +402,28 @@ class ServiceBatchReport:
         """Per-query answer sets, in batch order (for equivalence checks)."""
         return [frozenset(r.paths) for r in self.reports]
 
+    def path_output_bytes(self) -> bytes:
+        """Canonical bytes of the batch's answers, for determinism checks.
+
+        Per-query dicts (endpoints, hop budget, truncation flag, *sorted*
+        paths) serialised as compact JSON with sorted keys — two runs that
+        answered every query identically produce byte-identical output no
+        matter which backend, scheduler or worker count served them.
+        """
+        payload = [
+            {
+                "source": r.query.source,
+                "target": r.query.target,
+                "max_hops": r.query.max_hops,
+                "truncated": r.truncated,
+                "paths": sorted(list(p) for p in r.paths),
+            }
+            for r in self.reports
+        ]
+        return json.dumps(
+            payload, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+
     def render(self) -> str:
         """Plain-text service report (tables live in the reporting layer)."""
         from repro.reporting.service import service_report_table
@@ -261,11 +444,20 @@ class BatchQueryService:
         Simulated engine instances (>= 1); each gets its own
         :class:`PathEnumerationSystem` and, per query, its own device.
     scheduler:
-        ``"round-robin"`` or ``"longest-first"`` (see
-        :mod:`repro.service.scheduler`).
+        ``"round-robin"``, ``"longest-first"`` or ``"work-stealing"``
+        (see :mod:`repro.service.scheduler`).
+    backend:
+        ``"thread"`` dispatches engines on a thread pool in this process;
+        ``"process"`` runs each engine in its own worker process via
+        :class:`repro.service.parallel.ProcessEnginePool` (real host-side
+        parallelism, identical answers).  The process pool is created
+        lazily on the first :meth:`run` and reused until :meth:`close`.
     use_threads:
-        Dispatch engines on a thread pool; ``False`` runs them in order
-        (identical results, useful when debugging).
+        Thread backend only: ``False`` serves the engines in order on the
+        calling thread (identical results, useful when debugging).
+    mp_context:
+        Process backend only: multiprocessing start method (``"fork"``,
+        ``"spawn"``, ...); ``None`` uses the platform default.
     inject_failures:
         Fault-injection hook: wrap N engines in :class:`FlakyEngine`.
         Their unfinished queries are requeued onto the surviving engines;
@@ -289,17 +481,24 @@ class BatchQueryService:
         scheduler: str = "round-robin",
         cost_model: CpuCostModel | None = None,
         cache: GraphArtifactCache | None = None,
+        backend: str = "thread",
         use_threads: bool = True,
+        mp_context: str | None = None,
         inject_failures: int = 0,
         failure_seed: int | None = None,
         **engine_kwargs,
     ) -> None:
         if num_engines < 1:
             raise ConfigError(f"need at least one engine, got {num_engines}")
-        if scheduler not in SCHEDULERS:
+        if scheduler not in SCHEDULER_NAMES:
             raise ConfigError(
                 f"unknown scheduler {scheduler!r}; "
-                f"expected one of {sorted(SCHEDULERS)}"
+                f"expected one of {sorted(SCHEDULER_NAMES)}"
+            )
+        if backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown backend {backend!r}; "
+                f"expected one of {sorted(BACKENDS)}"
             )
         if not 0 <= inject_failures <= num_engines:
             raise ConfigError(
@@ -309,10 +508,17 @@ class BatchQueryService:
         self.graph = graph
         self.variant = variant
         self.scheduler = scheduler
+        self.backend = backend
         self.use_threads = use_threads
+        self.mp_context = mp_context
+        self.engine_kwargs = dict(engine_kwargs)
         self.cost_model = cost_model or CpuCostModel()
         self.cache = cache or GraphArtifactCache()
         self.metrics = MetricsRegistry()
+        self._pool = None
+        #: cumulative cache stats of the worker-process caches (the
+        #: coordinator cache only sees warmup builds under ``process``).
+        self._worker_stats_total: Counter = Counter()
         self.systems = [
             PathEnumerationSystem.for_variant(
                 graph,
@@ -378,14 +584,11 @@ class BatchQueryService:
                 degraded_cycle_budget, tracer, profile, tr, bspan,
             )
 
-    def _run_traced(
-        self, queries, budget, deadline_ms, batch_deadline_ms,
-        degraded_cycle_budget, tracer, profile, tr, bspan,
-    ) -> ServiceBatchReport:
-        wall_start = time.perf_counter()
-        stats_before = self.cache.stats()
+    def _resolve_budget(
+        self, budget, deadline_ms, batch_deadline_ms, degraded_cycle_budget,
+    ) -> tuple[QueryBudget, float | None, int | None]:
+        """Fold the deadline knobs into concrete per-query budget terms."""
         frequency = self.systems[0].engine.device_config.frequency_hz
-
         effective = budget or QueryBudget()
         if deadline_ms is not None:
             if deadline_ms <= 0:
@@ -414,6 +617,18 @@ class BatchQueryService:
                 f"degraded_cycle_budget must be >= 1, "
                 f"got {degraded_cycle_budget}"
             )
+        return effective, batch_deadline_s, degraded_cycle_budget
+
+    def _run_traced(
+        self, queries, budget, deadline_ms, batch_deadline_ms,
+        degraded_cycle_budget, tracer, profile, tr, bspan,
+    ) -> ServiceBatchReport:
+        wall_start = time.perf_counter()
+        stats_before = self.cache.stats()
+        effective, batch_deadline_s, degraded_cycle_budget = (
+            self._resolve_budget(budget, deadline_ms, batch_deadline_ms,
+                                 degraded_cycle_budget)
+        )
 
         # One-time per-graph artifacts, charged to the batch, not query 1.
         warmup_ops = OpCounter()
@@ -422,48 +637,115 @@ class BatchQueryService:
             warmup_seconds = self.cost_model.seconds(warmup_ops)
             wspan.set_modelled(warmup_seconds)
 
+        if self.backend == "process":
+            outcome = self._dispatch_process(
+                queries, effective, batch_deadline_s,
+                degraded_cycle_budget, tracer, tr, profile,
+            )
+        elif self.scheduler == WORK_STEALING:
+            outcome = self._dispatch_thread_stealing(
+                queries, effective, batch_deadline_s,
+                degraded_cycle_budget, tracer, tr, profile,
+            )
+        else:
+            outcome = self._dispatch_thread_static(
+                queries, effective, batch_deadline_s,
+                degraded_cycle_budget, tracer, tr, profile,
+            )
+        reports, assignment, host_busy, device_busy, failed, worker_stats = (
+            outcome
+        )
+
+        done = [r for r in reports if r is not None]
+        if len(done) != len(queries):
+            raise ServiceError(
+                f"engine workers lost {len(queries) - len(done)} of "
+                f"{len(queries)} queries"
+            )
+
+        # Amortised DMA, as in PathEnumerationSystem.execute_batch.
+        total_words = sum(r.payload_words for r in done)
+        pcie = self.systems[0].engine.device_config.pcie
+        with tr.span("batch_dma", detach=True, track="pcie",
+                     words=total_words) as dspan:
+            batch_transfer = pcie.transfer_seconds(
+                total_words * WORD_BYTES
+            )
+            dspan.set_modelled(batch_transfer)
+
+        wall_seconds = time.perf_counter() - wall_start
+        cache_stats = dict(self.cache.stats())
+        for key in ("reverse_hits", "reverse_misses",
+                    "prebfs_hits", "prebfs_misses"):
+            delta = cache_stats[key] - stats_before[key]
+            if worker_stats is not None:
+                delta += worker_stats.get(key, 0)
+            self.metrics.increment(key, delta)
+        if worker_stats is not None:
+            # Fold the worker-process caches into the reported view; the
+            # coordinator cache itself only ever sees the warmup build.
+            self._worker_stats_total.update(worker_stats)
+            for key, value in self._worker_stats_total.items():
+                cache_stats[key] = cache_stats.get(key, 0) + value
+
+        report = ServiceBatchReport(
+            reports=done,
+            assignment=assignment,
+            scheduler=self.scheduler,
+            batch_transfer_seconds=batch_transfer,
+            warmup_ops=warmup_ops,
+            warmup_seconds=warmup_seconds,
+            engine_host_seconds=host_busy,
+            engine_device_seconds=device_busy,
+            wall_seconds=wall_seconds,
+            metrics=self.metrics,
+            cache_stats=cache_stats,
+            failed_engines=[
+                e for e in range(self.num_engines) if failed[e]
+            ],
+            failure_plan=list(self.failure_plan),
+            backend=self.backend,
+        )
+        bspan.set_modelled(report.makespan_seconds).set(
+            paths=report.total_paths,
+            truncated=report.truncated_queries,
+        )
+        return report
+
+    # -- thread backend, static schedulers ----------------------------
+    def _dispatch_thread_static(
+        self, queries, effective, batch_deadline_s, degraded_cycle_budget,
+        tracer, tr, profile,
+    ):
         assignment = SCHEDULERS[self.scheduler](
             queries, self.num_engines, graph=self.graph
         )
         reports: list[SystemReport | None] = [None] * len(queries)
-        host_busy = [0.0] * self.num_engines
-        device_busy = [0.0] * self.num_engines
         failed = [False] * self.num_engines
+        servers = [
+            EngineServer(system, effective, batch_deadline_s,
+                         degraded_cycle_budget, profile)
+            for system in self.systems
+        ]
 
         def serve_engine(engine_idx: int, indices: list[int]) -> list[int]:
             """Serve ``indices`` on one engine; return what it left behind."""
-            system = self.systems[engine_idx]
+            server = servers[engine_idx]
             # Every query span this worker opens lands on the engine's
             # own row of the trace timeline.
             with tr.track(f"engine{engine_idx}"):
                 for pos, query_idx in enumerate(indices):
-                    q_budget = effective
-                    degraded = False
-                    if (
-                        batch_deadline_s is not None
-                        and host_busy[engine_idx] + device_busy[engine_idx]
-                        >= batch_deadline_s
-                    ):
-                        degraded = True
-                        q_budget = q_budget.tightened(
-                            max_cycles=degraded_cycle_budget
-                        )
                     try:
-                        report = system.execute(
-                            queries[query_idx],
-                            budget=(None if q_budget.unlimited
-                                    else q_budget),
-                            tracer=tracer,
-                            profile=profile,
+                        report, degraded = server.serve(
+                            queries[query_idx], tracer
                         )
                     except EngineFailure:
                         failed[engine_idx] = True
                         self.metrics.increment("engine_failures")
                         return indices[pos:]
                     reports[query_idx] = report
-                    host_busy[engine_idx] += report.preprocess_seconds
-                    device_busy[engine_idx] += report.query_seconds
-                    self._observe(report, engine_idx, degraded=degraded)
+                    observe_report(self.metrics, report, engine_idx,
+                                   degraded=degraded)
             return []
 
         work = [list(part) for part in assignment]
@@ -500,99 +782,130 @@ class BatchQueryService:
             self.metrics.increment("requeued_queries", len(unserved))
             work = requeue(unserved, self.num_engines, survivors)
 
-        done = [r for r in reports if r is not None]
-        if len(done) != len(queries):
-            raise ServiceError(
-                f"engine workers lost {len(queries) - len(done)} of "
-                f"{len(queries)} queries"
+        host_busy = [s.host_busy for s in servers]
+        device_busy = [s.device_busy for s in servers]
+        return reports, assignment, host_busy, device_busy, failed, None
+
+    # -- thread backend, work stealing ---------------------------------
+    def _dispatch_thread_stealing(
+        self, queries, effective, batch_deadline_s, degraded_cycle_budget,
+        tracer, tr, profile,
+    ):
+        queue = _StealQueue(steal_order(queries, graph=self.graph))
+        assignment: Assignment = [[] for _ in range(self.num_engines)]
+        reports: list[SystemReport | None] = [None] * len(queries)
+        failed = [False] * self.num_engines
+        servers = [
+            EngineServer(system, effective, batch_deadline_s,
+                         degraded_cycle_budget, profile)
+            for system in self.systems
+        ]
+
+        def steal_worker(engine_idx: int) -> None:
+            server = servers[engine_idx]
+            with tr.track(f"engine{engine_idx}"):
+                while True:
+                    query_idx = queue.take()
+                    if query_idx is None:
+                        return
+                    try:
+                        report, degraded = server.serve(
+                            queries[query_idx], tracer
+                        )
+                    except EngineFailure:
+                        failed[engine_idx] = True
+                        self.metrics.increment("engine_failures")
+                        self.metrics.increment("requeued_queries")
+                        queue.put_back(query_idx)
+                        return
+                    reports[query_idx] = report
+                    assignment[engine_idx].append(query_idx)
+                    observe_report(self.metrics, report, engine_idx,
+                                   degraded=degraded)
+
+        while len(queue):
+            active = [
+                e for e in range(self.num_engines) if not failed[e]
+            ]
+            if not active:
+                raise ServiceError(
+                    f"all {self.num_engines} engine(s) failed with "
+                    f"{len(queue)} of {len(queries)} queries unanswered"
+                )
+            if self.use_threads and len(active) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=len(active),
+                    thread_name_prefix="pefp-engine",
+                ) as pool:
+                    for future in [
+                        pool.submit(steal_worker, e) for e in active
+                    ]:
+                        future.result()
+            else:
+                for e in active:
+                    steal_worker(e)
+
+        host_busy = [s.host_busy for s in servers]
+        device_busy = [s.device_busy for s in servers]
+        return reports, assignment, host_busy, device_busy, failed, None
+
+    # -- process backend -----------------------------------------------
+    def _dispatch_process(
+        self, queries, effective, batch_deadline_s, degraded_cycle_budget,
+        tracer, tr, profile,
+    ):
+        from repro.service.parallel import ProcessEnginePool
+
+        if self._pool is None:
+            self._pool = ProcessEnginePool(
+                graph=self.graph,
+                variant=self.variant,
+                num_engines=self.num_engines,
+                cost_model=self.cost_model,
+                engine_kwargs=self.engine_kwargs,
+                failure_plan=self.failure_plan,
+                mp_context=self.mp_context,
             )
-
-        # Amortised DMA, as in PathEnumerationSystem.execute_batch.
-        total_words = sum(r.payload_words for r in done)
-        pcie = self.systems[0].engine.device_config.pcie
-        with tr.span("batch_dma", detach=True, track="pcie",
-                     words=total_words) as dspan:
-            batch_transfer = pcie.transfer_seconds(
-                total_words * WORD_BYTES
-            )
-            dspan.set_modelled(batch_transfer)
-
-        wall_seconds = time.perf_counter() - wall_start
-        cache_stats = self.cache.stats()
-        for key in ("reverse_hits", "reverse_misses",
-                    "prebfs_hits", "prebfs_misses"):
-            self.metrics.increment(key,
-                                   cache_stats[key] - stats_before[key])
-
-        report = ServiceBatchReport(
-            reports=done,
-            assignment=assignment,
+        outcome = self._pool.run_batch(
+            queries,
             scheduler=self.scheduler,
-            batch_transfer_seconds=batch_transfer,
-            warmup_ops=warmup_ops,
-            warmup_seconds=warmup_seconds,
-            engine_host_seconds=host_busy,
-            engine_device_seconds=device_busy,
-            wall_seconds=wall_seconds,
-            metrics=self.metrics,
-            cache_stats=cache_stats,
-            failed_engines=[
-                e for e in range(self.num_engines) if failed[e]
-            ],
-            failure_plan=list(self.failure_plan),
+            graph=self.graph,
+            budget=effective,
+            batch_deadline_s=batch_deadline_s,
+            degraded_cycle_budget=degraded_cycle_budget,
+            profile=profile,
+            trace=bool(tr),
         )
-        bspan.set_modelled(report.makespan_seconds).set(
-            paths=report.total_paths,
-            truncated=report.truncated_queries,
-        )
-        return report
+        for registry in outcome.metric_registries:
+            self.metrics.merge(registry)
+        if outcome.engine_failures:
+            self.metrics.increment("engine_failures",
+                                   outcome.engine_failures)
+        if outcome.requeued:
+            self.metrics.increment("requeued_queries", outcome.requeued)
+        if outcome.trace_records:
+            tr.ingest(outcome.trace_records)
+        failed = [
+            e in outcome.failed_engines for e in range(self.num_engines)
+        ]
+        return (outcome.reports, outcome.assignment, outcome.host_busy,
+                outcome.device_busy, failed, outcome.worker_cache_stats)
 
     def _observe(
         self, report: SystemReport, engine_idx: int, degraded: bool = False
     ) -> None:
-        self.metrics.observe("latency_seconds", report.total_seconds)
-        self.metrics.observe("preprocess_seconds",
-                             report.preprocess_seconds)
-        self.metrics.observe("query_seconds", report.query_seconds)
-        self.metrics.increment("queries")
-        self.metrics.increment("paths_found", report.num_paths)
-        self.metrics.increment(f"engine{engine_idx}_queries")
-        if report.device is None:
-            self.metrics.increment("empty_queries")
-        if report.truncated:
-            self.metrics.increment("truncated_queries")
-        if degraded:
-            self.metrics.increment("degraded_queries")
-            self.metrics.observe("degraded_latency_seconds",
-                                 report.total_seconds)
-        if report.profile is not None:
-            self._observe_profile(report.profile)
+        observe_report(self.metrics, report, engine_idx, degraded=degraded)
 
-    def _observe_profile(self, prof) -> None:
-        """Fold one kernel run's device profile into the registry."""
-        self.metrics.increment("profiled_queries")
-        self.metrics.increment("device_cycles", prof.total_cycles)
-        self.metrics.increment("device_expand_cycles", prof.expand_cycles)
-        self.metrics.increment("device_verify_cycles", prof.verify_cycles)
-        self.metrics.increment("device_stall_cycles", prof.stall_cycles)
-        for batch in prof.batches:
-            self.metrics.observe_hist("batch_cycles", batch.cycles,
-                                      bounds=CYCLE_BUCKETS)
-            self.metrics.observe_hist("batch_entries", batch.entries,
-                                      bounds=COUNT_BUCKETS)
-            self.metrics.observe_hist("verify_occupancy",
-                                      batch.occupancy("verify"),
-                                      bounds=FRACTION_BUCKETS)
-        self.metrics.observe_hist("buffer_peak_paths",
-                                  prof.buffer_peak_paths,
-                                  bounds=COUNT_BUCKETS)
-        self.metrics.observe_hist("dram_peak_paths",
-                                  prof.dram_peak_paths,
-                                  bounds=COUNT_BUCKETS)
-        for label, counters in prof.cache_counters.items():
-            self.metrics.increment(f"{label}_hits", counters["hits"])
-            self.metrics.increment(f"{label}_misses", counters["misses"])
-            self.metrics.observe_hist(
-                f"{label}_hit_rate", prof.cache_hit_rate(label),
-                bounds=FRACTION_BUCKETS,
-            )
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Shut down the process worker pool, if one was started."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "BatchQueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -131,6 +131,21 @@ class GraphArtifactCache:
         """
         return self.reverse(graph, counter, tracer=tracer)
 
+    def adopt(self, graph: CSRGraph) -> None:
+        """Pin ``graph``'s already-built reverse CSR without a miss.
+
+        The process-parallel backend ships each worker a pickled graph
+        whose reverse CSR memo rides along (the coordinator warms it
+        first), so the worker-local cache should treat the artifact as
+        resident from the start: lookups hit, nothing is rebuilt, and no
+        spurious miss is counted.  A graph with no cached reverse yet is
+        left alone — the first lookup will build and charge it normally.
+        """
+        if not graph.has_cached_reverse:
+            return
+        with self._lock:
+            self._reverse.setdefault(id(graph), (graph, graph.reverse()))
+
     # -- Pre-BFS memo --------------------------------------------------
     def pre_bfs(self, graph: CSRGraph, query: Query,
                 counter: OpCounter | None = None,

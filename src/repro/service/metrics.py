@@ -213,6 +213,25 @@ class MetricsRegistry:
         self._capacity = max_samples_per_series
         self._rng = random.Random(seed)
 
+    # -- pickling (locks cannot cross process boundaries) --------------
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "series": self._series,
+                "histograms": self._histograms,
+                "capacity": self._capacity,
+                "rng": self._rng,
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self._lock = threading.Lock()
+        self._counters = Counter(state["counters"])
+        self._series = state["series"]
+        self._histograms = state["histograms"]
+        self._capacity = state["capacity"]
+        self._rng = state["rng"]
+
     # -- counters ------------------------------------------------------
     def increment(self, name: str, n: int = 1) -> None:
         """Add ``n`` to counter ``name`` (created at 0 on first use)."""
@@ -282,6 +301,62 @@ class MetricsRegistry:
         with self._lock:
             hist = self._histograms.get(name)
             return hist.snapshot() if hist else None
+
+    # -- cross-registry aggregation ------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's observations into this one.
+
+        The process-parallel serving backend gives each worker its own
+        registry (a lock cannot span processes) and merges them on the
+        coordinator: counters add, sample series combine their exact
+        aggregates (count/mean/min/max stay exact), and histograms add
+        bucket counts (their bounds must match, else
+        :class:`~repro.errors.ConfigError`).  Merged reservoirs are the
+        concatenation truncated to capacity — exact while the combined
+        series fits the reservoir, an approximation past it (the same
+        regime where a single registry is already sampling).
+        """
+        if other is self:
+            raise ConfigError("cannot merge a registry into itself")
+        with other._lock:
+            counters = dict(other._counters)
+            series = {
+                name: (s.count, s.total, s.minimum, s.maximum,
+                       list(s.reservoir))
+                for name, s in other._series.items()
+            }
+            histograms = {
+                name: (h.bounds, list(h.counts), h.count, h.total)
+                for name, h in other._histograms.items()
+            }
+        with self._lock:
+            for name, n in counters.items():
+                self._counters[name] += n
+            for name, (count, total, mn, mx, reservoir) in series.items():
+                mine = self._series.get(name)
+                if mine is None:
+                    mine = self._series[name] = _Series()
+                mine.count += count
+                mine.total += total
+                mine.minimum = min(mine.minimum, mn)
+                mine.maximum = max(mine.maximum, mx)
+                mine.reservoir = (
+                    mine.reservoir + reservoir
+                )[: self._capacity]
+            for name, (bounds, counts, count, total) in histograms.items():
+                mine_h = self._histograms.get(name)
+                if mine_h is None:
+                    mine_h = self._histograms[name] = _Histogram(bounds)
+                elif mine_h.bounds != bounds:
+                    raise ConfigError(
+                        f"cannot merge histogram {name!r}: bucket bounds "
+                        f"differ"
+                    )
+                mine_h.counts = [
+                    a + b for a, b in zip(mine_h.counts, counts)
+                ]
+                mine_h.count += count
+                mine_h.total += total
 
     # -- export --------------------------------------------------------
     def snapshot(self) -> dict[str, object]:

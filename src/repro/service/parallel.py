@@ -1,0 +1,543 @@
+"""Process-parallel serving backend: one engine per worker process.
+
+The thread backend in :mod:`repro.service.batch` is GIL-bound — its N
+engine workers overlap *modelled* device time but share one interpreter
+for the pure-Python host enumeration, so wall-clock throughput barely
+moves with N.  :class:`ProcessEnginePool` runs each engine in its own
+worker process instead:
+
+- **artifacts ship once** — the coordinator warms its
+  :class:`~repro.service.cache.GraphArtifactCache` first, so the pickled
+  :class:`~repro.graph.csr.CSRGraph` each worker receives carries the
+  reverse-CSR memo; the worker-local cache *adopts* it (no rebuild, no
+  spurious miss) and Pre-BFS memoisation then happens per worker;
+- **queries stream** — static schedulers ship each worker its task list
+  per round; ``work-stealing`` feeds one shared task queue that idle
+  workers pull from, closed by one sentinel per participant;
+- **everything marshals back** — answers (full
+  :class:`~repro.host.system.SystemReport` objects, device profiles
+  included) stream per query; per-round worker metrics registries, trace
+  span records, busy times and cache stats ride on a final ``round_done``
+  message and are merged on the coordinator.
+
+Fault tolerance mirrors the thread backend: a worker whose engine raises
+:class:`~repro.errors.EngineFailure` reports its unserved queries and is
+retired for the batch (the process stays up for the next batch — a
+:class:`~repro.service.batch.FlakyEngine` keeps its run count across
+batches, exactly like the thread backend's engines).  A worker *process*
+that dies outright is detected by liveness polling, permanently removed
+from the pool, and its unserved queries are requeued onto the survivors;
+with no survivors the batch raises
+:class:`~repro.errors.ServiceError`.
+
+Every per-query decision (budget tightening, batch-deadline degradation)
+runs through the same :class:`~repro.service.batch.EngineServer` the
+thread backend uses, which is why the differential test suite can demand
+identical answers, counts and modelled device cycles from both backends.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import traceback
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import EngineFailure, ServiceError
+from repro.service.cache import GraphArtifactCache
+from repro.service.metrics import MetricsRegistry
+from repro.service.scheduler import (
+    SCHEDULERS,
+    WORK_STEALING,
+    Assignment,
+    requeue,
+    steal_order,
+)
+
+#: seconds the coordinator blocks on the result queue before polling
+#: worker liveness; also the workers' task-queue poll while stealing.
+POLL_INTERVAL = 0.2
+
+#: cache-stat keys folded into the service metrics.
+_CACHE_KEYS = ("reverse_hits", "reverse_misses",
+               "prebfs_hits", "prebfs_misses", "prebfs_entries")
+
+
+@dataclass
+class BatchOutcome:
+    """Everything one batch produced, as seen by the coordinator."""
+
+    reports: list
+    assignment: Assignment
+    host_busy: list[float]
+    device_busy: list[float]
+    #: engines retired this batch (EngineFailure or process death).
+    failed_engines: list[int]
+    engine_failures: int
+    requeued: int
+    #: per-round worker registries, in deterministic (round, worker) order.
+    metric_registries: list[MetricsRegistry]
+    trace_records: list
+    #: summed per-run cache-stat deltas of every worker-local cache.
+    worker_cache_stats: dict[str, int] = field(default_factory=dict)
+
+
+def _worker_main(worker_idx, spec, fail_after, cmd_queue, result_queue,
+                 task_queue):
+    """Engine worker loop: build once, then serve rounds until shutdown."""
+    # Imported here (not at module top) only for clarity of what the
+    # worker side actually needs; repro.service.batch imports this module
+    # lazily, so there is no cycle either way.
+    from repro.host.system import PathEnumerationSystem
+    from repro.observability.tracer import NULL_TRACER, Tracer
+    from repro.service.batch import EngineServer, FlakyEngine, observe_report
+
+    try:
+        graph = spec["graph"]
+        cache = GraphArtifactCache()
+        # The coordinator warmed the graph before pickling it, so its
+        # reverse-CSR memo rode along: pin it instead of rebuilding.
+        cache.adopt(graph)
+        system = PathEnumerationSystem.for_variant(
+            graph,
+            spec["variant"],
+            cost_model=spec["cost_model"],
+            artifact_cache=cache,
+            **spec["engine_kwargs"],
+        )
+        if fail_after is not None:
+            system.engine = FlakyEngine(system.engine, fail_after=fail_after)
+
+        server = None
+        trace = False
+        while True:
+            cmd = cmd_queue.get()
+            kind = cmd[0]
+            if kind == "shutdown":
+                return
+            if kind == "abort":
+                # A stale round abort (the round already ended normally
+                # before the worker saw it): nothing to do.
+                continue
+            if kind == "batch":
+                opts = cmd[1]
+                server = EngineServer(
+                    system, opts["budget"], opts["batch_deadline_s"],
+                    opts["degraded_cycle_budget"], opts["profile"],
+                )
+                trace = opts["trace"]
+                continue
+
+            # kind is "serve" (a task list) or "steal" (pull from the
+            # shared queue until a sentinel or an abort).
+            metrics = MetricsRegistry()
+            tracer = Tracer() if trace else None
+            tr = tracer or NULL_TRACER
+            stats_before = cache.stats()
+            unserved: list[int] = []
+            failed_now = False
+            with tr.track(f"engine{worker_idx}"):
+                if kind == "serve":
+                    tasks = cmd[1]
+                    for pos, (idx, query) in enumerate(tasks):
+                        try:
+                            report, degraded = server.serve(query, tracer)
+                        except EngineFailure:
+                            failed_now = True
+                            unserved = [i for i, _ in tasks[pos:]]
+                            break
+                        result_queue.put(
+                            ("result", worker_idx, idx, report, degraded)
+                        )
+                        observe_report(metrics, report, worker_idx,
+                                       degraded=degraded)
+                else:
+                    while True:
+                        try:
+                            task = task_queue.get(timeout=POLL_INTERVAL)
+                        except queue_mod.Empty:
+                            if _pending_abort(cmd_queue):
+                                break
+                            continue
+                        if task is None:  # sentinel: round over
+                            break
+                        idx, query = task
+                        try:
+                            report, degraded = server.serve(query, tracer)
+                        except EngineFailure:
+                            failed_now = True
+                            unserved = [idx]
+                            break
+                        result_queue.put(
+                            ("result", worker_idx, idx, report, degraded)
+                        )
+                        observe_report(metrics, report, worker_idx,
+                                       degraded=degraded)
+            stats_after = cache.stats()
+            result_queue.put(("round_done", worker_idx, {
+                "failed": failed_now,
+                "unserved": unserved,
+                "host_busy": server.host_busy,
+                "device_busy": server.device_busy,
+                "metrics": metrics,
+                "trace": tracer.records() if tracer else [],
+                "cache_delta": {
+                    key: stats_after.get(key, 0) - stats_before.get(key, 0)
+                    for key in _CACHE_KEYS
+                },
+            }))
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException:
+        # Anything unexpected kills the worker; tell the coordinator why
+        # before exiting so the failure is diagnosable, not just a dead
+        # process.
+        try:
+            result_queue.put(
+                ("fatal", worker_idx, traceback.format_exc())
+            )
+        except Exception:
+            pass
+        raise
+
+
+def _pending_abort(cmd_queue) -> bool:
+    """Non-blocking check for a round abort while stealing.
+
+    During a steal round the coordinator sends a worker nothing except
+    (possibly) an abort, so consuming here cannot eat a future command.
+    """
+    try:
+        cmd = cmd_queue.get_nowait()
+    except queue_mod.Empty:
+        return False
+    return cmd[0] == "abort"
+
+
+class ProcessEnginePool:
+    """Persistent pool of engine worker processes serving query batches.
+
+    Workers start lazily on the first :meth:`run_batch` and persist
+    across batches (so fault-injection state and worker caches carry
+    over, matching the thread backend's persistent engines).  Call
+    :meth:`close` (or use the owning service as a context manager) to
+    shut the processes down.
+    """
+
+    def __init__(self, graph, variant, num_engines, cost_model,
+                 engine_kwargs, failure_plan, mp_context=None,
+                 poll_interval: float = POLL_INTERVAL) -> None:
+        self.graph = graph
+        self.variant = variant
+        self.num_engines = num_engines
+        self.cost_model = cost_model
+        self.engine_kwargs = dict(engine_kwargs or {})
+        self.failure_plan = list(failure_plan or [])
+        self.mp_context = mp_context
+        self.poll_interval = poll_interval
+        self._procs = None
+        self._cmd = None
+        self._results = None
+        self._tasks = None
+        #: workers whose *process* died; never used again.
+        self._crashed: set[int] = set()
+        #: crashes noticed during the round in flight.
+        self._round_crashes: set[int] = set()
+        self._fatal_tracebacks: dict[int, str] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._procs is not None:
+            return
+        ctx = multiprocessing.get_context(self.mp_context)
+        self._results = ctx.Queue()
+        self._tasks = ctx.Queue()
+        self._cmd = [ctx.Queue() for _ in range(self.num_engines)]
+        fail_after = dict(self.failure_plan)
+        spec = {
+            "graph": self.graph,
+            "variant": self.variant,
+            "cost_model": self.cost_model,
+            "engine_kwargs": self.engine_kwargs,
+        }
+        self._procs = []
+        for w in range(self.num_engines):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(w, spec, fail_after.get(w), self._cmd[w],
+                      self._results, self._tasks),
+                name=f"pefp-engine-{w}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def close(self) -> None:
+        """Shut every worker down and reap the processes."""
+        if self._procs is None:
+            return
+        for w, proc in enumerate(self._procs):
+            if proc.is_alive():
+                try:
+                    self._cmd[w].put(("shutdown",))
+                except Exception:
+                    pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in (self._results, self._tasks, *self._cmd):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+        self._procs = None
+        self._cmd = None
+        self._results = None
+        self._tasks = None
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- batch serving -------------------------------------------------
+    def run_batch(self, queries, scheduler, graph, budget,
+                  batch_deadline_s, degraded_cycle_budget, profile,
+                  trace) -> BatchOutcome:
+        """Serve one batch over the worker pool; see the module docstring."""
+        self._ensure_started()
+        live = [w for w in range(self.num_engines)
+                if w not in self._crashed]
+        if not live:
+            raise ServiceError(
+                f"all {self.num_engines} engine worker process(es) have "
+                f"died; cannot serve the batch"
+            )
+        for w in live:
+            self._cmd[w].put(("batch", {
+                "budget": budget,
+                "batch_deadline_s": batch_deadline_s,
+                "degraded_cycle_budget": degraded_cycle_budget,
+                "profile": profile,
+                "trace": trace,
+            }))
+
+        state = _BatchState(len(queries), self.num_engines)
+        if scheduler == WORK_STEALING:
+            assignment = self._run_stealing(queries, graph, live, state)
+        else:
+            assignment = self._run_static(queries, scheduler, graph, live,
+                                          state)
+
+        missing = [i for i, r in enumerate(state.reports) if r is None]
+        if missing:
+            raise ServiceError(
+                f"engine worker processes lost {len(missing)} of "
+                f"{len(queries)} queries"
+            )
+        return BatchOutcome(
+            reports=state.reports,
+            assignment=assignment,
+            host_busy=state.host_busy,
+            device_busy=state.device_busy,
+            failed_engines=sorted(state.failed | self._crashed),
+            engine_failures=state.engine_failures,
+            requeued=state.requeued,
+            metric_registries=state.metric_registries,
+            trace_records=state.trace_records,
+            worker_cache_stats=dict(state.cache_totals),
+        )
+
+    def _run_static(self, queries, scheduler, graph, live, state):
+        assignment = SCHEDULERS[scheduler](
+            queries, self.num_engines, graph=graph
+        )
+        work = [list(part) for part in assignment]
+        while True:
+            participants = [
+                w for w in live
+                if w not in state.failed and w not in self._crashed
+                and work[w]
+            ]
+            unserved = self._round(
+                "serve", participants, state,
+                tasks_of=lambda w: [(i, queries[i]) for i in work[w]],
+                round_indices={w: list(work[w]) for w in participants},
+            )
+            if not unserved:
+                return assignment
+            survivors = [
+                w for w in range(self.num_engines)
+                if w not in state.failed and w not in self._crashed
+            ]
+            if not survivors:
+                raise self._no_survivors(len(unserved), len(queries))
+            unserved = sorted(set(unserved))
+            state.requeued += len(unserved)
+            work = requeue(unserved, self.num_engines, survivors)
+
+    def _run_stealing(self, queries, graph, live, state):
+        pending = steal_order(queries, graph=graph)
+        first = True
+        while pending:
+            participants = [
+                w for w in live
+                if w not in state.failed and w not in self._crashed
+            ]
+            if not participants:
+                raise self._no_survivors(len(pending), len(queries))
+            if not first:
+                state.requeued += len(pending)
+            tasks = [(i, queries[i]) for i in pending]
+            for task in tasks:
+                self._tasks.put(task)
+            for _ in participants:
+                self._tasks.put(None)
+            unserved = self._round(
+                "steal", participants, state,
+                round_indices={None: list(pending)},
+            )
+            first = False
+            pending = sorted(set(unserved))
+        return state.as_served_assignment()
+
+    def _round(self, kind, participants, state, tasks_of=None,
+               round_indices=None):
+        """Run one serving round and return the batch indices left unserved.
+
+        ``round_indices`` maps a worker to the indices it was told to
+        serve (static rounds) or ``None`` to the whole round's indices
+        (stealing rounds, where any live worker may serve any index).
+        """
+        for w in participants:
+            if kind == "serve":
+                self._cmd[w].put(("serve", tasks_of(w)))
+            else:
+                self._cmd[w].put(("steal",))
+        pending = set(participants)
+        streamed: dict[int, set[int]] = {w: set() for w in participants}
+        round_served: set[int] = set()
+        unserved: list[int] = []
+        done_payloads: list[tuple[int, dict]] = []
+        aborted = False
+        while pending:
+            try:
+                msg = self._results.get(timeout=self.poll_interval)
+            except queue_mod.Empty:
+                dead = [w for w in pending
+                        if not self._procs[w].is_alive()]
+                for w in dead:
+                    pending.discard(w)
+                    self._mark_crashed(w, state)
+                if dead and kind == "steal" and not aborted:
+                    aborted = True
+                    for w in pending:
+                        self._cmd[w].put(("abort",))
+                continue
+            tag = msg[0]
+            if tag == "result":
+                _, w, idx, report, _degraded = msg
+                state.reports[idx] = report
+                state.served_by[w].append(idx)
+                if w in streamed:
+                    streamed[w].add(idx)
+                round_served.add(idx)
+            elif tag == "round_done":
+                _, w, payload = msg
+                pending.discard(w)
+                done_payloads.append((w, payload))
+            elif tag == "fatal":
+                _, w, tb = msg
+                self._fatal_tracebacks[w] = tb
+                pending.discard(w)
+                self._mark_crashed(w, state)
+                if kind == "steal" and not aborted:
+                    aborted = True
+                    for v in pending:
+                        self._cmd[v].put(("abort",))
+
+        # Fold worker payloads in worker order, so metric-merge and trace
+        # order are deterministic regardless of message interleaving.
+        for w, payload in sorted(done_payloads, key=lambda t: t[0]):
+            state.host_busy[w] = payload["host_busy"]
+            state.device_busy[w] = payload["device_busy"]
+            state.metric_registries.append(payload["metrics"])
+            state.trace_records.extend(payload["trace"])
+            state.cache_totals.update(payload["cache_delta"])
+            if payload["failed"]:
+                state.failed.add(w)
+                state.engine_failures += 1
+                unserved.extend(payload["unserved"])
+
+        if kind == "serve":
+            # A crashed worker streamed some answers before dying; what
+            # it was assigned but never streamed must be requeued.
+            for w, indices in round_indices.items():
+                if w in self._round_crashes:
+                    unserved.extend(
+                        i for i in indices if i not in streamed.get(w, ())
+                    )
+        else:
+            if aborted or unserved or self._round_crashes:
+                self._drain_tasks()
+                unserved = [
+                    i for i in round_indices[None] if i not in round_served
+                ]
+        self._round_crashes.clear()
+        return unserved
+
+    def _mark_crashed(self, w: int, state) -> None:
+        if w in self._crashed:
+            return
+        self._crashed.add(w)
+        state.failed.add(w)
+        state.engine_failures += 1
+        self._round_crashes.add(w)
+
+    def _drain_tasks(self) -> None:
+        """Empty the shared task queue (leftover tasks and sentinels)."""
+        while True:
+            try:
+                self._tasks.get(timeout=0.05)
+            except queue_mod.Empty:
+                return
+
+    def _no_survivors(self, unanswered: int, total: int) -> ServiceError:
+        detail = ""
+        if self._fatal_tracebacks:
+            first = next(iter(self._fatal_tracebacks.values()))
+            detail = f"; first worker traceback:\n{first}"
+        return ServiceError(
+            f"all {self.num_engines} engine(s) failed with "
+            f"{unanswered} of {total} queries unanswered{detail}"
+        )
+
+
+class _BatchState:
+    """Mutable per-batch bookkeeping shared across rounds."""
+
+    __slots__ = ("reports", "host_busy", "device_busy", "failed",
+                 "engine_failures", "requeued", "metric_registries",
+                 "trace_records", "cache_totals", "served_by")
+
+    def __init__(self, num_queries: int, num_engines: int) -> None:
+        self.reports = [None] * num_queries
+        self.host_busy = [0.0] * num_engines
+        self.device_busy = [0.0] * num_engines
+        self.failed: set[int] = set()
+        self.engine_failures = 0
+        self.requeued = 0
+        self.metric_registries: list[MetricsRegistry] = []
+        self.trace_records: list = []
+        self.cache_totals: Counter = Counter()
+        self.served_by: list[list[int]] = [[] for _ in range(num_engines)]
+
+    def as_served_assignment(self) -> Assignment:
+        """Post-hoc assignment for work stealing: who served what."""
+        return [list(indices) for indices in self.served_by]

@@ -1,6 +1,7 @@
 """Batch schedulers: assign queries of one batch to N engine instances.
 
-Two policies, both deterministic:
+Two static policies plus one dynamic mode, all deterministic in what
+each query is allowed to answer:
 
 - ``round-robin`` deals queries to engines in arrival order — the
   baseline policy, oblivious to per-query cost.
@@ -9,6 +10,13 @@ Two policies, both deterministic:
   least-loaded engine.  LPT's makespan is within 4/3 of optimal, and the
   heaviest queries (largest k, densest neighbourhoods) stop serialising
   behind each other on one engine.
+- ``work-stealing`` has no static assignment at all: the batch becomes
+  one shared queue, seeded heaviest-first (see :func:`steal_order`), and
+  idle engines pull the next query the moment they finish — the greedy
+  list-scheduling policy.  Which engine serves which query then depends
+  on actual (wall) completion order, so the *assignment* is only known
+  after the batch; the *answers* stay interleaving-independent because
+  every query's execution is deterministic in isolation.
 
 The work estimate never runs the query: it uses the hop budget and the
 out-degrees of the endpoints, the same signals Pre-BFS cost tracks.
@@ -110,6 +118,28 @@ def requeue(pending: Sequence[int], num_engines: int,
     return assignment
 
 
+def steal_order(queries: Sequence[Query],
+                graph: CSRGraph | None = None,
+                weights: Sequence[float] | None = None) -> list[int]:
+    """Seed order of the shared work-stealing queue: heaviest first.
+
+    Greedy list scheduling approximates LPT when the expensive queries
+    enter the queue first; ties break on batch index so the order is
+    deterministic.  ``weights`` overrides the built-in estimate exactly
+    as in :func:`longest_first`; with neither ``graph`` nor ``weights``
+    the queue falls back to arrival order.
+    """
+    if weights is None:
+        if graph is None:
+            return list(range(len(queries)))
+        weights = [estimate_query_work(graph, q) for q in queries]
+    elif len(weights) != len(queries):
+        raise ConfigError(
+            f"got {len(weights)} weights for {len(queries)} queries"
+        )
+    return sorted(range(len(queries)), key=lambda i: (-weights[i], i))
+
+
 def _check(num_engines: int) -> None:
     if num_engines < 1:
         raise ConfigError(f"need at least one engine, got {num_engines}")
@@ -120,3 +150,10 @@ SCHEDULERS: dict[str, Callable[..., Assignment]] = {
     "round-robin": round_robin,
     "longest-first": longest_first,
 }
+
+#: the dynamic mode: no up-front assignment, engines pull from a shared
+#: queue (see :func:`steal_order` and the service backends).
+WORK_STEALING = "work-stealing"
+
+#: every scheduler name the service and CLI accept.
+SCHEDULER_NAMES: tuple[str, ...] = (*SCHEDULERS, WORK_STEALING)

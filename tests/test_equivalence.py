@@ -7,6 +7,8 @@ verification never prunes a valid path and never emits an invalid one,
 i.e. it agrees with the DFS-based state of the art.
 """
 
+import random
+
 import pytest
 
 from conftest import brute_force_paths, random_query
@@ -103,3 +105,55 @@ class TestPairwiseOnManySeeds:
         assert (
             PEFPEnumerator().enumerate_paths(g, query).path_set() == reference
         )
+
+
+class TestRandomizedFuzz:
+    """Property-based sweep: random graph shapes x random (s, t, k).
+
+    Each round draws a graph family, a size and a handful of random
+    queries from one seeded RNG, then demands that PEFP, BC-DFS and the
+    naive DFS oracle return the same path set — and that every returned
+    path passes the structural validator (anchored at s and t, simple,
+    within k hops, every step a real edge, no duplicates).  Rounds are
+    deterministic in their seed, so a failure reproduces from the test id.
+    """
+
+    FAMILIES = (
+        ("gnm", lambda rng, n: G.gnm_random(
+            n, rng.randint(2 * n, 4 * n), seed=rng.randrange(10_000))),
+        ("chung_lu", lambda rng, n: G.chung_lu(
+            n, rng.randint(2 * n, 4 * n), seed=rng.randrange(10_000))),
+        ("community", lambda rng, n: G.community_graph(
+            3, max(4, n // 3), p_in=0.3, inter_edges=n // 4,
+            seed=rng.randrange(10_000))),
+        ("hub_spoke", lambda rng, n: G.hub_spoke(
+            3, max(3, n // 6), hub_clique_p=0.8,
+            seed=rng.randrange(10_000))),
+    )
+
+    @pytest.mark.parametrize("round_idx", range(8))
+    def test_fuzz_round(self, round_idx):
+        from repro.core.validation import validate_paths
+
+        rng = random.Random(7000 + round_idx)
+        name, build = self.FAMILIES[round_idx % len(self.FAMILIES)]
+        graph = build(rng, rng.randint(24, 48))
+        n = graph.num_vertices
+        oracle, bcdfs, pefp = NaiveDFS(), BCDFS(), PEFPEnumerator()
+        checked = 0
+        while checked < 3:
+            s, t = rng.randrange(n), rng.randrange(n)
+            if s == t:
+                continue
+            query = Query(s, t, rng.randint(1, 5))
+            checked += 1
+            expected = oracle.enumerate_paths(graph, query).path_set()
+            for enumerator in (bcdfs, pefp):
+                got = enumerator.enumerate_paths(graph, query)
+                assert got.path_set() == expected, (
+                    f"{enumerator.name} diverged on {name} round "
+                    f"{round_idx}, query {query}"
+                )
+                report = validate_paths(graph, query, got.path_set())
+                report.raise_if_invalid()
+                assert report.checked == len(expected)
