@@ -8,6 +8,11 @@ fewer intermediate paths and the buffer overflows to DRAM less often).
 Each path record carries ``next_ptr``/``last_ptr`` into the CSR edge array;
 a super-node whose degree exceeds the remaining processing capacity is
 scheduled partially and resumes in a later batch.
+
+Both schedulers operate directly on the buffer area's parallel lists
+(structure of arrays) — no per-record objects are created while walking
+the stack; only the scheduled slices materialise as
+:class:`~repro.core.paths.ProcessingEntry` tuples.
 """
 
 from __future__ import annotations
@@ -26,25 +31,26 @@ def batch_dfs(buffer: BufferArea, theta: int) -> list[ProcessingEntry]:
     """
     if theta < 1:
         raise ConfigError(f"batch size threshold must be >= 1, got {theta}")
+    verts = buffer._verts
+    nexts = buffer._next
+    lasts = buffer._last
+    head = buffer._head
     entries: list[ProcessingEntry] = []
     cnt = 0
-    i = buffer.top_index()
-    while i >= 0:
-        record = buffer.record_at(i)
-        ptr1 = record.next_ptr
-        ptr_last = record.last_ptr
-        if ptr1 + (theta - cnt) < ptr_last:
-            ptr2 = ptr1 + (theta - cnt)
-        else:
+    i = len(verts) - 1
+    while i >= head:
+        ptr1 = nexts[i]
+        ptr2 = ptr1 + (theta - cnt)
+        ptr_last = lasts[i]
+        if ptr2 > ptr_last:
             ptr2 = ptr_last
         if ptr2 > ptr1:
-            entries.append(ProcessingEntry(record.vertices, ptr1, ptr2))
-        record.next_ptr = ptr2
-        cnt += ptr2 - ptr1
-        if cnt < theta:
-            i -= 1
-        else:
-            break
+            entries.append(ProcessingEntry(verts[i], ptr1, ptr2))
+            nexts[i] = ptr2
+            cnt += ptr2 - ptr1
+            if cnt >= theta:
+                break
+        i -= 1
     _pop_exhausted_top(buffer)
     return entries
 
@@ -61,18 +67,19 @@ def fifo_batch(buffer: BufferArea, theta: int) -> list[ProcessingEntry]:
     entries: list[ProcessingEntry] = []
     cnt = 0
     while cnt < theta and not buffer.is_empty:
-        record = buffer.record_at(0)
-        ptr1 = record.next_ptr
-        ptr_last = record.last_ptr
-        if ptr1 + (theta - cnt) < ptr_last:
-            ptr2 = ptr1 + (theta - cnt)
-        else:
+        head = buffer._head
+        ptr1 = buffer._next[head]
+        ptr2 = ptr1 + (theta - cnt)
+        ptr_last = buffer._last[head]
+        if ptr2 > ptr_last:
             ptr2 = ptr_last
         if ptr2 > ptr1:
-            entries.append(ProcessingEntry(record.vertices, ptr1, ptr2))
-        record.next_ptr = ptr2
+            entries.append(
+                ProcessingEntry(buffer._verts[head], ptr1, ptr2)
+            )
+        buffer._next[head] = ptr2
         cnt += ptr2 - ptr1
-        if record.exhausted:
+        if ptr2 >= ptr_last:
             buffer.pop_front()
         else:
             break  # capacity exhausted mid-record
@@ -81,10 +88,13 @@ def fifo_batch(buffer: BufferArea, theta: int) -> list[ProcessingEntry]:
 
 def _pop_exhausted_top(buffer: BufferArea) -> None:
     """Remove the contiguous run of fully-scheduled records at the top."""
-    j = buffer.top_index()
-    while j >= 0 and buffer.record_at(j).exhausted:
+    nexts = buffer._next
+    lasts = buffer._last
+    head = buffer._head
+    j = len(nexts) - 1
+    while j >= head and nexts[j] >= lasts[j]:
         j -= 1
-    buffer.pop_suffix(j + 1)
+    buffer.pop_suffix(j + 1 - head)
 
 
 def touched_records(entries: list[ProcessingEntry]) -> int:

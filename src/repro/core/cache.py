@@ -64,7 +64,16 @@ class CachedArray:
         }
 
     def read(self, index: int) -> int:
-        """Random single-element read; 1 cycle on hit, DRAM latency on miss."""
+        """Random single-element read; 1 cycle on hit, DRAM latency on miss.
+
+        Indices must be non-negative: a negative index would wrap around
+        in numpy *and* satisfy ``index < cached_len``, silently reading
+        the wrong element at BRAM-hit cost.
+        """
+        if index < 0:
+            raise IndexError(
+                f"negative index {index} on cached array {self.label!r}"
+            )
         if index < self.cached_len:
             self.hits += 1
             self._bram.read(1)
@@ -80,6 +89,10 @@ class CachedArray:
         indices = np.asarray(indices)
         if indices.size == 0:
             return self._data[indices]
+        if int(indices.min()) < 0:
+            raise IndexError(
+                f"negative index in gather on cached array {self.label!r}"
+            )
         n_hit = int(np.count_nonzero(indices < self.cached_len))
         n_miss = indices.size - n_hit
         if n_hit:

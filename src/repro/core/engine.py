@@ -28,16 +28,35 @@ With ``use_cache=False`` (the Fig. 14 ablation) the buffer area lives in
 DRAM — every intermediate path is written to and fetched from off-chip
 memory — and the CSR/barrier caches are disabled, so the fetch stages pay
 full DRAM latency per access.
+
+Vectorised hot path
+-------------------
+The per-batch work is computed from precomputed array tables rather than
+per-expansion Python loops, without changing a single charged cycle:
+
+- one numpy gather per run builds ``edge_bar`` (the barrier value of every
+  CSR edge endpoint), and per ``(vertex, parent-hops)`` the surviving
+  successor positions/ids are built array-at-once and memoised — the
+  barrier and target checks of Algorithm 2 become table lookups;
+- every memory-model charge of the straight-line loop
+  (:mod:`repro.core.engine_reference`) has a closed form in the slice
+  bounds and cache residency constants, so stage costs and port traffic
+  are computed arithmetically and folded into the device models in bulk.
+
+``docs/TIMING_MODEL.md`` derives why the charges are unchanged; the
+differential suite asserts byte-identical results, stats, cycles, traffic
+and profiles against the reference loop.
 """
 
 from __future__ import annotations
 
 import time
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.batching import batch_dfs, fifo_batch
+from repro.core.batching import fifo_batch
 from repro.core.cache import CachedArray
 from repro.core.config import PEFPConfig, QueryBudget
 from repro.core.paths import BufferArea, DramArea, PathRecord, record_words
@@ -48,6 +67,10 @@ from repro.fpga.device import Device, DeviceConfig
 from repro.fpga.pipeline import PipelineModel
 from repro.fpga.profile import DeviceProfile, DeviceProfiler
 from repro.graph.csr import CSRGraph
+
+#: the five overlapped dataflow stages, in pipeline order.
+_STAGE_NAMES = ("load", "edge_fetch", "barrier_fetch", "verify",
+                "writeback", "overhead")
 
 
 @dataclass
@@ -70,6 +93,11 @@ class EngineStats:
     refilled_paths: int = 0
     peak_buffer_paths: int = 0
     peak_dram_paths: int = 0
+    #: which memory held the buffer area: ``"bram"`` normally, ``"dram"``
+    #: under the ``use_cache=False`` ablation.  The DRAM-resident buffer
+    #: is unbounded, so ``peak_buffer_paths`` is a DRAM high-water mark
+    #: there and must not be compared against BRAM-mode runs (Fig. 14).
+    buffer_domain: str = "bram"
     #: valid new intermediate paths keyed by the *parent* path length
     #: (Table III counts newly generated paths per expanded length l).
     new_paths_by_parent_length: dict[int, int] = field(default_factory=dict)
@@ -216,6 +244,7 @@ class PEFPEngine:
         else:
             # Buffer stack lives in DRAM: unbounded, every touch off-chip.
             buffer = BufferArea(2**62)
+            stats.buffer_domain = "dram"
 
         vertex_budget = min(len(graph.indptr), cfg.graph_cache_words)
         edge_budget = max(0, cfg.graph_cache_words - vertex_budget)
@@ -227,7 +256,7 @@ class PEFPEngine:
                               "bar_arr", enabled=cfg.use_cache)
 
         verifier = VerificationModule(self.pipeline, cfg.use_data_separation)
-        batch_fn = batch_dfs if cfg.use_batch_dfs else fifo_batch
+        use_dfs = cfg.use_batch_dfs
         dram_area = DramArea()
         profiler = DeviceProfiler() if profile else None
         observing = profiler is not None or bool(tracer)
@@ -250,6 +279,73 @@ class PEFPEngine:
             tracer.complete("kernel_setup", setup_wall,
                             modelled_seconds=clock.cycles / frequency)
 
+        # --- hot-path tables and constants ------------------------------
+        # Every charged cycle below is the closed form of the memory-model
+        # call the reference loop makes at the same point; the residency
+        # constants (cached prefix lengths) make hit/miss splits pure
+        # arithmetic.  See docs/TIMING_MODEL.md ("Vectorised engine").
+        theta2 = cfg.theta2
+        theta1 = cfg.theta1
+        overhead = cfg.batch_overhead_cycles
+        channels = self.device_config.dram_channels
+        pw = bram.port_words
+        rl = dram.read_latency
+        wl = dram.write_latency
+        rl1 = rl - 1
+        wl1 = wl - 1
+        ceil_rec = -(-rec_w // pw)
+        #: BRAM wide-access cycles per word count (indices 0..Θ2).
+        ceil_tab = [-(-n // pw) for n in range(theta2 + 1)]
+        ceil_tab[0] = 0
+        #: verification-pipeline latency per batch size (indices 0..Θ2).
+        verify_tab = [verifier.batch_cycles(n) for n in range(theta2 + 1)]
+        num_vertices = graph.num_vertices
+        indices_np = graph.indices
+        iptr_l = graph.indptr.tolist()
+        bar_np = np.asarray(barrier)
+        edge_bar = (bar_np[indices_np] if indices_np.size
+                    else bar_np[:0])
+        c_v = vertex_arr.cached_len
+        c_e = edge_arr.cached_len
+        c_b = bar_arr.cached_len
+        v_all_hit = c_v >= num_vertices + 1
+        e_all_hit = c_e >= indices_np.size
+        b_all_hit = c_b >= num_vertices
+        key_span = max_hops + 1
+        #: per (vertex, parent-hops): (slice bounds, full-slice target and
+        #: survivor counts, target positions, surviving candidate
+        #: positions, surviving candidate ids) over the full successor
+        #: slice — the array-at-once form of Algorithm 2's target and
+        #: barrier checks, built lazily per run.
+        prune_tab: dict[int, tuple] = {}
+        #: per vertex: prefix counts of barrier-cache hits (only needed
+        #: when the barrier cache holds a proper prefix of the vertices).
+        bhit_tab: dict[int, list[int]] = {}
+        b_partial = 0 < c_b < num_vertices
+
+        # Local accumulators, folded into the device/stats objects once at
+        # the end of the run (all folded quantities are plain sums, so
+        # deferring them is exact; the cold paths — seed, refill, flush —
+        # keep charging the real models directly).
+        br_ops = br_words = bw_ops = bw_words = 0          # BRAM port
+        dr_ops = dr_words = dw_ops = dw_words = d_stall = 0  # DRAM port
+        v_hits = v_miss = e_hits = e_miss = b_hits = b_miss = 0
+        n_batches = n_expansions = n_results = n_intermediate = 0
+        rej_t = rej_b = rej_v = 0
+        # Per-parent-length tallies as lists (h <= max_hops always): keys
+        # are first touched in ascending h order under both schedulers —
+        # a length-(h+1) parent only exists after an expansion at length h
+        # — so rebuilding the dicts in ascending order at the end
+        # reproduces the reference dicts' insertion order exactly.
+        exp_list = [0] * (key_span + 1)
+        new_list = [0] * (key_span + 1)
+        acc_t1 = acc_t2 = acc_t3 = acc_t4 = acc_t5 = acc_ov = 0
+        ins_t1 = ins_t2 = ins_t3 = ins_t4 = ins_t5 = ins_ov = False
+        v_partial = not v_all_hit and c_v > 0
+        clock_advance = clock.advance
+        results_append = results.extend
+        prune_tab_get = prune_tab.get
+
         # --- main loop (Algorithms 1 and 3) ----------------------------
         while True:
             # Budget check at the batch boundary: truncated only when the
@@ -257,12 +353,16 @@ class PEFPEngine:
             if max_cycles is not None and clock.cycles >= max_cycles:
                 truncated = not buffer.is_empty or not dram_area.is_empty
                 break
-            if buffer.is_empty:
+            bverts = buffer._verts
+            bnext = buffer._next
+            blast = buffer._last
+            bhead = buffer._head
+            if len(bverts) == bhead:  # buffer empty
                 if buffer_in_bram and not dram_area.is_empty:
                     # Θ1 refill from the DRAM tail: a serial stall.
                     before = clock.cycles
                     refill_wall = time.perf_counter_ns() if tracer else 0
-                    block = dram_area.fetch_tail(cfg.theta1)
+                    block = dram_area.fetch_tail(theta1)
                     dram.burst_read(len(block) * rec_w)
                     bram.write(len(block) * rec_w)
                     for rec in block:
@@ -287,172 +387,386 @@ class PEFPEngine:
                 iter_wall0 = time.perf_counter_ns() if tracer else 0
                 flush_cycles0 = stats.stage_cycles.get("flush", 0)
                 flushes0 = stats.flushes
-            entries = batch_fn(buffer, cfg.theta2)
-            if not entries:
+
+            # --- batch selection (Batch-DFS fused; FIFO via scheduler) --
+            if use_dfs:
+                sel: list[tuple] = []
+                cnt = 0
+                i = len(bverts) - 1
+                while i >= bhead:
+                    p1 = bnext[i]
+                    p2 = p1 + (theta2 - cnt)
+                    pl = blast[i]
+                    if p2 > pl:
+                        p2 = pl
+                    if p2 > p1:
+                        sel.append((bverts[i], p1, p2))
+                        bnext[i] = p2
+                        cnt += p2 - p1
+                        if cnt >= theta2:
+                            break
+                    i -= 1
+                j = len(bverts) - 1
+                while j >= bhead and bnext[j] >= blast[j]:
+                    j -= 1
+                j += 1
+                if j < len(bverts):
+                    del bverts[j:]
+                    del bnext[j:]
+                    del blast[j:]
+            else:
+                sel = fifo_batch(buffer, theta2)
+            if not sel:
                 break  # defensive: cannot happen with a non-empty buffer
-            stats.batches += 1
+            n_batches += 1
+            n_e = len(sel)
 
-            costs: list[_StageCost] = []
-
-            # Stage 1: move the batch into the processing area.
-            load = self._stage(bram, dram, costs)
-            with bram.with_clock(load[0]), dram.with_clock(load[1]):
-                moved = len(entries) * rec_w
-                if buffer_in_bram:
-                    bram.read(moved)
-                else:
-                    dram.burst_read(moved)
-                    # neighbor-pointer updates of the scheduled records
-                    # also live off-chip in this configuration
-                    dram.random_write(2 * len(entries))
-                bram.write(moved)
-
-            # Stage 2: edge fetch — gather successor slices.
-            fetch = self._stage(bram, dram, costs)
-            successor_lists: list[np.ndarray] = []
+            # --- stages 2-4 per entry, via the pruning tables -----------
+            # Fully-cached arrays (the common configuration) charge a
+            # fixed pattern per entry — one wide BRAM access of ``size``
+            # words each for stages 2 and 3 — so those charges fold into
+            # batch-level sums of ``size`` below; only the closed-form
+            # wide-port ceiling of stage 2 stays per-entry.  Partially
+            # cached or uncached arrays keep the general per-entry split.
+            s2b = s2d = s3b = s3d = 0
             n_items = 0
-            with bram.with_clock(fetch[0]), dram.with_clock(fetch[1]):
-                for entry in entries:
-                    plen = len(entry.vertices) - 1
-                    stats.expansions_by_parent_length[plen] = (
-                        stats.expansions_by_parent_length.get(plen, 0)
-                        + entry.num_expansions
-                    )
-                    nbrs = edge_arr.read_range(entry.nbr_lo, entry.nbr_hi)
-                    successor_lists.append(nbrs)
-                    n_items += nbrs.size
-            stats.expansions += n_items
-
-            # Stage 3: barrier fetch — one gather per expansion.
-            barf = self._stage(bram, dram, costs)
-            barrier_lists: list[np.ndarray] = []
-            with bram.with_clock(barf[0]), dram.with_clock(barf[1]):
-                for nbrs in successor_lists:
-                    barrier_lists.append(bar_arr.read_vector(nbrs))
-
-            # Stage 4: verification (Algorithm 2, vectorised; pipelined).
-            # Semantically identical to VerificationModule.verify_batch —
-            # only the per-batch latency model is shared with it.
+            batch_nt = batch_pass = 0
+            nv = n_push = n1 = n2 = 0
             batch_results: list[tuple[int, ...]] = []
-            valid_paths: list[tuple[int, ...]] = []
-            for entry, nbrs, bars in zip(entries, successor_lists,
-                                         barrier_lists):
-                if nbrs.size == 0:
-                    continue
-                parent = entry.vertices
-                hops = len(parent) - 1
-                is_target = nbrs == target
-                n_target = int(np.count_nonzero(is_target))
-                stats.rejected_target += n_target
-                if n_target and hops + 1 <= max_hops:
-                    full = parent + (target,)
-                    batch_results.extend([full] * n_target)
-                rest = nbrs[~is_target]
-                rest_bars = bars[~is_target]
-                bar_ok = hops + 1 + rest_bars <= max_hops
-                stats.rejected_barrier += int(
-                    np.count_nonzero(~bar_ok)
-                )
-                candidates = rest[bar_ok]
-                if candidates.size:
-                    fresh = ~np.isin(candidates, parent)
-                    stats.rejected_visited += int(
-                        np.count_nonzero(~fresh)
+            push_v: list[tuple[int, ...]] = []
+            push_lo: list[int] = []
+            push_hi: list[int] = []
+            wres = 0
+            for pv, elo, ehi in sel:
+                h = len(pv) - 1
+                size = ehi - elo
+                n_items += size
+                exp_list[h] += size
+                v = pv[-1]
+                tables = prune_tab_get(v * key_span + h)
+                if tables is None:
+                    vlo = iptr_l[v]
+                    vhi = iptr_l[v + 1]
+                    thresh = max_hops - 1 - h
+                    tpos: list[int] = []
+                    cpos: list[int] = []
+                    cu_full: list[int] = []
+                    if vhi - vlo <= 128:
+                        # small slice: a plain loop beats numpy call
+                        # overhead (the typical degree by a wide margin)
+                        us = indices_np[vlo:vhi].tolist()
+                        bs = edge_bar[vlo:vhi].tolist()
+                        for i, u in enumerate(us):
+                            if u == target:
+                                tpos.append(vlo + i)
+                            elif bs[i] <= thresh:
+                                cpos.append(vlo + i)
+                                cu_full.append(u)
+                    else:
+                        slice_u = indices_np[vlo:vhi]
+                        t_mask = slice_u == target
+                        ok = (edge_bar[vlo:vhi] <= thresh) & ~t_mask
+                        cp = np.flatnonzero(ok)
+                        cu_full = slice_u[cp].tolist()
+                        tpos = (np.flatnonzero(t_mask) + vlo).tolist()
+                        cpos = (cp + vlo).tolist()
+                    tables = (
+                        vlo, vhi, len(tpos), len(cu_full),
+                        tpos, cpos, cu_full,
                     )
-                    for u in candidates[fresh]:
-                        valid_paths.append(parent + (int(u),))
-            verify_cost = _StageCost()
-            verify_cost.compute = verifier.batch_cycles(n_items)
-            costs.append(verify_cost)
+                    prune_tab[v * key_span + h] = tables
+                vlo, vhi, n_t, n_pass, tpos, cpos, cu = tables
+                if elo == vlo and ehi == vhi:
+                    cand = cu  # full slice (common case)
+                else:
+                    if n_t:
+                        n_t = (bisect_left(tpos, ehi)
+                               - bisect_left(tpos, elo))
+                    if n_pass:
+                        a = bisect_left(cpos, elo)
+                        b = bisect_left(cpos, ehi)
+                        cand = cu[a:b]
+                        n_pass = b - a
+                    else:
+                        cand = cu  # empty
+                # stage 2: edge fetch — one read_range per entry
+                if e_all_hit:
+                    s2b += ceil_tab[size]
+                else:
+                    nh = c_e - elo
+                    if nh > 0:
+                        if nh > size:
+                            nh = size
+                        s2b += ceil_tab[nh]
+                        e_hits += nh
+                        br_ops += 1
+                        br_words += nh
+                    else:
+                        nh = 0
+                    nm = size - nh
+                    if nm:
+                        s2d += rl + nm - 1
+                        e_miss += nm
+                        dr_ops += 1
+                        dr_words += nm
+                        d_stall += rl1
+                # stage 3: barrier fetch — one gather per entry
+                if not b_all_hit:
+                    if b_partial:
+                        bp = bhit_tab.get(v)
+                        if bp is None:
+                            bp = [0]
+                            bp.extend(np.cumsum(
+                                indices_np[vlo:vhi] < c_b).tolist())
+                            bhit_tab[v] = bp
+                        nbh = bp[ehi - vlo] - bp[elo - vlo]
+                    else:
+                        nbh = 0
+                    if nbh:
+                        s3b += nbh
+                        b_hits += nbh
+                        br_ops += 1
+                        br_words += nbh
+                    nbm = size - nbh
+                    if nbm:
+                        s3d += nbm * rl
+                        b_miss += nbm
+                        dr_ops += 1
+                        dr_words += nbm
+                        d_stall += nbm * rl1
+                # stage 4: verification outcomes (Algorithm 2)
+                batch_nt += n_t
+                batch_pass += n_pass
+                if n_t and h < max_hops:
+                    full = pv + (target,)
+                    if n_t == 1:
+                        batch_results.append(full)
+                    else:
+                        batch_results.extend([full] * n_t)
+                    wres += (h + 3) * n_t
+                # the surviving candidates' visited check, fused with the
+                # write-back bookkeeping of the paths it admits
+                for u in cand:
+                    if u in pv:
+                        rej_v += 1
+                        continue
+                    nv += 1
+                    new_list[h] += 1
+                    if v_partial:
+                        if u < c_v:
+                            n1 += 1
+                        if u + 1 < c_v:
+                            n2 += 1
+                    nlo = iptr_l[u]
+                    nhi = iptr_l[u + 1]
+                    if nlo < nhi:
+                        n_push += 1
+                        push_v.append(pv + (u,))
+                        push_lo.append(nlo)
+                        push_hi.append(nhi)
+            n_expansions += n_items
+            rej_t += batch_nt
+            rej_b += n_items - batch_nt - batch_pass
+            n_intermediate += nv
+            if e_all_hit:
+                e_hits += n_items
+                br_ops += n_e
+                br_words += n_items
+            if b_all_hit:
+                s3b += n_items
+                b_hits += n_items
+                br_ops += n_e
+                br_words += n_items
+            t4 = verify_tab[n_items]
 
             # Result budget: keep only what fits; dropped results mean the
             # answer is definitively incomplete.  The kept prefix is still
             # a subset of the unbudgeted answer (same deterministic order).
             dropped_results = False
             if max_results is not None:
-                room = max_results - stats.results
+                room = max_results - n_results
                 if len(batch_results) > room:
                     batch_results = batch_results[:room]
                     dropped_results = True
+                    wres = sum(len(p) + 1 for p in batch_results)
 
-            # Stage 5: write-back — results to DRAM, survivors to buffer.
-            wb = self._stage(bram, dram, costs)
-            new_records: list[PathRecord] = []
-            with bram.with_clock(wb[0]), dram.with_clock(wb[1]):
-                if batch_results:
-                    if collect_paths:
-                        results.extend(batch_results)
-                    if on_result is not None:
-                        for p in batch_results:
-                            on_result(p)
-                    stats.results += len(batch_results)
-                    dram.burst_write(sum(len(p) + 1 for p in batch_results))
-                if valid_paths:
-                    tails = np.fromiter(
-                        (p[-1] for p in valid_paths), dtype=np.int64,
-                        count=len(valid_paths),
-                    )
-                    lows = vertex_arr.read_vector(tails)
-                    highs = vertex_arr.read_vector(tails + 1)
+            # --- stage 1: load; stage 5: write-back ---------------------
+            moved = n_e * rec_w
+            if buffer_in_bram:
+                t1 = 2 * -(-moved // pw)
+                s1d = 0
+                br_ops += 1
+                br_words += moved
+                bw_ops += 1
+                bw_words += moved
+            else:
+                s1d = (rl + moved - 1) + 2 * n_e * wl
+                t1 = s1d + -(-moved // pw)
+                dr_ops += 1
+                dr_words += moved
+                d_stall += rl1
+                dw_ops += 1
+                dw_words += 2 * n_e
+                d_stall += 2 * n_e * wl1
+                bw_ops += 1
+                bw_words += moved
+
+            s5b = s5d = 0
+            if batch_results:
+                if collect_paths:
+                    results_append(batch_results)
+                if on_result is not None:
+                    for p in batch_results:
+                        on_result(p)
+                n_results += len(batch_results)
+                s5d += wl + wres - 1
+                dw_ops += 1
+                dw_words += wres
+                d_stall += wl1
+            if nv:
+                # the two vertex_arr gathers (slice bounds of every tail)
+                if v_all_hit:
+                    s5b += 2 * nv
+                    v_hits += 2 * nv
+                    br_ops += 2
+                    br_words += 2 * nv
                 else:
-                    lows = highs = ()
-                for p, nlo, nhi in zip(valid_paths, lows, highs):
-                    plen = len(p) - 2  # parent length
-                    stats.new_paths_by_parent_length[plen] = (
-                        stats.new_paths_by_parent_length.get(plen, 0) + 1
-                    )
-                    stats.intermediate_paths += 1
-                    if nlo >= nhi:
-                        continue  # dead end: no successors, drop now
-                    self._charge_push(bram, dram, rec_w, buffer_in_bram)
-                    new_records.append(PathRecord(p, int(nlo), int(nhi)))
+                    for n_hit, n_mis in ((n1, nv - n1), (n2, nv - n2)):
+                        if n_hit:
+                            s5b += n_hit
+                            v_hits += n_hit
+                            br_ops += 1
+                            br_words += n_hit
+                        if n_mis:
+                            s5d += n_mis * rl
+                            v_miss += n_mis
+                            dr_ops += 1
+                            dr_words += n_mis
+                            d_stall += n_mis * rl1
+                if n_push:
+                    # one record write per admitted path (dead ends were
+                    # dropped in the fused loop without a write)
+                    if buffer_in_bram:
+                        s5b += n_push * ceil_rec
+                        bw_ops += n_push
+                        bw_words += n_push * rec_w
+                    else:
+                        s5d += n_push * (wl + rec_w - 1)
+                        dw_ops += n_push
+                        dw_words += n_push * rec_w
+                        d_stall += n_push * wl1
 
             # Fold the overlapped stages into the device clock: concurrent
             # on-chip stages; off-chip traffic shares the DRAM channels;
             # fixed control cost per batch.
-            channels = self.device_config.dram_channels
-            dram_bound = -(-sum(c.dram for c in costs) // channels)
-            batch_cycles = max(
-                max(c.total for c in costs),
-                dram_bound,
-            ) + cfg.batch_overhead_cycles
-            clock.advance(batch_cycles)
-            for name, cost in zip(
-                ("load", "edge_fetch", "barrier_fetch", "verify",
-                 "writeback"), costs,
-            ):
-                stats.add_stage_cycles(name, cost.total)
-            stats.add_stage_cycles("overhead", cfg.batch_overhead_cycles)
+            t2 = s2b + s2d
+            t3 = s3b + s3d
+            t5 = s5b + s5d
+            dram_cycles = s1d + s2d + s3d + s5d
+            mx = t1
+            if t2 > mx:
+                mx = t2
+            if t3 > mx:
+                mx = t3
+            if t4 > mx:
+                mx = t4
+            if t5 > mx:
+                mx = t5
+            dram_bound = -(-dram_cycles // channels)
+            if dram_bound > mx:
+                mx = dram_bound
+            batch_cycles = mx + overhead
+            clock_advance(batch_cycles)
+            # accumulate raw stage totals; the first non-zero occurrence
+            # of each key is inserted immediately so the stage_cycles dict
+            # keeps the reference loop's insertion order
+            if ins_t1:
+                acc_t1 += t1
+            elif t1:
+                stats.stage_cycles["load"] = t1
+                ins_t1 = True
+            if ins_t2:
+                acc_t2 += t2
+            elif t2:
+                stats.stage_cycles["edge_fetch"] = t2
+                ins_t2 = True
+            if ins_t3:
+                acc_t3 += t3
+            elif t3:
+                stats.stage_cycles["barrier_fetch"] = t3
+                ins_t3 = True
+            if ins_t4:
+                acc_t4 += t4
+            elif t4:
+                stats.stage_cycles["verify"] = t4
+                ins_t4 = True
+            if ins_t5:
+                acc_t5 += t5
+            elif t5:
+                stats.stage_cycles["writeback"] = t5
+                ins_t5 = True
+            if ins_ov:
+                acc_ov += overhead
+            elif overhead:
+                stats.stage_cycles["overhead"] = overhead
+                ins_ov = True
 
             # Apply the buffered pushes; overflow stalls the pipeline.
-            for rec in new_records:
-                if buffer_in_bram and buffer.is_full:
-                    before = clock.cycles
-                    self._flush(buffer, rec_w, bram, dram, dram_area, stats)
-                    stats.add_stage_cycles("flush", clock.cycles - before)
-                buffer.push(rec)
+            if push_v:
+                bverts = buffer._verts
+                bnext = buffer._next
+                blast = buffer._last
+                n_buf = len(bverts) - buffer._head
+                cap = buffer.capacity_paths
+                if n_buf + n_push <= cap:
+                    # no flush possible: append wholesale
+                    bverts.extend(push_v)
+                    bnext.extend(push_lo)
+                    blast.extend(push_hi)
+                    n_buf += n_push
+                    if n_buf > buffer.peak_occupancy:
+                        buffer.peak_occupancy = n_buf
+                    push_v = ()
+                for idx in range(len(push_v)):
+                    if buffer_in_bram and n_buf >= cap:
+                        if n_buf > buffer.peak_occupancy:
+                            buffer.peak_occupancy = n_buf
+                        before = clock.cycles
+                        self._flush(buffer, rec_w, bram, dram, dram_area,
+                                    stats)
+                        stats.add_stage_cycles("flush",
+                                               clock.cycles - before)
+                        bverts = buffer._verts
+                        bnext = buffer._next
+                        blast = buffer._last
+                        n_buf = 0
+                    bverts.append(push_v[idx])
+                    bnext.append(push_lo[idx])
+                    blast.append(push_hi[idx])
+                    n_buf += 1
+                if n_buf > buffer.peak_occupancy:
+                    buffer.peak_occupancy = n_buf
 
             if observing:
                 iter_cycles = clock.cycles - iter_cycles0
                 stage_breakdown = dict(zip(
                     ("load", "edge_fetch", "barrier_fetch", "verify",
                      "writeback"),
-                    (c.total for c in costs),
+                    (t1, t2, t3, t4, t5),
                 ))
                 if profiler is not None:
                     profiler.record_batch(
-                        entries=len(entries),
+                        entries=n_e,
                         expansions=n_items,
                         results=len(batch_results),
-                        new_paths=len(valid_paths),
+                        new_paths=nv,
                         cycles=iter_cycles,
-                        pipeline_cycles=(batch_cycles
-                                         - cfg.batch_overhead_cycles),
-                        overhead_cycles=cfg.batch_overhead_cycles,
+                        pipeline_cycles=batch_cycles - overhead,
+                        overhead_cycles=overhead,
                         flush_cycles=(stats.stage_cycles.get("flush", 0)
                                       - flush_cycles0),
                         flushes=stats.flushes - flushes0,
-                        dram_cycles=sum(c.dram for c in costs),
+                        dram_cycles=dram_cycles,
                         buffer_paths=len(buffer),
                         stage_cycles=stage_breakdown,
                     )
@@ -460,18 +774,55 @@ class PEFPEngine:
                     tracer.complete(
                         "batch", iter_wall0,
                         modelled_seconds=iter_cycles / frequency,
-                        entries=len(entries),
+                        entries=n_e,
                         expansions=n_items,
                         results=len(batch_results),
                     )
 
-            if max_results is not None and stats.results >= max_results:
+            if max_results is not None and n_results >= max_results:
                 truncated = (
                     dropped_results
                     or not buffer.is_empty
                     or not dram_area.is_empty
                 )
                 break
+
+        # --- fold the deferred accumulators into the models -------------
+        port = bram.port
+        port.reads += br_ops
+        port.read_words += br_words
+        port.writes += bw_ops
+        port.write_words += bw_words
+        port = dram.port
+        port.reads += dr_ops
+        port.read_words += dr_words
+        port.writes += dw_ops
+        port.write_words += dw_words
+        port.stall_cycles += d_stall
+        vertex_arr.hits += v_hits
+        vertex_arr.misses += v_miss
+        edge_arr.hits += e_hits
+        edge_arr.misses += e_miss
+        bar_arr.hits += b_hits
+        bar_arr.misses += b_miss
+        stats.batches += n_batches
+        stats.expansions += n_expansions
+        stats.results += n_results
+        stats.intermediate_paths += n_intermediate
+        stats.rejected_target += rej_t
+        stats.rejected_barrier += rej_b
+        stats.rejected_visited += rej_v
+        stats.expansions_by_parent_length = {
+            h: c for h, c in enumerate(exp_list) if c
+        }
+        stats.new_paths_by_parent_length = {
+            h: c for h, c in enumerate(new_list) if c
+        }
+        for name, acc in (("load", acc_t1), ("edge_fetch", acc_t2),
+                          ("barrier_fetch", acc_t3), ("verify", acc_t4),
+                          ("writeback", acc_t5), ("overhead", acc_ov)):
+            if acc:
+                stats.stage_cycles[name] += acc
 
         stats.peak_buffer_paths = buffer.peak_occupancy
         stats.peak_dram_paths = dram_area.peak_occupancy
@@ -495,6 +846,7 @@ class PEFPEngine:
                         "rejected_visited": stats.rejected_visited,
                         "survivors": stats.intermediate_paths,
                     },
+                    buffer_domain=stats.buffer_domain,
                 )
                 if profiler is not None else None
             ),

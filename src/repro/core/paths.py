@@ -12,11 +12,18 @@ Word footprints (one 32-bit word per field):
   at the fixed width ``max_hops + 2`` (length field + k+1 vertices), the
   hardware layout;
 - a processing-area entry additionally carries its scheduled range.
+
+The buffer area stores records as a structure of arrays (parallel lists of
+vertex tuples and the two pointers) so the engine's hot loop can schedule
+batches and push survivors without materialising a Python object per
+record; :class:`PathRecord` remains the exchange format at the API
+boundary (``push``/``record_at``/``drain``/``pop_front``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.errors import CapacityError
 
@@ -40,8 +47,7 @@ class PathRecord:
         return len(self.vertices) - 1
 
 
-@dataclass(frozen=True)
-class ProcessingEntry:
+class ProcessingEntry(NamedTuple):
     """A path plus the slice of its successors to expand in this batch."""
 
     vertices: tuple[int, ...]
@@ -62,26 +68,33 @@ class BufferArea:
     """The BRAM buffer area ``P``: a bounded stack of path records.
 
     Indices (``record_at``/``top_index``/``pop_suffix``) are logical: 0 is
-    always the current front.  Storage is a list plus a head offset so the
-    FIFO ablation's :meth:`pop_front` is O(1) amortised instead of the
-    O(n) front-shift ``list.pop(0)`` would pay per removal; Batch-DFS
-    stack semantics (push/top/pop_suffix) are unchanged.
+    always the current front.  Storage is three parallel lists (vertex
+    tuples, next pointers, last pointers) plus a head offset so the FIFO
+    ablation's :meth:`pop_front` is O(1) amortised instead of the O(n)
+    front-shift ``list.pop(0)`` would pay per removal; Batch-DFS stack
+    semantics (push/top/pop_suffix) are unchanged.  The batch schedulers
+    and the engine hot loop operate on the parallel lists directly.
     """
 
-    #: compact the backing list once this many consumed slots accumulate
-    #: at its front (and they are at least half the list).
+    #: compact the backing lists once this many consumed slots accumulate
+    #: at their front (and they are at least half the list).
     _COMPACT_THRESHOLD = 64
+
+    __slots__ = ("capacity_paths", "_verts", "_next", "_last", "_head",
+                 "peak_occupancy")
 
     def __init__(self, capacity_paths: int) -> None:
         if capacity_paths < 1:
             raise CapacityError("buffer area needs capacity for >= 1 path")
         self.capacity_paths = capacity_paths
-        self._stack: list[PathRecord] = []
+        self._verts: list[tuple[int, ...]] = []
+        self._next: list[int] = []
+        self._last: list[int] = []
         self._head = 0
         self.peak_occupancy = 0
 
     def __len__(self) -> int:
-        return len(self._stack) - self._head
+        return len(self._verts) - self._head
 
     @property
     def is_full(self) -> bool:
@@ -92,28 +105,52 @@ class BufferArea:
         return len(self) == 0
 
     def push(self, record: PathRecord) -> None:
+        self.push_path(record.vertices, record.next_ptr, record.last_ptr)
+
+    def push_path(self, vertices: tuple[int, ...], next_ptr: int,
+                  last_ptr: int) -> None:
+        """Push one record given as its fields (no object required)."""
         if self.is_full:
             raise CapacityError(
                 f"buffer area overflow (capacity {self.capacity_paths}); "
                 "the engine must flush before pushing"
             )
-        self._stack.append(record)
-        self.peak_occupancy = max(self.peak_occupancy, len(self))
+        self._verts.append(vertices)
+        self._next.append(next_ptr)
+        self._last.append(last_ptr)
+        occupancy = len(self._verts) - self._head
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
 
     def record_at(self, index: int) -> PathRecord:
-        return self._stack[self._head + index]
+        """Materialise the record at logical ``index`` (a read-only view:
+        mutating the returned object does not write back)."""
+        i = self._head + index
+        if index < 0 or i >= len(self._verts):
+            raise IndexError(f"record index {index} out of range")
+        return PathRecord(self._verts[i], self._next[i], self._last[i])
 
     def top_index(self) -> int:
         return len(self) - 1
 
     def pop_suffix(self, from_index: int) -> None:
         """Drop all records at positions ``>= from_index`` (consumed)."""
-        del self._stack[self._head + from_index:]
+        i = self._head + from_index
+        del self._verts[i:]
+        del self._next[i:]
+        del self._last[i:]
 
     def drain(self) -> list[PathRecord]:
         """Remove and return all records (bottom to top order)."""
-        drained = self._stack[self._head:]
-        self._stack = []
+        h = self._head
+        drained = [
+            PathRecord(v, n, l)
+            for v, n, l in zip(self._verts[h:], self._next[h:],
+                               self._last[h:])
+        ]
+        self._verts = []
+        self._next = []
+        self._last = []
         self._head = 0
         return drained
 
@@ -121,12 +158,15 @@ class BufferArea:
         """FIFO removal (the no-Batch-DFS ablation), O(1) amortised."""
         if self.is_empty:
             raise IndexError("pop_front from an empty buffer area")
-        record = self._stack[self._head]
-        self._stack[self._head] = None  # type: ignore[call-overload]
-        self._head += 1
+        h = self._head
+        record = PathRecord(self._verts[h], self._next[h], self._last[h])
+        self._verts[h] = None  # type: ignore[call-overload]
+        self._head = h + 1
         if (self._head >= self._COMPACT_THRESHOLD
-                and self._head * 2 >= len(self._stack)):
-            del self._stack[:self._head]
+                and self._head * 2 >= len(self._verts)):
+            del self._verts[:self._head]
+            del self._next[:self._head]
+            del self._last[:self._head]
             self._head = 0
         return record
 
@@ -136,7 +176,12 @@ class DramArea:
 
     Reads and writes both happen at the tail ("we simply fetch from its
     tail ... to avoid memory fragmentation"), so it behaves as a stack of
-    flush blocks.
+    flush blocks.  :meth:`fetch_tail` returns the tail block in storage
+    (bottom-to-top) order; re-pushing that block onto the buffer area in
+    the returned order reproduces the exact stack layout the block had
+    before it was flushed, so the buffer top is again the newest (longest)
+    record — Batch-DFS's longest-first preference survives a flush/refill
+    round trip (regression-tested in ``tests/test_refill_ordering.py``).
     """
 
     def __init__(self) -> None:

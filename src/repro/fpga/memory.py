@@ -19,7 +19,20 @@ from repro.fpga.clock import Clock
 
 @dataclass
 class MemoryPort:
-    """Traffic statistics of one memory."""
+    """Traffic statistics of one memory.
+
+    Counting convention (shared by every access mode so DeviceProfile
+    traffic tables are comparable across modes):
+
+    - ``reads``/``writes`` count *access operations* — one per
+      ``read``/``write``/``burst_*`` call and one per ``random_*``
+      gather/scatter call, regardless of how many words it moves;
+    - ``read_words``/``write_words`` carry the data volume;
+    - ``stall_cycles`` is the cycle cost beyond one word per cycle
+      (latency overhead), so ``words + stalls`` reconstructs cycles.
+
+    Zero-word accesses are free and are not counted as operations.
+    """
 
     reads: int = 0
     read_words: int = 0
@@ -123,25 +136,34 @@ class Bram(_Memory):
 
     def read(self, words: int = 1) -> None:
         """Wide sequential read: ``ceil(words / port_words)`` cycles."""
+        if words <= 0:
+            return
         self.port.reads += 1
         self.port.read_words += words
         self.clock.advance(-(-words // self.port_words))
 
     def write(self, words: int = 1) -> None:
         """Wide sequential write: ``ceil(words / port_words)`` cycles."""
+        if words <= 0:
+            return
         self.port.writes += 1
         self.port.write_words += words
         self.clock.advance(-(-words // self.port_words))
 
     def random_read(self, words: int = 1) -> None:
         """``words`` independent scalar reads: one cycle each (II = 1);
-        random accesses cannot use the wide port."""
-        self.port.reads += words
+        random accesses cannot use the wide port.  Counted as one gather
+        operation (see :class:`MemoryPort`)."""
+        if words <= 0:
+            return
+        self.port.reads += 1
         self.port.read_words += words
         self.clock.advance(words)
 
     def random_write(self, words: int = 1) -> None:
-        self.port.writes += words
+        if words <= 0:
+            return
+        self.port.writes += 1
         self.port.write_words += words
         self.clock.advance(words)
 
@@ -168,16 +190,21 @@ class Dram(_Memory):
         self.burst_words = burst_words
 
     def random_read(self, words: int = 1) -> None:
-        """``words`` independent (non-contiguous) reads: full latency each."""
+        """``words`` independent (non-contiguous) reads: full latency each.
+        Counted as one gather operation (see :class:`MemoryPort`)."""
+        if words <= 0:
+            return
         cost = words * self.read_latency
-        self.port.reads += words
+        self.port.reads += 1
         self.port.read_words += words
         self.port.stall_cycles += cost - words
         self.clock.advance(cost)
 
     def random_write(self, words: int = 1) -> None:
+        if words <= 0:
+            return
         cost = words * self.write_latency
-        self.port.writes += words
+        self.port.writes += 1
         self.port.write_words += words
         self.port.stall_cycles += cost - words
         self.clock.advance(cost)

@@ -122,6 +122,11 @@ class DeviceProfile:
     #: ``rejected_barrier``, ``rejected_visited``, ``survivors``).  The
     #: counts account exactly: expansions = rejections + survivors.
     verify_funnel: dict[str, int] = field(default_factory=dict)
+    #: which memory the buffer area lived in: ``"bram"`` normally,
+    #: ``"dram"`` under the ``use_cache=False`` ablation (Fig. 14) — the
+    #: DRAM-resident buffer is unbounded, so its ``buffer_peak_paths``
+    #: high-water mark is not comparable with BRAM-mode runs.
+    buffer_domain: str = "bram"
 
     # -- reconciliation ------------------------------------------------
     @property
@@ -203,6 +208,7 @@ class DeviceProfile:
             "cache_counters": self.cache_counters,
             "memory_counters": self.memory_counters,
             "buffer_peak_paths": self.buffer_peak_paths,
+            "buffer_domain": self.buffer_domain,
             "dram_peak_paths": self.dram_peak_paths,
             "verify_funnel": dict(self.verify_funnel),
         }
@@ -230,9 +236,11 @@ def aggregate_profiles(profiles: list[DeviceProfile]) -> dict:
         "cache_counters": {},
         "memory_counters": {},
         "buffer_peak_paths": 0,
+        "buffer_domains": [],
         "dram_peak_paths": 0,
         "verify_funnel": {},
     }
+    domains: set[str] = set()
     for profile in profiles:
         d = profile.to_dict()
         for key in ("total_cycles", "setup_cycles", "num_batches",
@@ -256,12 +264,14 @@ def aggregate_profiles(profiles: list[DeviceProfile]) -> dict:
                 agg[key] = agg.get(key, 0) + counters[key]
         out["buffer_peak_paths"] = max(out["buffer_peak_paths"],
                                        d["buffer_peak_paths"])
+        domains.add(d.get("buffer_domain", "bram"))
         out["dram_peak_paths"] = max(out["dram_peak_paths"],
                                      d["dram_peak_paths"])
         for check, count in d["verify_funnel"].items():
             out["verify_funnel"][check] = (
                 out["verify_funnel"].get(check, 0) + count
             )
+    out["buffer_domains"] = sorted(domains)
     window = sum(
         b.pipeline_cycles for p in profiles for b in p.batches
     )
@@ -295,7 +305,8 @@ class DeviceProfiler:
 
     def finish(self, device, cached_arrays, buffer_peak_paths: int,
                dram_peak_paths: int,
-               verify_funnel: dict[str, int] | None = None) -> DeviceProfile:
+               verify_funnel: dict[str, int] | None = None,
+               buffer_domain: str = "bram") -> DeviceProfile:
         """Freeze the collected events into a :class:`DeviceProfile`.
 
         ``cached_arrays`` is the engine's list of
@@ -318,4 +329,5 @@ class DeviceProfiler:
             buffer_peak_paths=buffer_peak_paths,
             dram_peak_paths=dram_peak_paths,
             verify_funnel=dict(verify_funnel or {}),
+            buffer_domain=buffer_domain,
         )

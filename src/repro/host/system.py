@@ -211,7 +211,7 @@ class PathEnumerationSystem:
                 run_graph = prep.subgraph
                 source, target = prep.source, prep.target
                 barrier = prep.barrier
-                translate = prep.translate_path
+                translate = prep.translate_paths
             else:
                 run_graph = self.graph
                 source, target = query.source, query.target
@@ -236,7 +236,7 @@ class PathEnumerationSystem:
                          words=payload_words) as dspan:
                 transfer = run.device.dma_to_device_seconds(payload_words)
                 dspan.set_modelled(transfer)
-            result_words = sum(len(p) + 1 for p in run.paths)
+            result_words = sum(map(len, run.paths)) + len(run.paths)
             with tr.span("dma_from_device", detach=True, track="pcie",
                          words=result_words) as dspan:
                 result_transfer = run.device.dma_from_device_seconds(
@@ -245,7 +245,7 @@ class PathEnumerationSystem:
                 dspan.set_modelled(result_transfer)
 
             if translate is not None:
-                paths = [translate(p) for p in run.paths]
+                paths = translate(run.paths)
             else:
                 paths = list(run.paths)
             qspan.set_modelled(t1 + run.seconds).set(

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
 from repro.errors import VertexNotFoundError
@@ -33,6 +31,52 @@ def charged_reverse(
     return rev
 
 
+def _level_synchronous_bfs(
+    graph: CSRGraph,
+    frontier: np.ndarray,
+    dist: np.ndarray,
+    max_hops: int,
+    counter: OpCounter | None,
+) -> np.ndarray:
+    """Expand ``frontier`` (all at distance 0) level by level.
+
+    Charges the *same totals* a FIFO-queue BFS would: one ``vertex_visit``
+    per vertex that ever enters the queue (= every reached vertex — those
+    discovered at distance ``max_hops`` still dequeue once before being
+    skipped) and ``deg(u)`` ``bfs_relax`` per dequeued vertex that relaxes
+    (``dist[u] < max_hops``).  :class:`~repro.host.cost_model.OpCounter`
+    is an order-free tally, so aggregating the per-vertex charges into one
+    per-level ``add`` is exact.  Level-synchronous expansion from a fixed
+    distance-0 seed set yields the identical ``dist`` array as FIFO order.
+    """
+    indptr = graph.indptr
+    indices = graph.indices
+    relaxed_edges = 0
+    for level in range(max_hops):
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        relaxed_edges += total
+        if total == 0:
+            break
+        # Gather the concatenated adjacency of the frontier: for each
+        # frontier vertex u, the slice indices[starts[u] : starts[u]+deg(u)].
+        cum = np.cumsum(counts) - counts
+        flat = (np.repeat(starts - cum, counts)
+                + np.arange(total, dtype=indptr.dtype))
+        nbrs = indices[flat]
+        fresh = nbrs[dist[nbrs] < 0]
+        if fresh.size == 0:
+            break
+        # Duplicate discoveries in one level all write the same distance.
+        dist[fresh] = level + 1
+        frontier = np.unique(fresh)
+    if counter is not None:
+        counter.add("vertex_visit", int((dist >= 0).sum()))
+        counter.add("bfs_relax", relaxed_edges)
+    return dist
+
+
 def k_hop_bfs(
     graph: CSRGraph,
     source: int,
@@ -53,22 +97,8 @@ def k_hop_bfs(
     dist[source] = 0
     if max_hops <= 0:
         return dist
-    queue: deque[int] = deque([source])
-    while queue:
-        u = queue.popleft()
-        if counter is not None:
-            counter.add("vertex_visit")
-        du = int(dist[u])
-        if du >= max_hops:
-            continue
-        nbrs = graph.successors(u)
-        if counter is not None:
-            counter.add("bfs_relax", nbrs.size)
-        for v in nbrs:
-            if dist[v] < 0:
-                dist[v] = du + 1
-                queue.append(int(v))
-    return dist
+    frontier = np.array([source], dtype=np.int64)
+    return _level_synchronous_bfs(graph, frontier, dist, max_hops, counter)
 
 
 def multi_source_k_hop_bfs(
@@ -85,28 +115,20 @@ def multi_source_k_hop_bfs(
     """
     n = graph.num_vertices
     dist = np.full(n, -1, dtype=np.int64)
-    queue: deque[int] = deque()
-    for src in np.unique(np.asarray(sources, dtype=np.int64)):
+    frontier = np.unique(np.asarray(sources, dtype=np.int64))
+    for src in frontier:
         s = int(src)
         if not 0 <= s < n:
             raise VertexNotFoundError(s, n)
         dist[s] = 0
-        queue.append(s)
-    while queue:
-        u = queue.popleft()
+    if frontier.size == 0:
+        return dist
+    if max_hops <= 0:
+        # The queued sources still dequeue once each (no relaxation).
         if counter is not None:
-            counter.add("vertex_visit")
-        du = int(dist[u])
-        if du >= max_hops:
-            continue
-        nbrs = graph.successors(u)
-        if counter is not None:
-            counter.add("bfs_relax", nbrs.size)
-        for v in nbrs:
-            if dist[v] < 0:
-                dist[v] = du + 1
-                queue.append(int(v))
-    return dist
+            counter.add("vertex_visit", int(frontier.size))
+        return dist
+    return _level_synchronous_bfs(graph, frontier, dist, max_hops, counter)
 
 
 def distances_with_default(dist: np.ndarray, default: int) -> np.ndarray:

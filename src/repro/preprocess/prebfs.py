@@ -12,7 +12,7 @@ The result carries the induced subgraph, the remapped endpoints, and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -34,6 +34,7 @@ class PreBFSResult:
     old_of_new: np.ndarray
     new_of_old: np.ndarray
     ops: OpCounter
+    _old_lut: list | None = field(default=None, repr=False, compare=False)
 
     @property
     def is_empty(self) -> bool:
@@ -42,7 +43,25 @@ class PreBFSResult:
 
     def translate_path(self, path: tuple[int, ...]) -> tuple[int, ...]:
         """Map a subgraph-id path back to original graph ids."""
-        return tuple(int(self.old_of_new[v]) for v in path)
+        lut = self._old_lut
+        if lut is None:
+            # One id-translation table per query, shared by every emitted
+            # path: a plain-list lookup keeps the per-path cost at a tuple
+            # of list reads instead of per-vertex ndarray scalar boxing.
+            lut = self.old_of_new.tolist()
+            self._old_lut = lut
+        return tuple(map(lut.__getitem__, path))
+
+    def translate_paths(
+        self, paths: list[tuple[int, ...]]
+    ) -> list[tuple[int, ...]]:
+        """Map many subgraph-id paths back to original graph ids."""
+        lut = self._old_lut
+        if lut is None:
+            lut = self.old_of_new.tolist()
+            self._old_lut = lut
+        getter = lut.__getitem__
+        return [tuple(map(getter, p)) for p in paths]
 
 
 def pre_bfs(graph: CSRGraph, query: Query,

@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import itertools
+import os
+import signal
+import threading
 
 import numpy as np
 import pytest
@@ -10,6 +13,50 @@ import pytest
 from repro.graph.csr import CSRGraph
 from repro.graph import generators
 from repro.host.query import Query
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--test-timeout",
+        type=float,
+        default=float(os.environ.get("REPRO_TEST_TIMEOUT", "180")),
+        help="per-test wall-clock limit in seconds, enforced with "
+        "SIGALRM (0 disables; pytest-timeout is not a dependency)",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Fail (not hang) any test that exceeds the wall limit.
+
+    A hung engine loop or a stuck multiprocessing queue would otherwise
+    stall the whole suite; SIGALRM turns it into an ordinary test
+    failure with a traceback pointing at the blocked line.  Skipped on
+    platforms without SIGALRM and off the main thread, where the signal
+    could not be delivered to this test anyway.
+    """
+    limit = item.config.getoption("--test-timeout")
+    usable = (
+        limit > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the --test-timeout wall limit of {limit:g}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def brute_force_paths(

@@ -126,6 +126,85 @@ class TestFifoBatch:
             fifo_batch(BufferArea(4), -1)
 
 
+class TestSchedulerEdgeCases:
+    """Corner cases the vectorised engine leans on (SoA stack walking)."""
+
+    def test_batch_dfs_skips_exhausted_record_below_live_top(self):
+        """An already-exhausted record sandwiched below a live top must be
+        skipped (zero-width slice) without ending the walk — the batch
+        keeps filling from records further down."""
+        buf = BufferArea(10)
+        push(buf, 0, 5, 5)     # bottom: exhausted (next == last)
+        push(buf, 1, 0, 6)     # middle: live, 6 expansions
+        push(buf, 2, 8, 9)     # top: live, 1 expansion
+        first = batch_dfs(buf, 4)
+        assert [e.vertices for e in first] == [(2,), (1,)]
+        assert [(e.nbr_lo, e.nbr_hi) for e in first] == [(8, 9), (0, 3)]
+        # middle stays live (partially consumed) so the exhausted bottom
+        # is shielded from the end-of-batch exhausted-top sweep
+        assert len(buf) == 2
+        second = batch_dfs(buf, 4)
+        # the walk drains the middle, reaches the exhausted bottom record,
+        # emits no zero-width entry for it, and the sweep pops both
+        assert [(e.nbr_lo, e.nbr_hi) for e in second] == [(3, 6)]
+        assert [e.vertices for e in second] == [(1,)]
+        assert buf.is_empty
+
+    def test_batch_dfs_super_node_resume_interleaves_new_pushes(self):
+        """A super-node mid-consumption resumes *after* records pushed on
+        top of it later (stack discipline), then finishes across >= 3
+        batches."""
+        buf = BufferArea(10)
+        push(buf, 9, 0, 10)            # super-node: 10 successors, Θ = 4
+        first = batch_dfs(buf, 4)
+        assert first[0].nbr_hi == 4
+        push(buf, 1, 20, 22)           # child pushed on top mid-resume
+        second = batch_dfs(buf, 4)
+        assert [e.vertices for e in second] == [(1,), (9,)]
+        assert [(e.nbr_lo, e.nbr_hi) for e in second] == [(20, 22), (4, 6)]
+        third = batch_dfs(buf, 4)
+        assert [(e.nbr_lo, e.nbr_hi) for e in third] == [(6, 10)]
+        assert buf.is_empty
+
+    def test_fifo_batch_exact_capacity_at_record_boundary_pops(self):
+        """cnt hits Θ exactly as a record exhausts: the record is popped
+        (not left as a zero-width head) and the batch ends."""
+        buf = BufferArea(10)
+        push(buf, 0, 0, 4)
+        push(buf, 1, 7, 9)
+        entries = fifo_batch(buf, 4)
+        assert [(e.nbr_lo, e.nbr_hi) for e in entries] == [(0, 4)]
+        assert len(buf) == 1
+        assert buf.record_at(0).vertices == (1,)
+        assert buf.record_at(0).next_ptr == 7  # untouched
+
+    def test_fifo_batch_mid_record_break_leaves_advanced_head(self):
+        """cnt hits Θ strictly inside a record: the head stays with its
+        next_ptr advanced, and the following batch resumes at that ptr."""
+        buf = BufferArea(10)
+        push(buf, 0, 0, 6)
+        push(buf, 1, 9, 10)
+        entries = fifo_batch(buf, 4)
+        assert [(e.nbr_lo, e.nbr_hi) for e in entries] == [(0, 4)]
+        assert len(buf) == 2
+        assert buf.record_at(0).next_ptr == 4
+        resumed = fifo_batch(buf, 100)
+        assert [(e.nbr_lo, e.nbr_hi) for e in resumed] == [(4, 6), (9, 10)]
+        assert buf.is_empty
+
+    def test_empty_refill_is_a_no_op(self):
+        """Zero-width DRAM fetches (Θ1 = 0 or an empty area) return
+        nothing and leave both areas untouched."""
+        from repro.core.paths import DramArea
+
+        area = DramArea()
+        assert area.fetch_tail(0) == []
+        assert area.fetch_tail(5) == []
+        area.append_block([PathRecord((3,), 0, 1)])
+        assert area.fetch_tail(0) == []
+        assert len(area) == 1
+
+
 class TestOrderingContrast:
     def test_longest_first_vs_shortest_first(self):
         """Batch-DFS serves the newest (longest) record; FIFO the oldest."""

@@ -119,3 +119,22 @@ class TestReadVector:
         arr = CachedArray(np.arange(5), bram, dram, 5, "a")
         assert arr.read_vector(np.array([], dtype=np.int64)).size == 0
         assert clock.cycles == 0
+
+    def test_negative_index_rejected(self, memories):
+        """Regression: a negative index satisfies ``index < cached_len``,
+        so it used to be charged as a BRAM hit while numpy silently
+        wrapped around and returned the *tail* of the array."""
+        clock, bram, dram = memories
+        arr = CachedArray(np.arange(40), bram, dram, 20, "a")
+        with pytest.raises(IndexError):
+            arr.read_vector(np.array([3, -1, 5]))
+        assert arr.hits == 0 and arr.misses == 0
+        assert clock.cycles == 0
+
+    def test_negative_scalar_index_rejected(self, memories):
+        clock, bram, dram = memories
+        arr = CachedArray(np.arange(40), bram, dram, 20, "a")
+        with pytest.raises(IndexError):
+            arr.read(-2)
+        assert arr.hits == 0 and arr.misses == 0
+        assert clock.cycles == 0

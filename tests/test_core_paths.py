@@ -105,7 +105,7 @@ class TestBufferArea:
             got = buf.pop_front()
             assert got.vertices == (i,)
         assert buf.is_empty
-        assert len(buf._stack) - buf._head <= 10
+        assert len(buf._verts) - buf._head <= 10
         assert buf._head < 500  # compaction ran
 
     def test_pop_suffix_after_pop_front(self):

@@ -47,8 +47,24 @@ class TestBram:
         assert clock.cycles == 16
         bram.random_write(4)
         assert clock.cycles == 20
-        assert bram.port.reads == 16
-        assert bram.port.writes == 4
+        # one operation per gather/scatter call; volume in the word counts
+        assert bram.port.reads == 1
+        assert bram.port.read_words == 16
+        assert bram.port.writes == 1
+        assert bram.port.write_words == 4
+
+    def test_zero_word_access_is_free(self, clock):
+        """Empty accesses cost nothing and count no operation."""
+        bram = Bram(clock, 1024)
+        bram.read(0)
+        bram.write(0)
+        bram.random_read(0)
+        bram.random_write(0)
+        assert clock.cycles == 0
+        assert bram.port.as_dict() == {
+            "reads": 0, "read_words": 0, "writes": 0, "write_words": 0,
+            "stall_cycles": 0,
+        }
 
 
 class TestDram:
@@ -57,6 +73,21 @@ class TestDram:
         dram.random_read(3)
         assert clock.cycles == 24
         assert dram.port.stall_cycles == 21
+
+    def test_random_access_counts_one_operation(self, clock):
+        """Same operation-counting convention as BRAM gathers: traffic
+        tables stay comparable across access modes."""
+        dram = Dram(clock, 1 << 20)
+        dram.random_read(5)
+        dram.random_write(3)
+        assert dram.port.reads == 1
+        assert dram.port.read_words == 5
+        assert dram.port.writes == 1
+        assert dram.port.write_words == 3
+        dram.random_read(0)
+        dram.random_write(0)
+        assert dram.port.reads == 1
+        assert dram.port.writes == 1
 
     def test_burst_read_pays_latency_once(self, clock):
         dram = Dram(clock, 1 << 20, read_latency=8)

