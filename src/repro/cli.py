@@ -159,6 +159,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         backend=args.backend,
         use_threads=not args.no_threads,
+        sharing=args.sharing,
         inject_failures=args.inject_failures,
         failure_seed=args.failure_seed,
     )
@@ -359,6 +360,11 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--no-threads", action="store_true",
                     help="thread backend: dispatch engines sequentially "
                          "(debugging)")
+    sv.add_argument("--sharing", action="store_true",
+                    help="cross-query work sharing: dedupe identical "
+                         "(s,t,k) queries via the result cache and run "
+                         "same-source queries as one group per engine "
+                         "(identical answers, smaller modelled makespan)")
     sv.add_argument("--max-results", type=int, default=None,
                     help="per-query result budget: stop a kernel after "
                          "this many paths (answers are exact subsets)")

@@ -353,6 +353,87 @@ def _build_service_parallel_throughput(seed: int) -> dict[str, Metric]:
     return metrics
 
 
+def _build_service_batch_sharing(seed: int) -> dict[str, Metric]:
+    """Cross-query sharing on a duplicate-heavy, overlapping-source batch.
+
+    One 50%-duplicate batch whose distinct queries draw from a small
+    source pool is served three ways: naive per-query execution, sharing
+    enabled on the thread backend, and sharing enabled on the process
+    backend.  ``sharing_equivalent`` and ``backends_agree`` gate the
+    correctness claims (identical answer bytes and per-query device
+    cycles); ``modelled_speedup_x`` is the headline — the modelled
+    makespan ratio bought by deduping duplicates and sharing forward
+    frontiers, expected >= 2x at 50% duplication.
+    """
+    from repro.datasets import load_dataset
+    from repro.service import BatchQueryService
+    from repro.workloads.queries import generate_shared_batch
+
+    graph = load_dataset("rt")
+    graph.reverse()  # same uncharged warm as _service (determinism)
+    queries = generate_shared_batch(
+        graph, 4, 32, seed=seed, duplicate_fraction=0.5, source_pool=8
+    )
+    engines = 2
+
+    def serve(sharing: bool, backend: str = "thread"):
+        service = BatchQueryService(
+            graph, num_engines=engines, scheduler="longest-first",
+            backend=backend, use_threads=False, sharing=sharing,
+        )
+        start = time.perf_counter()
+        try:
+            report = service.run(list(queries))
+        finally:
+            service.close()
+        return report, time.perf_counter() - start
+
+    naive, naive_wall = serve(False)
+    shared, shared_wall = serve(True)
+    process, _ = serve(True, backend="process")
+
+    equivalent = (
+        naive.path_output_bytes() == shared.path_output_bytes()
+        and [r.fpga_cycles for r in naive.reports]
+        == [r.fpga_cycles for r in shared.reports]
+    )
+    agree = (
+        shared.path_output_bytes() == process.path_output_bytes()
+        and [r.fpga_cycles for r in shared.reports]
+        == [r.fpga_cycles for r in process.reports]
+    )
+    speedup = (naive.makespan_seconds / shared.makespan_seconds
+               if shared.makespan_seconds > 0 else 0.0)
+    return {
+        "sharing_equivalent": _count(
+            "sharing_equivalent", float(equivalent), headline=True),
+        "backends_agree": _count(
+            "backends_agree", float(agree), headline=True),
+        "modelled_speedup_x": _modelled(
+            "modelled_speedup_x", speedup, "higher", "x", headline=True),
+        "naive_makespan_seconds": _modelled(
+            "naive_makespan_seconds", naive.makespan_seconds),
+        "shared_makespan_seconds": _modelled(
+            "shared_makespan_seconds", shared.makespan_seconds),
+        "shared_host_seconds": _modelled(
+            "shared_host_seconds", shared.host_seconds_total),
+        "result_cache_hits": _count(
+            "result_cache_hits", shared.cache_stats.get("result_hits", 0)),
+        "forward_cache_hits": _count(
+            "forward_cache_hits",
+            shared.cache_stats.get("forward_hits", 0)),
+        "total_paths": _count("total_paths", shared.total_paths),
+        "naive_wall_seconds": Metric(
+            "naive_wall_seconds", naive_wall, CLASS_WALL, "lower", "s"),
+        "shared_wall_seconds": Metric(
+            "shared_wall_seconds", shared_wall, CLASS_WALL, "lower", "s"),
+        "wall_speedup_x": Metric(
+            "wall_speedup_x",
+            naive_wall / shared_wall if shared_wall > 0 else 0.0,
+            CLASS_WALL, "higher", "x"),
+    }
+
+
 def _build_service_cache(seed: int) -> dict[str, Metric]:
     service, queries = _service("rt", 3, 16, seed)
     service.run(queries)
@@ -544,6 +625,13 @@ def _register_all() -> None:
         "service", "thread vs process backend, 4 workers: differential "
         "agreement (gated) plus wall-clock speedup (recorded, not gated)",
         True, _build_service_parallel_throughput,
+    ))
+    _register(Scenario(
+        "service.batch_sharing",
+        "service", "cross-query sharing on a 50%-duplicate, "
+        "overlapping-source batch: equivalence + backend agreement "
+        "(gated) and the modelled dedupe speedup",
+        True, _build_service_batch_sharing,
     ))
     _register(Scenario(
         "service.cache.rt",

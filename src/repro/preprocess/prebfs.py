@@ -65,20 +65,29 @@ class PreBFSResult:
 
 
 def pre_bfs(graph: CSRGraph, query: Query,
-            counter: OpCounter | None = None) -> PreBFSResult:
+            counter: OpCounter | None = None,
+            sd_s: np.ndarray | None = None) -> PreBFSResult:
     """Run Pre-BFS for ``query`` on ``graph``.
 
     Steps (paper, Section V): (1) ``(k-1)``-hop BFS from ``s`` on ``G``;
     (2) ``(k-1)``-hop BFS from ``t`` on ``G_rev``; (3) keep vertices with
     ``sd_s[u] + sd_t[u] <= k`` (plus ``s`` and ``t``); (4) return the induced
     subgraph in CSR form together with the barrier ``sd_t``.
+
+    ``sd_s`` may carry a precomputed ``(k-1)``-hop forward distance array
+    (from the service's forward-frontier memo, where same-source queries
+    share it); step (1) is then skipped and its cost is whatever the memo
+    charged.  The caller is responsible for ``sd_s`` matching this graph,
+    source, and hop budget — the arrays here are never mutated, so a
+    shared one stays valid.
     """
     query.validate(graph)
     ops = counter if counter is not None else OpCounter()
     k = query.max_hops
     s, t = query.source, query.target
 
-    sd_s = k_hop_bfs(graph, s, k - 1, ops)
+    if sd_s is None:
+        sd_s = k_hop_bfs(graph, s, k - 1, ops)
     # The reverse CSR is a per-graph artifact, not per-query work: it is
     # built (and charged) once per graph and reused by every later query.
     sd_t = k_hop_bfs(charged_reverse(graph, ops), t, k - 1, ops)

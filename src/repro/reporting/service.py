@@ -55,7 +55,7 @@ def robustness_table(report) -> str:
 
 
 def cache_table(report) -> str:
-    """Reverse-CSR and Pre-BFS cache hit/miss counters."""
+    """Artifact-cache hit/miss counters (all four memo layers)."""
     stats = report.cache_stats
     rows = [
         ("reverse CSR", stats.get("reverse_hits", 0),
@@ -63,6 +63,14 @@ def cache_table(report) -> str:
         ("Pre-BFS memo", stats.get("prebfs_hits", 0),
          stats.get("prebfs_misses", 0)),
     ]
+    # The cross-query sharing memos only exist on sharing services; show
+    # them whenever they saw traffic so old reports render unchanged.
+    if stats.get("forward_hits", 0) or stats.get("forward_misses", 0):
+        rows.append(("forward frontier", stats.get("forward_hits", 0),
+                     stats.get("forward_misses", 0)))
+    if stats.get("result_hits", 0) or stats.get("result_misses", 0):
+        rows.append(("result cache", stats.get("result_hits", 0),
+                     stats.get("result_misses", 0)))
     return render_table(("artifact", "hits", "misses"), rows,
                         title="preprocessing cache")
 

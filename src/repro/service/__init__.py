@@ -19,8 +19,12 @@ from repro.service.scheduler import (
     SCHEDULERS,
     WORK_STEALING,
     estimate_query_work,
+    group_by_source,
+    grouped_assignment,
+    grouped_steal_order,
     longest_first,
     requeue,
+    requeue_groups,
     round_robin,
     steal_order,
 )
@@ -41,8 +45,12 @@ __all__ = [
     "SCHEDULERS",
     "WORK_STEALING",
     "estimate_query_work",
+    "group_by_source",
+    "grouped_assignment",
+    "grouped_steal_order",
     "longest_first",
     "requeue",
+    "requeue_groups",
     "round_robin",
     "steal_order",
 ]

@@ -60,7 +60,7 @@ import threading
 import time
 from collections import Counter, deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.config import QueryBudget
 from repro.errors import ConfigError, EngineFailure, ServiceError
@@ -78,8 +78,19 @@ from repro.service.scheduler import (
     SCHEDULERS,
     WORK_STEALING,
     Assignment,
+    grouped_assignment,
+    grouped_steal_order,
     requeue,
+    requeue_groups,
     steal_order,
+)
+
+#: cache-stat keys folded into the metrics registry per batch.
+CACHE_STAT_KEYS = (
+    "reverse_hits", "reverse_misses",
+    "prebfs_hits", "prebfs_misses",
+    "forward_hits", "forward_misses",
+    "result_hits", "result_misses",
 )
 
 #: dispatch backends the service supports.
@@ -150,18 +161,19 @@ class EngineServer:
     """
 
     __slots__ = ("system", "budget", "batch_deadline_s",
-                 "degraded_cycle_budget", "profile",
+                 "degraded_cycle_budget", "profile", "share",
                  "host_busy", "device_busy")
 
     def __init__(self, system, budget: QueryBudget,
                  batch_deadline_s: float | None,
                  degraded_cycle_budget: int | None,
-                 profile: bool) -> None:
+                 profile: bool, share: bool = False) -> None:
         self.system = system
         self.budget = budget
         self.batch_deadline_s = batch_deadline_s
         self.degraded_cycle_budget = degraded_cycle_budget
         self.profile = profile
+        self.share = share
         self.host_busy = 0.0
         self.device_busy = 0.0
 
@@ -181,6 +193,8 @@ class EngineServer:
             q_budget = q_budget.tightened(
                 max_cycles=self.degraded_cycle_budget
             )
+        if self.share:
+            return self._serve_shared(query, q_budget, tracer), degraded
         report = self.system.execute(
             query,
             budget=None if q_budget.unlimited else q_budget,
@@ -190,6 +204,49 @@ class EngineServer:
         self.host_busy += report.preprocess_seconds
         self.device_busy += report.query_seconds
         return report, degraded
+
+    def _serve_shared(self, query: Query, q_budget: QueryBudget, tracer):
+        """Answer through the result cache: duplicates run exactly once.
+
+        The cache key includes the budget and profile flag — a truncated
+        answer is only valid under the budget that produced it, so
+        degraded duplicates never alias full-budget ones.
+
+        On a hit the cached report is re-labelled for this query with
+        ``T1`` set to the one ``set_lookup`` memo probe — exactly what a
+        naive rerun's Pre-BFS memo hit would have charged, so the
+        per-report modelled numbers of an exact duplicate are identical
+        to independent execution.  What sharing saves is *engine* time:
+        the device work is not redone, so ``device_busy`` (and the batch
+        makespan with it) drops.
+        """
+        probe_ops = OpCounter()
+
+        def build():
+            return self.system.execute(
+                query,
+                budget=None if q_budget.unlimited else q_budget,
+                tracer=tracer,
+                profile=self.profile,
+            )
+
+        cached, hit = self.system.artifact_cache.result(
+            self.system.graph, query, (q_budget, self.profile),
+            build, counter=probe_ops, tracer=tracer,
+        )
+        if not hit:
+            self.host_busy += cached.preprocess_seconds
+            self.device_busy += cached.query_seconds
+            return cached
+        probe_seconds = self.system.cost_model.seconds(probe_ops)
+        report = replace(
+            cached,
+            query=query,
+            preprocess_seconds=probe_seconds,
+            preprocess_ops=probe_ops,
+        )
+        self.host_busy += probe_seconds
+        return report
 
 
 def observe_report(metrics: MetricsRegistry, report: SystemReport,
@@ -247,22 +304,27 @@ def observe_profile(metrics: MetricsRegistry, prof) -> None:
 
 
 class _StealQueue:
-    """Shared work queue for the thread backend's work-stealing mode."""
+    """Shared work queue for the thread backend's work-stealing mode.
+
+    Items are batch indices (``int``) in the per-query mode, or whole
+    source groups (``list[int]``) under cross-query sharing — a group is
+    stolen, and put back, as one unit.
+    """
 
     __slots__ = ("_items", "_lock")
 
-    def __init__(self, indices) -> None:
-        self._items: deque[int] = deque(indices)
+    def __init__(self, items) -> None:
+        self._items: deque = deque(items)
         self._lock = threading.Lock()
 
-    def take(self) -> int | None:
+    def take(self):
         with self._lock:
             return self._items.popleft() if self._items else None
 
-    def put_back(self, idx: int) -> None:
-        """Return a query a failing engine could not finish."""
+    def put_back(self, item) -> None:
+        """Return work a failing engine could not finish."""
         with self._lock:
-            self._items.appendleft(idx)
+            self._items.appendleft(item)
 
     def __len__(self) -> int:
         with self._lock:
@@ -295,6 +357,8 @@ class ServiceBatchReport:
     failure_plan: list[tuple[int, int]] = field(default_factory=list)
     #: dispatch backend that served the batch (``thread`` or ``process``).
     backend: str = "thread"
+    #: whether cross-query sharing (result cache + source groups) was on.
+    sharing: bool = False
 
     @property
     def num_queries(self) -> int:
@@ -389,6 +453,18 @@ class ServiceBatchReport:
         return sum(r.num_paths for r in self.reports)
 
     @property
+    def deduped_queries(self) -> int:
+        """Duplicate queries answered from the result cache (cumulative
+        over the service's cache, like the rest of ``cache_stats``)."""
+        return self.cache_stats.get("result_hits", 0)
+
+    @property
+    def shared_frontiers(self) -> int:
+        """Forward-frontier memo hits — same-source queries that reused a
+        group's forward BFS instead of recomputing it."""
+        return self.cache_stats.get("forward_hits", 0)
+
+    @property
     def device_profiles(self) -> list[DeviceProfile]:
         """Per-query device profiles (non-empty only under ``profile=True``;
         empty-answer queries never allocate a device, so have none)."""
@@ -459,6 +535,16 @@ class BatchQueryService:
     mp_context:
         Process backend only: multiprocessing start method (``"fork"``,
         ``"spawn"``, ...); ``None`` uses the platform default.
+    sharing:
+        Enables cross-query work sharing: identical ``(s, t, k, budget)``
+        queries are answered once through the cache's single-flight
+        result memo (duplicates charged one memo probe), queries sharing
+        a source are scheduled as indivisible groups on one engine, and
+        their ``(k-1)``-hop forward BFS is computed once per group via
+        the forward-frontier memo.  Answers, device cycles and traffic
+        counters are exactly those of independent execution (the sharing
+        differential suite proves it); only redundant work — and with it
+        the modelled makespan — shrinks.  Off by default.
     inject_failures:
         Fault-injection hook: wrap N engines in :class:`FlakyEngine`.
         Their unfinished queries are requeued onto the surviving engines;
@@ -485,6 +571,7 @@ class BatchQueryService:
         backend: str = "thread",
         use_threads: bool = True,
         mp_context: str | None = None,
+        sharing: bool = False,
         inject_failures: int = 0,
         failure_seed: int | None = None,
         **engine_kwargs,
@@ -513,8 +600,13 @@ class BatchQueryService:
         self.use_threads = use_threads
         self.mp_context = mp_context
         self.engine_kwargs = dict(engine_kwargs)
+        self.sharing = sharing
         self.cost_model = cost_model or CpuCostModel()
-        self.cache = cache or GraphArtifactCache()
+        self.cache = cache or GraphArtifactCache(share_forward=sharing)
+        if sharing:
+            # An injected cache must share forward frontiers too, or the
+            # grouped schedule buys nothing.
+            self.cache.share_forward = True
         self.metrics = MetricsRegistry()
         self._pool = None
         #: cumulative cache stats of the worker-process caches (the
@@ -676,8 +768,7 @@ class BatchQueryService:
 
         wall_seconds = time.perf_counter() - wall_start
         cache_stats = dict(self.cache.stats())
-        for key in ("reverse_hits", "reverse_misses",
-                    "prebfs_hits", "prebfs_misses"):
+        for key in CACHE_STAT_KEYS:
             delta = cache_stats[key] - stats_before[key]
             if worker_stats is not None:
                 delta += worker_stats.get(key, 0)
@@ -706,6 +797,7 @@ class BatchQueryService:
             ],
             failure_plan=list(self.failure_plan),
             backend=self.backend,
+            sharing=self.sharing,
         )
         bspan.set_modelled(report.makespan_seconds).set(
             paths=report.total_paths,
@@ -718,14 +810,22 @@ class BatchQueryService:
         self, queries, effective, batch_deadline_s, degraded_cycle_budget,
         tracer, tr, profile,
     ):
-        assignment = SCHEDULERS[self.scheduler](
-            queries, self.num_engines, graph=self.graph
-        )
+        if self.sharing:
+            assignment = grouped_assignment(
+                self.scheduler, queries, self.num_engines,
+                graph=self.graph, cache=self.cache,
+            )
+        else:
+            assignment = SCHEDULERS[self.scheduler](
+                queries, self.num_engines, graph=self.graph,
+                cache=self.cache,
+            )
         reports: list[SystemReport | None] = [None] * len(queries)
         failed = [False] * self.num_engines
         servers = [
             EngineServer(system, effective, batch_deadline_s,
-                         degraded_cycle_budget, profile)
+                         degraded_cycle_budget, profile,
+                         share=self.sharing)
             for system in self.systems
         ]
 
@@ -791,7 +891,13 @@ class BatchQueryService:
                 )
             unserved.sort()
             self.metrics.increment("requeued_queries", len(unserved))
-            work = requeue(unserved, self.num_engines, survivors)
+            if self.sharing:
+                # Keep surviving source groups whole so the re-dispatch
+                # still shares forward frontiers and dedupes duplicates.
+                work = requeue_groups(queries, unserved,
+                                      self.num_engines, survivors)
+            else:
+                work = requeue(unserved, self.num_engines, survivors)
 
         host_busy = [s.host_busy for s in servers]
         device_busy = [s.device_busy for s in servers]
@@ -802,13 +908,20 @@ class BatchQueryService:
         self, queries, effective, batch_deadline_s, degraded_cycle_budget,
         tracer, tr, profile,
     ):
-        queue = _StealQueue(steal_order(queries, graph=self.graph))
+        if self.sharing:
+            items = grouped_steal_order(queries, graph=self.graph,
+                                        cache=self.cache)
+        else:
+            items = steal_order(queries, graph=self.graph,
+                                cache=self.cache)
+        queue = _StealQueue(items)
         assignment: Assignment = [[] for _ in range(self.num_engines)]
         reports: list[SystemReport | None] = [None] * len(queries)
         failed = [False] * self.num_engines
         servers = [
             EngineServer(system, effective, batch_deadline_s,
-                         degraded_cycle_budget, profile)
+                         degraded_cycle_budget, profile,
+                         share=self.sharing)
             for system in self.systems
         ]
 
@@ -816,23 +929,31 @@ class BatchQueryService:
             server = servers[engine_idx]
             with tr.track(f"engine{engine_idx}"):
                 while True:
-                    query_idx = queue.take()
-                    if query_idx is None:
+                    item = queue.take()
+                    if item is None:
                         return
-                    try:
-                        report, degraded = server.serve(
-                            queries[query_idx], tracer
-                        )
-                    except EngineFailure:
-                        failed[engine_idx] = True
-                        self.metrics.increment("engine_failures")
-                        self.metrics.increment("requeued_queries")
-                        queue.put_back(query_idx)
-                        return
-                    reports[query_idx] = report
-                    assignment[engine_idx].append(query_idx)
-                    observe_report(self.metrics, report, engine_idx,
-                                   degraded=degraded)
+                    # Sharing steals whole source groups; the per-query
+                    # mode steals bare indices.
+                    members = item if isinstance(item, list) else [item]
+                    for pos, query_idx in enumerate(members):
+                        try:
+                            report, degraded = server.serve(
+                                queries[query_idx], tracer
+                            )
+                        except EngineFailure:
+                            failed[engine_idx] = True
+                            self.metrics.increment("engine_failures")
+                            rest = members[pos:]
+                            self.metrics.increment("requeued_queries",
+                                                   len(rest))
+                            queue.put_back(
+                                rest if isinstance(item, list) else rest[0]
+                            )
+                            return
+                        reports[query_idx] = report
+                        assignment[engine_idx].append(query_idx)
+                        observe_report(self.metrics, report, engine_idx,
+                                       degraded=degraded)
 
         while len(queue):
             active = [
@@ -876,11 +997,13 @@ class BatchQueryService:
                 engine_kwargs=self.engine_kwargs,
                 failure_plan=self.failure_plan,
                 mp_context=self.mp_context,
+                sharing=self.sharing,
             )
         outcome = self._pool.run_batch(
             queries,
             scheduler=self.scheduler,
             graph=self.graph,
+            cache=self.cache,
             budget=effective,
             batch_deadline_s=batch_deadline_s,
             degraded_cycle_budget=degraded_cycle_budget,

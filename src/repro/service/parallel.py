@@ -51,7 +51,11 @@ from repro.service.scheduler import (
     SCHEDULERS,
     WORK_STEALING,
     Assignment,
+    group_by_source,
+    grouped_assignment,
+    grouped_steal_order,
     requeue,
+    requeue_groups,
     steal_order,
 )
 
@@ -61,7 +65,11 @@ POLL_INTERVAL = 0.2
 
 #: cache-stat keys folded into the service metrics.
 _CACHE_KEYS = ("reverse_hits", "reverse_misses",
-               "prebfs_hits", "prebfs_misses", "prebfs_entries")
+               "prebfs_hits", "prebfs_misses",
+               "forward_hits", "forward_misses",
+               "result_hits", "result_misses",
+               "build_failures", "prebfs_entries",
+               "forward_entries", "result_entries")
 
 
 @dataclass
@@ -95,7 +103,8 @@ def _worker_main(worker_idx, spec, fail_after, cmd_queue, result_queue,
 
     try:
         graph = spec["graph"]
-        cache = GraphArtifactCache()
+        sharing = spec.get("sharing", False)
+        cache = GraphArtifactCache(share_forward=sharing)
         # The coordinator warmed the graph before pickling it, so its
         # reverse-CSR memo rode along: pin it instead of rebuilding.
         cache.adopt(graph)
@@ -125,6 +134,7 @@ def _worker_main(worker_idx, spec, fail_after, cmd_queue, result_queue,
                 server = EngineServer(
                     system, opts["budget"], opts["batch_deadline_s"],
                     opts["degraded_cycle_budget"], opts["profile"],
+                    share=sharing,
                 )
                 trace = opts["trace"]
                 continue
@@ -162,18 +172,26 @@ def _worker_main(worker_idx, spec, fail_after, cmd_queue, result_queue,
                             continue
                         if task is None:  # sentinel: round over
                             break
-                        idx, query = task
-                        try:
-                            report, degraded = server.serve(query, tracer)
-                        except EngineFailure:
-                            failed_now = True
-                            unserved = [idx]
+                        # Sharing mode steals a whole source group (a
+                        # list of tasks); per-query mode steals one task.
+                        members = task if isinstance(task, list) else [task]
+                        for pos, (idx, query) in enumerate(members):
+                            try:
+                                report, degraded = server.serve(
+                                    query, tracer
+                                )
+                            except EngineFailure:
+                                failed_now = True
+                                unserved = [i for i, _ in members[pos:]]
+                                break
+                            result_queue.put(
+                                ("result", worker_idx, idx, report,
+                                 degraded)
+                            )
+                            observe_report(metrics, report, worker_idx,
+                                           degraded=degraded)
+                        if failed_now:
                             break
-                        result_queue.put(
-                            ("result", worker_idx, idx, report, degraded)
-                        )
-                        observe_report(metrics, report, worker_idx,
-                                       degraded=degraded)
             stats_after = cache.stats()
             result_queue.put(("round_done", worker_idx, {
                 "failed": failed_now,
@@ -227,6 +245,7 @@ class ProcessEnginePool:
 
     def __init__(self, graph, variant, num_engines, cost_model,
                  engine_kwargs, failure_plan, mp_context=None,
+                 sharing: bool = False,
                  poll_interval: float = POLL_INTERVAL) -> None:
         self.graph = graph
         self.variant = variant
@@ -235,6 +254,7 @@ class ProcessEnginePool:
         self.engine_kwargs = dict(engine_kwargs or {})
         self.failure_plan = list(failure_plan or [])
         self.mp_context = mp_context
+        self.sharing = sharing
         self.poll_interval = poll_interval
         self._procs = None
         self._cmd = None
@@ -260,6 +280,7 @@ class ProcessEnginePool:
             "variant": self.variant,
             "cost_model": self.cost_model,
             "engine_kwargs": self.engine_kwargs,
+            "sharing": self.sharing,
         }
         self._procs = []
         for w in range(self.num_engines):
@@ -309,7 +330,7 @@ class ProcessEnginePool:
     # -- batch serving -------------------------------------------------
     def run_batch(self, queries, scheduler, graph, budget,
                   batch_deadline_s, degraded_cycle_budget, profile,
-                  trace) -> BatchOutcome:
+                  trace, cache=None) -> BatchOutcome:
         """Serve one batch over the worker pool; see the module docstring."""
         self._ensure_started()
         live = [w for w in range(self.num_engines)
@@ -330,10 +351,11 @@ class ProcessEnginePool:
 
         state = _BatchState(len(queries), self.num_engines)
         if scheduler == WORK_STEALING:
-            assignment = self._run_stealing(queries, graph, live, state)
+            assignment = self._run_stealing(queries, graph, live, state,
+                                            cache=cache)
         else:
             assignment = self._run_static(queries, scheduler, graph, live,
-                                          state)
+                                          state, cache=cache)
 
         missing = [i for i, r in enumerate(state.reports) if r is None]
         if missing:
@@ -354,10 +376,17 @@ class ProcessEnginePool:
             worker_cache_stats=dict(state.cache_totals),
         )
 
-    def _run_static(self, queries, scheduler, graph, live, state):
-        assignment = SCHEDULERS[scheduler](
-            queries, self.num_engines, graph=graph
-        )
+    def _run_static(self, queries, scheduler, graph, live, state,
+                    cache=None):
+        if self.sharing:
+            assignment = grouped_assignment(
+                scheduler, queries, self.num_engines, graph=graph,
+                cache=cache,
+            )
+        else:
+            assignment = SCHEDULERS[scheduler](
+                queries, self.num_engines, graph=graph, cache=cache
+            )
         work = [list(part) for part in assignment]
         while True:
             participants = [
@@ -380,31 +409,52 @@ class ProcessEnginePool:
                 raise self._no_survivors(len(unserved), len(queries))
             unserved = sorted(set(unserved))
             state.requeued += len(unserved)
-            work = requeue(unserved, self.num_engines, survivors)
+            if self.sharing:
+                work = requeue_groups(queries, unserved,
+                                      self.num_engines, survivors)
+            else:
+                work = requeue(unserved, self.num_engines, survivors)
 
-    def _run_stealing(self, queries, graph, live, state):
-        pending = steal_order(queries, graph=graph)
+    def _run_stealing(self, queries, graph, live, state, cache=None):
+        # ``pending`` holds whole source groups under sharing (stolen as
+        # one unit) and singleton groups otherwise — the wire format for
+        # singletons stays a bare (idx, query) tuple.
+        if self.sharing:
+            pending = grouped_steal_order(queries, graph=graph, cache=cache)
+        else:
+            pending = [[i] for i in steal_order(queries, graph=graph,
+                                                cache=cache)]
         first = True
         while pending:
             participants = [
                 w for w in live
                 if w not in state.failed and w not in self._crashed
             ]
+            flat = [i for group in pending for i in group]
             if not participants:
-                raise self._no_survivors(len(pending), len(queries))
+                raise self._no_survivors(len(flat), len(queries))
             if not first:
-                state.requeued += len(pending)
-            tasks = [(i, queries[i]) for i in pending]
-            for task in tasks:
-                self._tasks.put(task)
+                state.requeued += len(flat)
+            for group in pending:
+                if self.sharing:
+                    self._tasks.put([(i, queries[i]) for i in group])
+                else:
+                    self._tasks.put((group[0], queries[group[0]]))
             for _ in participants:
                 self._tasks.put(None)
             unserved = self._round(
                 "steal", participants, state,
-                round_indices={None: list(pending)},
+                round_indices={None: flat},
             )
             first = False
-            pending = sorted(set(unserved))
+            unserved = sorted(set(unserved))
+            if self.sharing:
+                groups = group_by_source([queries[i] for i in unserved])
+                pending = [
+                    [unserved[j] for j in members] for members in groups
+                ]
+            else:
+                pending = [[i] for i in unserved]
         return state.as_served_assignment()
 
     def _round(self, kind, participants, state, tasks_of=None,

@@ -20,6 +20,14 @@ each query is allowed to answer:
 
 The work estimate never runs the query: it uses the hop budget and the
 out-degrees of the endpoints, the same signals Pre-BFS cost tracks.
+
+Cross-query sharing adds a *grouped* layer on top of each policy
+(:func:`grouped_assignment`, :func:`grouped_steal_order`,
+:func:`requeue_groups`): queries sharing a source are placed as one
+indivisible unit so a group's forward-frontier and result-cache reuse
+always happens on a single engine — which is also what makes the thread
+backend (one shared cache) and the process backend (worker-local caches)
+see identical hit patterns.
 """
 
 from __future__ import annotations
@@ -35,24 +43,50 @@ from repro.host.query import Query
 Assignment = list[list[int]]
 
 
-def estimate_query_work(graph: CSRGraph, query: Query) -> float:
+def _scheduling_reverse(graph: CSRGraph, cache=None) -> CSRGraph | None:
+    """The reverse CSR if it already exists, else ``None`` — never builds.
+
+    Work estimation is advisory, so it must not trigger an uncharged
+    reverse-CSR construction outside the artifact cache's hit/miss
+    accounting.  A warmed service cache answers via ``peek_reverse``;
+    otherwise the graph's own memo is consulted (read-only).
+    """
+    if cache is not None:
+        rev = cache.peek_reverse(graph)
+        if rev is not None:
+            return rev
+    if graph.has_cached_reverse:
+        return graph.reverse()
+    return None
+
+
+def estimate_query_work(graph: CSRGraph, query: Query,
+                        reverse: CSRGraph | None = None) -> float:
     """Cheap monotone proxy for a query's enumeration cost.
 
     Grows with the hop budget (search depth) and the endpoint degrees
     (branching at the search frontier on ``G`` and ``G_rev``).
+    ``reverse`` is the pre-resolved reverse CSR (resolve it once per
+    batch via the artifact cache, not once per query); when ``None`` the
+    in-degree of ``t`` is approximated by its out-degree.
     """
     out_s = float(graph.out_degree(query.source))
-    # in-degree of t == out-degree of t on the reverse graph; read it from
-    # the cached reverse when available, else approximate with out-degree.
-    if graph.has_cached_reverse:
-        in_t = float(graph.reverse().out_degree(query.target))
+    # in-degree of t == out-degree of t on the reverse graph.
+    if reverse is not None:
+        in_t = float(reverse.out_degree(query.target))
     else:
         in_t = float(graph.out_degree(query.target))
     return query.max_hops * (1.0 + out_s + in_t)
 
 
+def _estimate_all(queries: Sequence[Query], graph: CSRGraph,
+                  cache=None) -> list[float]:
+    reverse = _scheduling_reverse(graph, cache)
+    return [estimate_query_work(graph, q, reverse) for q in queries]
+
+
 def round_robin(queries: Sequence[Query], num_engines: int,
-                graph: CSRGraph | None = None) -> Assignment:
+                graph: CSRGraph | None = None, cache=None) -> Assignment:
     """Deal queries to engines in arrival order."""
     _check(num_engines)
     assignment: Assignment = [[] for _ in range(num_engines)]
@@ -63,7 +97,8 @@ def round_robin(queries: Sequence[Query], num_engines: int,
 
 def longest_first(queries: Sequence[Query], num_engines: int,
                   graph: CSRGraph | None = None,
-                  weights: Sequence[float] | None = None) -> Assignment:
+                  weights: Sequence[float] | None = None,
+                  cache=None) -> Assignment:
     """LPT: heaviest query first, always to the least-loaded engine.
 
     ``weights`` overrides the built-in estimate (e.g. with measured
@@ -77,7 +112,7 @@ def longest_first(queries: Sequence[Query], num_engines: int,
                 "longest-first needs the graph (or explicit weights) "
                 "to estimate per-query work"
             )
-        weights = [estimate_query_work(graph, q) for q in queries]
+        weights = _estimate_all(queries, graph, cache)
     elif len(weights) != len(queries):
         raise ConfigError(
             f"got {len(weights)} weights for {len(queries)} queries"
@@ -104,14 +139,7 @@ def requeue(pending: Sequence[int], num_engines: int,
     answers do not depend on thread interleaving.
     """
     _check(num_engines)
-    alive = list(dict.fromkeys(surviving))
-    for e in alive:
-        if not 0 <= e < num_engines:
-            raise ConfigError(
-                f"surviving engine {e} out of range for {num_engines} engines"
-            )
-    if not alive:
-        raise ConfigError("requeue needs at least one surviving engine")
+    alive = _surviving(num_engines, surviving)
     assignment: Assignment = [[] for _ in range(num_engines)]
     for i, query_idx in enumerate(pending):
         assignment[alive[i % len(alive)]].append(query_idx)
@@ -120,7 +148,8 @@ def requeue(pending: Sequence[int], num_engines: int,
 
 def steal_order(queries: Sequence[Query],
                 graph: CSRGraph | None = None,
-                weights: Sequence[float] | None = None) -> list[int]:
+                weights: Sequence[float] | None = None,
+                cache=None) -> list[int]:
     """Seed order of the shared work-stealing queue: heaviest first.
 
     Greedy list scheduling approximates LPT when the expensive queries
@@ -132,12 +161,120 @@ def steal_order(queries: Sequence[Query],
     if weights is None:
         if graph is None:
             return list(range(len(queries)))
-        weights = [estimate_query_work(graph, q) for q in queries]
+        weights = _estimate_all(queries, graph, cache)
     elif len(weights) != len(queries):
         raise ConfigError(
             f"got {len(weights)} weights for {len(queries)} queries"
         )
     return sorted(range(len(queries)), key=lambda i: (-weights[i], i))
+
+
+# -- source-group scheduling (cross-query sharing) ---------------------
+
+def group_by_source(queries: Sequence[Query]) -> list[list[int]]:
+    """Partition batch indices into groups sharing a query source.
+
+    Groups appear in first-appearance order of their source and keep
+    their members in batch order, so grouping is a deterministic function
+    of the batch alone.  Duplicated ``(s, t, k)`` queries naturally land
+    in the same group, which is what lets the result cache dedupe them
+    on one engine.
+    """
+    by_source: dict[int, list[int]] = {}
+    for i, q in enumerate(queries):
+        by_source.setdefault(q.source, []).append(i)
+    return list(by_source.values())
+
+
+def grouped_assignment(scheduler: str, queries: Sequence[Query],
+                       num_engines: int,
+                       graph: CSRGraph | None = None,
+                       cache=None) -> Assignment:
+    """Static assignment that never splits a source group across engines.
+
+    ``round-robin`` deals whole groups in first-appearance order;
+    ``longest-first`` runs LPT over groups weighted by the sum of their
+    members' estimates.  Members stay contiguous and in batch order
+    inside their engine's list, so each group's queries run back to back
+    — the forward frontier is resident when the rest of the group needs
+    it.
+    """
+    _check(num_engines)
+    groups = group_by_source(queries)
+    assignment: Assignment = [[] for _ in range(num_engines)]
+    if scheduler == "round-robin":
+        for g, members in enumerate(groups):
+            assignment[g % num_engines].extend(members)
+        return assignment
+    if scheduler == "longest-first":
+        if graph is None:
+            raise ConfigError(
+                "longest-first needs the graph to estimate per-query work"
+            )
+        weights = _estimate_all(queries, graph, cache)
+        group_weights = [sum(weights[i] for i in members)
+                         for members in groups]
+        order = sorted(range(len(groups)),
+                       key=lambda g: (-group_weights[g], g))
+        loads = [0.0] * num_engines
+        for g in order:
+            engine = min(range(num_engines), key=lambda e: (loads[e], e))
+            assignment[engine].extend(groups[g])
+            loads[engine] += group_weights[g]
+        return assignment
+    raise ConfigError(f"unknown static scheduler {scheduler!r}")
+
+
+def grouped_steal_order(queries: Sequence[Query],
+                        graph: CSRGraph | None = None,
+                        cache=None) -> list[list[int]]:
+    """Work-stealing queue of whole source groups, heaviest group first.
+
+    An idle engine steals a *group*, not a query — sharing requires the
+    whole group to run on whichever engine takes it.  Without a graph the
+    queue falls back to first-appearance order.
+    """
+    groups = group_by_source(queries)
+    if graph is None:
+        return groups
+    weights = _estimate_all(queries, graph, cache)
+    group_weights = [sum(weights[i] for i in members) for members in groups]
+    order = sorted(range(len(groups)),
+                   key=lambda g: (-group_weights[g], g))
+    return [groups[g] for g in order]
+
+
+def requeue_groups(queries: Sequence[Query], pending: Sequence[int],
+                   num_engines: int,
+                   surviving: Sequence[int]) -> Assignment:
+    """Redistribute unfinished batch indices, keeping source groups whole.
+
+    The group analogue of :func:`requeue`: the ``pending`` indices are
+    re-partitioned by source and the groups dealt round-robin over the
+    survivors in order, each kept whole — so a re-dispatched group still
+    shares its forward frontier and dedupes its duplicates on one engine.
+    """
+    _check(num_engines)
+    alive = _surviving(num_engines, surviving)
+    groups = group_by_source([queries[i] for i in pending])
+    assignment: Assignment = [[] for _ in range(num_engines)]
+    for g, members in enumerate(groups):
+        assignment[alive[g % len(alive)]].extend(
+            pending[j] for j in members
+        )
+    return assignment
+
+
+def _surviving(num_engines: int, surviving: Sequence[int]) -> list[int]:
+    alive = list(dict.fromkeys(surviving))
+    for e in alive:
+        if not 0 <= e < num_engines:
+            raise ConfigError(
+                f"surviving engine {e} out of range for {num_engines} engines"
+            )
+    if not alive:
+        raise ConfigError("requeue needs at least one surviving engine")
+    return alive
 
 
 def _check(num_engines: int) -> None:

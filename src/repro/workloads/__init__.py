@@ -1,6 +1,10 @@
 """Query workload generation and timing runners."""
 
-from repro.workloads.queries import generate_queries, reachable_targets
+from repro.workloads.queries import (
+    generate_queries,
+    generate_shared_batch,
+    reachable_targets,
+)
 from repro.workloads.intermediate import (
     ExpansionCount,
     newly_generated_by_length,
@@ -15,6 +19,7 @@ from repro.workloads.runner import (
 
 __all__ = [
     "generate_queries",
+    "generate_shared_batch",
     "reachable_targets",
     "ExpansionCount",
     "newly_generated_by_length",

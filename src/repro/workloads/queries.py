@@ -68,3 +68,81 @@ def generate_queries(
         target = int(targets[rng.integers(0, targets.size)])
         queries.append(Query(source, target, max_hops))
     return queries
+
+
+def generate_shared_batch(
+    graph: CSRGraph,
+    max_hops: int,
+    count: int,
+    seed: int = 0,
+    duplicate_fraction: float = 0.5,
+    source_pool: int = 4,
+    max_attempts_factor: int = 50,
+) -> list[Query]:
+    """Sample a batch with the overlap structure of real serving traffic.
+
+    Production batches (the batch hop-constrained path literature, and
+    the millions-of-users story of the serving layer) repeat themselves:
+    many queries share a source, and a sizable fraction are exact
+    ``(s, t, k)`` duplicates.  This generator reproduces both knobs
+    deterministically:
+
+    - the distinct queries draw their sources from a pool of at most
+      ``source_pool`` distinct vertices (uniformly per query), so
+      same-source groups are large;
+    - ``duplicate_fraction`` of the final batch are exact copies of
+      earlier queries (uniformly chosen), shuffled into the batch.
+
+    ``duplicate_fraction=0, source_pool>=count`` degenerates to
+    :func:`generate_queries`-style independent traffic.
+    """
+    if count < 1:
+        return []
+    if not 0.0 <= duplicate_fraction < 1.0:
+        raise DatasetError(
+            f"duplicate_fraction must be in [0, 1), "
+            f"got {duplicate_fraction}"
+        )
+    if source_pool < 1:
+        raise DatasetError(f"source_pool must be >= 1, got {source_pool}")
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    if n < 2:
+        raise DatasetError("graph too small to generate queries")
+
+    n_dup = int(count * duplicate_fraction)
+    n_distinct = max(1, count - n_dup)
+    n_dup = count - n_distinct
+
+    # Build the source pool: vertices with at least one k-hop-reachable
+    # target, sampled without replacement.
+    pool: list[int] = []
+    pool_targets: dict[int, np.ndarray] = {}
+    attempts = 0
+    max_attempts = max_attempts_factor * source_pool
+    while len(pool) < source_pool and attempts < max_attempts:
+        attempts += 1
+        source = int(rng.integers(0, n))
+        if source in pool_targets:
+            continue
+        targets = reachable_targets(graph, source, max_hops)
+        if targets.size == 0:
+            continue
+        pool.append(source)
+        pool_targets[source] = targets
+    if not pool:
+        raise DatasetError(
+            f"could not find a source with reachable targets within "
+            f"{max_attempts} attempts"
+        )
+
+    queries: list[Query] = []
+    for _ in range(n_distinct):
+        source = pool[int(rng.integers(0, len(pool)))]
+        targets = pool_targets[source]
+        target = int(targets[rng.integers(0, targets.size)])
+        queries.append(Query(source, target, max_hops))
+    for _ in range(n_dup):
+        queries.append(queries[int(rng.integers(0, n_distinct))])
+    order = rng.permutation(count)
+    return [queries[i] for i in order]

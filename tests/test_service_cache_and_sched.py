@@ -14,8 +14,13 @@ from repro.service.cache import GraphArtifactCache
 from repro.service.scheduler import (
     SCHEDULERS,
     estimate_query_work,
+    group_by_source,
+    grouped_assignment,
+    grouped_steal_order,
     longest_first,
+    requeue_groups,
     round_robin,
+    steal_order,
 )
 
 
@@ -121,6 +126,268 @@ class TestGraphArtifactCache:
         assert graph.rev_builds == 1
 
 
+class TestCacheLifecycle:
+    """Regression tests for clear()/builder races and builder exceptions."""
+
+    def test_clear_during_build_does_not_repopulate(self, graph):
+        """A builder racing with clear() must not silently repopulate the
+        just-cleared cache; its caller still gets the value and the miss
+        is still counted (the work was done and charged)."""
+        cache = GraphArtifactCache()
+        query = Query(0, 5, 4)
+        in_build = threading.Event()
+        finish_build = threading.Event()
+        real_pre_bfs = pre_bfs
+
+        def slow_build(g, q, counter=None, sd_s=None):
+            in_build.set()
+            finish_build.wait(timeout=5.0)
+            return real_pre_bfs(g, q, counter, sd_s=sd_s)
+
+        import repro.service.cache as cache_mod
+        results = []
+
+        def builder():
+            results.append(cache.pre_bfs(graph, query))
+
+        original = cache_mod.pre_bfs
+        cache_mod.pre_bfs = slow_build
+        try:
+            t = threading.Thread(target=builder)
+            t.start()
+            assert in_build.wait(timeout=5.0)
+            cache.clear()  # races with the in-flight build
+            finish_build.set()
+            t.join(timeout=5.0)
+        finally:
+            cache_mod.pre_bfs = original
+        assert len(results) == 1
+        assert cache.prebfs_misses == 1
+        # The stale build was discarded: the cache is still empty, and a
+        # fresh lookup rebuilds into the new generation.
+        assert cache.stats()["prebfs_entries"] == 0
+        rebuilt = cache.pre_bfs(graph, query)
+        assert cache.prebfs_misses == 2
+        assert cache.stats()["prebfs_entries"] == 1
+        assert rebuilt is cache.pre_bfs(graph, query)
+
+    def test_clear_leaves_waiters_rebuilding_fresh(self, graph):
+        """Waiters blocked on a latch while clear() runs must wake, find
+        the cache empty, and rebuild — not deadlock or read stale state."""
+        cache = GraphArtifactCache()
+        query = Query(0, 5, 4)
+        in_build = threading.Event()
+        finish_build = threading.Event()
+        real_pre_bfs = pre_bfs
+        calls = []
+
+        def slow_build(g, q, counter=None, sd_s=None):
+            calls.append(1)
+            if len(calls) == 1:
+                in_build.set()
+                finish_build.wait(timeout=5.0)
+            return real_pre_bfs(g, q, counter, sd_s=sd_s)
+
+        import repro.service.cache as cache_mod
+        results = []
+
+        def worker():
+            results.append(cache.pre_bfs(graph, query))
+
+        original = cache_mod.pre_bfs
+        cache_mod.pre_bfs = slow_build
+        try:
+            builder = threading.Thread(target=worker)
+            builder.start()
+            assert in_build.wait(timeout=5.0)
+            waiter = threading.Thread(target=worker)
+            waiter.start()
+            cache.clear()
+            finish_build.set()
+            builder.join(timeout=5.0)
+            waiter.join(timeout=5.0)
+        finally:
+            cache_mod.pre_bfs = original
+        assert len(results) == 2
+        # First build discarded (stale generation); the waiter re-probed
+        # the empty cache and rebuilt: two misses, entry present.
+        assert cache.prebfs_misses == 2
+        assert cache.stats()["prebfs_entries"] == 1
+
+    def test_builder_exception_releases_waiters_single_miss(self, graph):
+        """A raising builder must wake its waiters without recording a
+        miss; the retry that succeeds counts exactly one miss total."""
+        cache = GraphArtifactCache()
+        query = Query(0, 5, 4)
+        barrier = threading.Barrier(2)
+        real_pre_bfs = pre_bfs
+        calls = []
+
+        def flaky_build(g, q, counter=None, sd_s=None):
+            calls.append(1)
+            if len(calls) == 1:
+                barrier.wait(timeout=5.0)  # waiter is queued behind us
+                raise RuntimeError("injected builder failure")
+            return real_pre_bfs(g, q, counter, sd_s=sd_s)
+
+        import repro.service.cache as cache_mod
+        outcomes = []
+
+        def first():
+            try:
+                cache.pre_bfs(graph, query)
+                outcomes.append("ok")
+            except RuntimeError:
+                outcomes.append("raised")
+
+        def second():
+            barrier.wait(timeout=5.0)
+            outcomes.append(cache.pre_bfs(graph, query))
+
+        original = cache_mod.pre_bfs
+        cache_mod.pre_bfs = flaky_build
+        try:
+            t1 = threading.Thread(target=first)
+            t2 = threading.Thread(target=second)
+            t1.start()
+            t2.start()
+            t1.join(timeout=5.0)
+            t2.join(timeout=5.0)
+        finally:
+            cache_mod.pre_bfs = original
+        assert "raised" in outcomes
+        assert cache.prebfs_misses == 1  # only the successful retry
+        assert cache.build_failures == 1
+        assert cache.prebfs_hits == 0
+        assert cache.stats()["prebfs_entries"] == 1
+
+    def test_result_cache_builder_exception_not_cached(self, graph):
+        cache = GraphArtifactCache()
+        query = Query(0, 5, 4)
+
+        def bad_build():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            cache.result(graph, query, None, bad_build)
+        assert cache.result_misses == 0
+        assert cache.build_failures == 1
+        value, hit = cache.result(graph, query, None, lambda: "answer")
+        assert (value, hit) == ("answer", False)
+        assert cache.result_misses == 1
+
+
+class TestSingleFlightMemos:
+    """Satellite: two threads, one missing key, slow builder -> exactly
+    one build, one miss, one hit — for Pre-BFS and the result cache."""
+
+    def test_prebfs_two_threads_one_build(self, graph):
+        cache = GraphArtifactCache()
+        query = Query(0, 5, 4)
+        in_build = threading.Event()
+        release = threading.Event()
+        real_pre_bfs = pre_bfs
+        builds = []
+
+        def slow_build(g, q, counter=None, sd_s=None):
+            builds.append(1)
+            in_build.set()
+            release.wait(timeout=5.0)
+            return real_pre_bfs(g, q, counter, sd_s=sd_s)
+
+        import repro.service.cache as cache_mod
+        results = []
+
+        def worker():
+            results.append(cache.pre_bfs(graph, query))
+
+        original = cache_mod.pre_bfs
+        cache_mod.pre_bfs = slow_build
+        try:
+            t1 = threading.Thread(target=worker)
+            t1.start()
+            assert in_build.wait(timeout=5.0)
+            t2 = threading.Thread(target=worker)
+            t2.start()
+            release.set()
+            t1.join(timeout=5.0)
+            t2.join(timeout=5.0)
+        finally:
+            cache_mod.pre_bfs = original
+        assert len(builds) == 1
+        assert cache.prebfs_misses == 1
+        assert cache.prebfs_hits == 1
+        assert results[0] is results[1]
+
+    def test_result_cache_two_threads_one_build(self, graph):
+        cache = GraphArtifactCache()
+        query = Query(0, 5, 4)
+        in_build = threading.Event()
+        release = threading.Event()
+        builds = []
+
+        def slow_build():
+            builds.append(1)
+            in_build.set()
+            release.wait(timeout=5.0)
+            return ("the", "answer")
+
+        outcomes = []
+
+        def worker():
+            outcomes.append(
+                cache.result(graph, query, None, slow_build)
+            )
+
+        t1 = threading.Thread(target=worker)
+        t1.start()
+        assert in_build.wait(timeout=5.0)
+        t2 = threading.Thread(target=worker)
+        t2.start()
+        release.set()
+        t1.join(timeout=5.0)
+        t2.join(timeout=5.0)
+        assert len(builds) == 1
+        assert cache.result_misses == 1
+        assert cache.result_hits == 1
+        values = sorted(o[1] for o in outcomes)
+        assert values == [False, True]  # one miss, one hit
+        assert all(o[0] is outcomes[0][0] for o in outcomes)
+
+    def test_result_cache_hit_charges_probe(self, graph):
+        cache = GraphArtifactCache()
+        query = Query(0, 5, 4)
+        cache.result(graph, query, None, lambda: "x")
+        ops = OpCounter()
+        value, hit = cache.result(graph, query, None, lambda: "y",
+                                  counter=ops)
+        assert (value, hit) == ("x", True)
+        assert ops.as_dict() == {"set_lookup": 1}
+
+    def test_result_cache_keys_on_budget(self, graph):
+        cache = GraphArtifactCache()
+        query = Query(0, 5, 4)
+        cache.result(graph, query, "budget-a", lambda: "full")
+        value, hit = cache.result(graph, query, "budget-b",
+                                  lambda: "truncated")
+        assert (value, hit) == ("truncated", False)
+        assert cache.result_misses == 2
+
+    def test_forward_frontier_memo(self, graph):
+        cache = GraphArtifactCache()
+        first = cache.forward_frontier(graph, 0, 3)
+        second = cache.forward_frontier(graph, 0, 3)
+        assert first is second
+        assert cache.forward_misses == 1
+        assert cache.forward_hits == 1
+        ops = OpCounter()
+        cache.forward_frontier(graph, 0, 3, ops)
+        assert ops.as_dict() == {"set_lookup": 1}
+        # a different hop budget is a different artifact
+        cache.forward_frontier(graph, 0, 2)
+        assert cache.forward_misses == 2
+
+
 class TestSchedulers:
     def queries(self, n, k=4):
         return [Query(i, i + 1, k) for i in range(n)]
@@ -175,3 +442,94 @@ class TestSchedulers:
 
     def test_registry_names(self):
         assert set(SCHEDULERS) == {"round-robin", "longest-first"}
+
+    def test_scheduling_never_builds_reverse(self):
+        """Work estimation is advisory — it must not trigger an uncharged
+        reverse-CSR build on a cold graph (satellite regression)."""
+        cold = G.gnm_random(30, 140, seed=11)
+        queries = [Query(0, 5, 3), Query(1, 6, 5), Query(0, 7, 4)]
+        longest_first(queries, 2, graph=cold)
+        steal_order(queries, graph=cold)
+        grouped_assignment("longest-first", queries, 2, graph=cold)
+        grouped_steal_order(queries, graph=cold)
+        assert cold.rev_builds == 0
+
+    def test_scheduling_uses_cache_reverse(self, graph):
+        """A warmed artifact cache supplies the reverse CSR via
+        peek_reverse, so the estimate sees true in-degrees without the
+        graph's own memo being populated."""
+        cache = GraphArtifactCache()
+        cache.warm(graph)
+        queries = [Query(0, 5, 3), Query(1, 6, 5)]
+        assignment = longest_first(queries, 2, graph=graph, cache=cache)
+        flat = sorted(i for part in assignment for i in part)
+        assert flat == [0, 1]
+        assert cache.reverse_misses == 1  # only the warm
+
+
+class TestGrouping:
+    def queries(self):
+        # sources: 3, 1, 3, 2, 1, 3 -> groups [0,2,5], [1,4], [3]
+        return [Query(3, 10, 4), Query(1, 11, 4), Query(3, 12, 4),
+                Query(2, 13, 4), Query(1, 14, 4), Query(3, 15, 4)]
+
+    def test_group_by_source_first_appearance_order(self):
+        assert group_by_source(self.queries()) == [[0, 2, 5], [1, 4], [3]]
+
+    def test_group_by_source_keeps_duplicates_together(self):
+        queries = [Query(0, 5, 4), Query(1, 6, 4), Query(0, 5, 4)]
+        assert group_by_source(queries) == [[0, 2], [1]]
+
+    def test_grouped_round_robin_deals_whole_groups(self):
+        assignment = grouped_assignment("round-robin", self.queries(), 2)
+        assert assignment == [[0, 2, 5, 3], [1, 4]]
+
+    def test_grouped_assignment_never_splits_groups(self, graph):
+        queries = [Query(i % 3, 5 + i, 4) for i in range(9)]
+        for scheduler in ("round-robin", "longest-first"):
+            assignment = grouped_assignment(scheduler, queries, 4,
+                                            graph=graph)
+            placement = {}
+            for e, part in enumerate(assignment):
+                for i in part:
+                    placement[i] = e
+            for members in group_by_source(queries):
+                engines = {placement[i] for i in members}
+                assert len(engines) == 1
+            assert sorted(placement) == list(range(9))
+
+    def test_grouped_longest_first_is_lpt_over_groups(self, graph):
+        assignment = grouped_assignment("longest-first", self.queries(),
+                                        2, graph=graph)
+        flat = sorted(i for part in assignment for i in part)
+        assert flat == list(range(6))
+
+    def test_grouped_assignment_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            grouped_assignment("mystery", self.queries(), 2)
+
+    def test_grouped_longest_first_needs_graph(self):
+        with pytest.raises(ConfigError):
+            grouped_assignment("longest-first", self.queries(), 2)
+
+    def test_grouped_steal_order_heaviest_group_first(self, graph):
+        order = grouped_steal_order(self.queries(), graph=graph)
+        assert sorted(i for g in order for i in g) == list(range(6))
+        groups = group_by_source(self.queries())
+        assert sorted(map(tuple, order)) == sorted(map(tuple, groups))
+
+    def test_grouped_steal_order_without_graph(self):
+        assert grouped_steal_order(self.queries()) == [[0, 2, 5], [1, 4],
+                                                       [3]]
+
+    def test_requeue_groups_keeps_groups_whole(self):
+        queries = self.queries()
+        pending = [0, 3, 5, 4]  # sources 3, 2, 3, 1
+        assignment = requeue_groups(queries, pending, 3, surviving=[0, 2])
+        # groups over pending: source 3 -> [0, 5], source 2 -> [3],
+        # source 1 -> [4]; dealt round-robin over engines 0, 2.
+        assert assignment == [[0, 5, 4], [], [3]]
+
+    def test_requeue_groups_needs_survivors(self):
+        with pytest.raises(ConfigError):
+            requeue_groups(self.queries(), [0, 1], 2, surviving=[])

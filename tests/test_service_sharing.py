@@ -1,0 +1,223 @@
+"""Differential tests for cross-query work sharing: shared == naive.
+
+Sharing (``BatchQueryService(sharing=True)``) dedupes identical queries
+through the result cache, groups same-source queries onto one engine and
+shares their forward BFS.  None of that may change *what* the service
+answers: for seeded duplicate-heavy batches, the shared service must
+produce the same sorted path sets, per-query path counts and truncation
+flags, the same per-query modelled device cycles and the same device
+traffic counters as the naive service — across backends, schedulers,
+budgets and fault seeds.  Host preprocessing seconds (T1) are exactly
+what sharing is allowed to shrink, so the fingerprint excludes them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import QueryBudget
+from repro.graph import generators as G
+from repro.service import BatchQueryService
+from repro.workloads import generate_shared_batch
+
+GRAPHS = {
+    "gnm": lambda: G.gnm_random(50, 200, seed=31),
+    "chung_lu": lambda: G.chung_lu(60, 300, seed=32),
+    "community": lambda: G.community_graph(
+        3, 12, p_in=0.3, inter_edges=8, seed=33
+    ),
+}
+
+SCHEDULERS = ("round-robin", "longest-first", "work-stealing")
+
+
+def make_batch(graph, count=16, seed=3, duplicate_fraction=0.5,
+               source_pool=4, max_hops=4):
+    return generate_shared_batch(
+        graph, max_hops, count, seed=seed,
+        duplicate_fraction=duplicate_fraction, source_pool=source_pool,
+    )
+
+
+def run_service(graph, queries, run_kwargs=None, **kwargs):
+    service = BatchQueryService(graph, **kwargs)
+    try:
+        return service.run(queries, **(run_kwargs or {}))
+    finally:
+        service.close()
+
+
+def shared_fingerprint(report):
+    """Everything sharing must preserve, in comparable form.
+
+    Answers, truncation, per-query device cycles and device traffic — but
+    not host preprocessing time, which sharing legitimately shrinks.
+    """
+    return {
+        "path_sets": report.path_sets(),
+        "path_counts": [r.num_paths for r in report.reports],
+        "device_cycles": [r.fpga_cycles for r in report.reports],
+        "truncated": [r.truncated for r in report.reports],
+        "engine_stats": [r.engine_stats for r in report.reports],
+        "output_bytes": report.path_output_bytes(),
+    }
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_sharing_equals_naive(graph_name, scheduler):
+    graph = GRAPHS[graph_name]()
+    queries = make_batch(graph, seed=sum(map(ord, graph_name)))
+    naive = run_service(graph, queries, num_engines=2, scheduler=scheduler)
+    shared = run_service(graph, queries, num_engines=2,
+                         scheduler=scheduler, sharing=True)
+    assert shared_fingerprint(shared) == shared_fingerprint(naive)
+    assert shared.sharing and not naive.sharing
+    assert shared.deduped_queries > 0, (
+        "batch chosen without duplicates: the result cache was not "
+        "exercised"
+    )
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+@pytest.mark.parametrize("workers", [1, 2, 3])
+def test_backends_agree_under_sharing(scheduler, workers):
+    """Serial == thread == process with sharing on: grouping pins every
+    source group to one engine, so worker-local process caches see the
+    same hit pattern as the one shared thread cache."""
+    graph = GRAPHS["gnm"]()
+    queries = make_batch(graph, seed=5)
+    serial = run_service(graph, queries, num_engines=workers,
+                         scheduler=scheduler, use_threads=False,
+                         sharing=True)
+    threaded = run_service(graph, queries, num_engines=workers,
+                           scheduler=scheduler, sharing=True)
+    process = run_service(graph, queries, num_engines=workers,
+                          scheduler=scheduler, backend="process",
+                          sharing=True)
+    reference = shared_fingerprint(serial)
+    assert shared_fingerprint(threaded) == reference
+    assert shared_fingerprint(process) == reference
+
+
+@pytest.mark.parametrize("scheduler", ["round-robin", "longest-first"])
+def test_process_matches_thread_preprocess_seconds(scheduler):
+    """Static schedulers: the process backend's modelled host seconds
+    match the thread backend exactly under sharing — the grouping
+    equivalence argument (docs/TIMING_MODEL.md) made concrete."""
+    graph = GRAPHS["chung_lu"]()
+    queries = make_batch(graph, seed=13)
+    threaded = run_service(graph, queries, num_engines=2,
+                           scheduler=scheduler, sharing=True)
+    process = run_service(graph, queries, num_engines=2,
+                          scheduler=scheduler, backend="process",
+                          sharing=True)
+    t_prep = [r.preprocess_seconds for r in threaded.reports]
+    p_prep = [r.preprocess_seconds for r in process.reports]
+    assert p_prep == t_prep
+    assert process.host_seconds_total == threaded.host_seconds_total
+
+
+def test_sharing_equals_naive_under_budgets():
+    """Truncated answers dedupe too — the result key carries the budget,
+    so a capped answer is only ever reused under the budget that made it."""
+    graph = GRAPHS["chung_lu"]()
+    queries = make_batch(graph, seed=9, max_hops=5)
+    run_kwargs = {"budget": QueryBudget(max_results=5)}
+    naive = run_service(graph, queries, run_kwargs=run_kwargs,
+                        num_engines=2, scheduler="longest-first")
+    shared = run_service(graph, queries, run_kwargs=run_kwargs,
+                         num_engines=2, scheduler="longest-first",
+                         sharing=True)
+    assert shared_fingerprint(shared) == shared_fingerprint(naive)
+    assert any(r.truncated for r in naive.reports), (
+        "budget chosen too loose: the truncation path was not exercised"
+    )
+
+
+def test_budget_changes_result_cache_key():
+    """The same batch under different budgets must not alias cache
+    entries: a full answer never masquerades as a truncated one."""
+    graph = GRAPHS["gnm"]()
+    queries = make_batch(graph, seed=21, max_hops=5)
+    service = BatchQueryService(graph, num_engines=1, sharing=True)
+    try:
+        full = service.run(queries)
+        capped = service.run(queries, budget=QueryBudget(max_results=3))
+    finally:
+        service.close()
+    naive_capped = run_service(graph, queries,
+                               run_kwargs={"budget":
+                                           QueryBudget(max_results=3)},
+                               num_engines=1)
+    assert (shared_fingerprint(capped)
+            == shared_fingerprint(naive_capped))
+    assert full.total_paths >= capped.total_paths
+    assert any(r.truncated for r in capped.reports)
+
+
+@pytest.mark.parametrize("failure_seed", [1, 4])
+def test_sharing_equals_naive_under_faults(failure_seed):
+    """Requeued groups stay whole, so a failed engine's unfinished work
+    still dedupes — and the answers still match the naive service."""
+    graph = GRAPHS["community"]()
+    queries = make_batch(graph, seed=17)
+    kwargs = dict(num_engines=3, scheduler="round-robin",
+                  inject_failures=1, failure_seed=failure_seed)
+    naive = run_service(graph, queries, **kwargs)
+    shared = run_service(graph, queries, sharing=True, **kwargs)
+    assert shared_fingerprint(shared) == shared_fingerprint(naive)
+    assert shared.failure_plan == naive.failure_plan
+
+
+def test_duplicates_run_once():
+    """Counter contract: distinct queries miss, duplicates hit."""
+    graph = GRAPHS["gnm"]()
+    queries = make_batch(graph, count=20, seed=7)
+    distinct = len({(q.source, q.target, q.max_hops) for q in queries})
+    report = run_service(graph, queries, num_engines=2,
+                         scheduler="longest-first", sharing=True)
+    stats = report.cache_stats
+    assert stats["result_misses"] == distinct
+    assert stats["result_hits"] == len(queries) - distinct
+    assert report.deduped_queries == len(queries) - distinct
+    assert report.total_paths == sum(r.num_paths for r in report.reports)
+
+
+def test_forward_frontier_shared_within_groups():
+    """Same-source queries of one hop budget build their forward BFS
+    once; every further member of the group hits the memo."""
+    graph = GRAPHS["gnm"]()
+    queries = make_batch(graph, count=20, seed=7, source_pool=3)
+    report = run_service(graph, queries, num_engines=2,
+                         scheduler="round-robin", sharing=True)
+    stats = report.cache_stats
+    distinct_frontiers = len({(q.source, q.max_hops) for q in queries})
+    assert stats["forward_misses"] == distinct_frontiers
+    # Only result-cache *misses* reach Pre-BFS, and of those only the
+    # first per frontier builds; the rest probe the memo.
+    assert (stats["forward_hits"]
+            == stats["result_misses"] - distinct_frontiers)
+    assert report.shared_frontiers == stats["forward_hits"]
+
+
+def test_naive_service_records_no_sharing_traffic():
+    graph = GRAPHS["gnm"]()
+    queries = make_batch(graph, seed=3)
+    report = run_service(graph, queries, num_engines=2)
+    stats = report.cache_stats
+    assert stats.get("result_hits", 0) == 0
+    assert stats.get("result_misses", 0) == 0
+    assert stats.get("forward_hits", 0) == 0
+    assert report.deduped_queries == 0
+
+
+def test_sharing_scenario_models_speedup():
+    """The perfbench scenario's acceptance bar: >= 2x modelled speedup on
+    a 50%-duplicate batch, with equivalence and backend agreement."""
+    from repro.perfbench.scenarios import SCENARIOS
+
+    metrics = dict(SCENARIOS["service.batch_sharing"].build(7))
+    assert metrics["sharing_equivalent"].value == 1.0
+    assert metrics["backends_agree"].value == 1.0
+    assert metrics["modelled_speedup_x"].value >= 2.0
