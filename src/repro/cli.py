@@ -230,6 +230,20 @@ def _write_observability_artifacts(args, service, report, tracer) -> int:
     return 0
 
 
+def _trace_artifacts(path: str) -> tuple[str, str, str]:
+    """(trace.jsonl, profile.json, metrics.prom) paths for a trace arg."""
+    import os
+
+    if os.path.isdir(path):
+        base = path
+        trace_path = os.path.join(base, "trace.jsonl")
+    else:
+        base = os.path.dirname(path)
+        trace_path = path
+    return (trace_path, os.path.join(base, "profile.json"),
+            os.path.join(base, "metrics.prom"))
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     import json
     import os
@@ -238,12 +252,7 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     from repro.reporting.trace import trace_report
 
     path = args.trace
-    if os.path.isdir(path):
-        trace_path = os.path.join(path, "trace.jsonl")
-        profile_path = os.path.join(path, "profile.json")
-    else:
-        trace_path = path
-        profile_path = os.path.join(os.path.dirname(path), "profile.json")
+    trace_path, profile_path, metrics_path = _trace_artifacts(path)
     records = read_jsonl(trace_path) if os.path.exists(trace_path) else []
     profile = None
     if os.path.exists(profile_path):
@@ -254,6 +263,43 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     print(trace_report(records, profile))
+    # A partially-populated directory is normal (no --profile, or metrics
+    # exported elsewhere); note what is missing instead of erroring.
+    if profile is None:
+        print()
+        print(f"note: no profile.json under {os.path.dirname(profile_path)}"
+              " — device-cycle tables skipped (rerun serve-batch with "
+              "--profile to collect them)")
+    if not os.path.exists(metrics_path):
+        print()
+        print(f"note: no metrics.prom under {os.path.dirname(metrics_path)}"
+              " — exported counters not shown")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.observability import analyze_trace, read_jsonl
+    from repro.reporting.trace import attribution_report
+
+    trace_path, _, _ = _trace_artifacts(args.trace)
+    if not os.path.exists(trace_path):
+        print(f"error: no trace.jsonl under {args.trace} "
+              "(record one with serve-batch --trace-dir)", file=sys.stderr)
+        return 1
+    attribution = analyze_trace(read_jsonl(trace_path))
+    if not attribution.waterfalls:
+        print(f"error: no query spans in {trace_path} — nothing to "
+              "attribute", file=sys.stderr)
+        return 1
+    print(attribution_report(attribution))
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(attribution.to_dict(), fh, indent=2)
+        print()
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -323,12 +369,12 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="regenerate one paper experiment (tab2, fig8..fig15, tab3) "
              "or drive continuous benchmarking "
-             "(run | compare | report | trend | list)",
+             "(run | compare | report | trend | attribute | list)",
     )
     b.add_argument("experiment",
                    help="experiment id (e.g. fig8, fig14, tab3) or a "
                         "perfbench command: run, compare, report, "
-                        "trend, list")
+                        "trend, attribute, list")
     b.add_argument("rest", nargs=argparse.REMAINDER,
                    help="arguments of the chosen command "
                         "(see `repro bench run --help`)")
@@ -406,6 +452,18 @@ def build_parser() -> argparse.ArgumentParser:
     tre.add_argument("trace",
                      help="trace directory, or a trace.jsonl file")
     tre.set_defaults(func=_cmd_trace_report)
+
+    an = sub.add_parser(
+        "analyze",
+        help="latency attribution of a recorded trace: per-query "
+             "waterfalls, critical path, engine timelines, tail "
+             "attribution",
+    )
+    an.add_argument("trace",
+                    help="trace directory, or a trace.jsonl file")
+    an.add_argument("--json", default=None, metavar="FILE",
+                    help="also write the attribution as JSON to FILE")
+    an.set_defaults(func=_cmd_analyze)
     return parser
 
 

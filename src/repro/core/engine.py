@@ -277,7 +277,8 @@ class PEFPEngine:
             profiler.mark_setup(clock.cycles)
         if tracer:
             tracer.complete("kernel_setup", setup_wall,
-                            modelled_seconds=clock.cycles / frequency)
+                            modelled_seconds=clock.cycles / frequency,
+                            cycles=clock.cycles)
 
         # --- hot-path tables and constants ------------------------------
         # Every charged cycle below is the closed form of the memory-model
@@ -377,6 +378,7 @@ class PEFPEngine:
                         tracer.complete(
                             "refill", refill_wall,
                             modelled_seconds=refill_cycles / frequency,
+                            cycles=refill_cycles,
                             paths=len(block),
                         )
                     continue  # re-check the cycle budget after the stall
@@ -771,12 +773,26 @@ class PEFPEngine:
                         stage_cycles=stage_breakdown,
                     )
                 if tracer:
+                    # The exact cycle split the attribution layer reads
+                    # (see repro.observability.analysis): the pipeline
+                    # window is bounded by its slowest stage (busy) or
+                    # the DRAM channels (stall); busy + stall + overhead
+                    # tiles the iteration's clock delta exactly.
+                    slowest = max(t1, t2, t3, t4, t5)
                     tracer.complete(
                         "batch", iter_wall0,
                         modelled_seconds=iter_cycles / frequency,
                         entries=n_e,
                         expansions=n_items,
                         results=len(batch_results),
+                        cycles=iter_cycles,
+                        busy_cycles=slowest,
+                        stall_cycles=(batch_cycles - overhead - slowest
+                                      + stats.stage_cycles.get("flush", 0)
+                                      - flush_cycles0),
+                        overhead_cycles=overhead,
+                        bound=("verify" if t4 == slowest and slowest > 0
+                               else "expand"),
                     )
 
             if max_results is not None and n_results >= max_results:

@@ -231,6 +231,7 @@ class PathEnumerationSystem:
                     cycles=run.cycles,
                     batches=run.stats.batches,
                     truncated=run.truncated,
+                    frequency_hz=run.device.config.frequency_hz,
                 )
             with tr.span("dma_to_device", detach=True, track="pcie",
                          words=payload_words) as dspan:

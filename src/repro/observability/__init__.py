@@ -9,7 +9,10 @@ Three pieces, all opt-in and zero-cost when off:
   ``trace_event`` export of a recorded trace, laid out on the modelled
   clock;
 - :mod:`repro.observability.prometheus` — text exposition (and a tiny
-  HTTP endpoint) for :class:`repro.service.metrics.MetricsRegistry`.
+  HTTP endpoint) for :class:`repro.service.metrics.MetricsRegistry`;
+- :mod:`repro.observability.analysis` — latency attribution over a
+  finished trace or a batch report: per-query waterfalls, critical-path
+  extraction, tail and regression attribution (``repro analyze``).
 
 Device-side profiling counters live with the FPGA model in
 :mod:`repro.fpga.profile`; the batch service folds them into registry
@@ -17,6 +20,22 @@ histograms.  See ``docs/OBSERVABILITY.md`` for the span taxonomy and the
 reconciliation invariants the test suite enforces.
 """
 
+from repro.observability.analysis import (
+    DEVICE_SEGMENTS,
+    SERVICE_SEGMENTS,
+    BatchAttribution,
+    CriticalPath,
+    EngineTimeline,
+    QueryWaterfall,
+    RegressionAttribution,
+    SegmentDelta,
+    TailAttribution,
+    analyze_report,
+    analyze_trace,
+    attribute_regression,
+    diff_segment_seconds,
+    split_batch_cycles,
+)
 from repro.observability.chrome import (
     chrome_trace,
     query_durations_seconds,
@@ -36,15 +55,29 @@ from repro.observability.tracer import (
 )
 
 __all__ = [
+    "BatchAttribution",
+    "CriticalPath",
+    "DEVICE_SEGMENTS",
+    "EngineTimeline",
     "MetricsHTTPServer",
     "NULL_TRACER",
     "NullTracer",
+    "QueryWaterfall",
+    "RegressionAttribution",
+    "SERVICE_SEGMENTS",
+    "SegmentDelta",
     "Span",
     "SpanRecord",
+    "TailAttribution",
     "Tracer",
+    "analyze_report",
+    "analyze_trace",
+    "attribute_regression",
     "chrome_trace",
+    "diff_segment_seconds",
     "query_durations_seconds",
     "read_jsonl",
     "render_prometheus",
+    "split_batch_cycles",
     "write_chrome_trace",
 ]

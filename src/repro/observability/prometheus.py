@@ -1,10 +1,11 @@
 """Prometheus text exposition for a :class:`MetricsRegistry`.
 
 :func:`render_prometheus` turns a registry snapshot into the Prometheus
-text format (version 0.0.4): counters become ``counter`` metrics, sample
-series become ``summary`` metrics (quantiles from the reservoir, exact
-``_sum``/``_count``), histograms become ``histogram`` metrics with
-cumulative ``le`` buckets.  :class:`MetricsHTTPServer` serves the
+text format (version 0.0.4): counters become ``counter`` metrics, gauges
+(point-in-time levels such as the attribution layer's segment shares)
+become ``gauge`` metrics, sample series become ``summary`` metrics
+(quantiles from the reservoir, exact ``_sum``/``_count``), histograms
+become ``histogram`` metrics with cumulative ``le`` buckets.  :class:`MetricsHTTPServer` serves the
 rendering at ``/metrics`` from a background thread, so a long-running
 service can be scraped while batches are in flight — the registry is
 locked per snapshot, never per scrape line.
@@ -46,6 +47,11 @@ def render_prometheus(registry: MetricsRegistry,
         metric = _metric_name(prefix, name)
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {snap['counters'][name]}")
+
+    for name in sorted(snap.get("gauges", ())):
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(snap['gauges'][name])}")
 
     for name in sorted(snap["series"]):
         summary = snap["series"][name]

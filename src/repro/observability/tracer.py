@@ -155,23 +155,36 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
-    def _current_track(self) -> str:
-        return getattr(self._local, "track", DEFAULT_TRACK)
+    def _resolve_track(self, parent: "Span | None") -> str:
+        """Track of a new span: enclosing scope, else parent, else main.
+
+        The explicit :meth:`track` scope outranks parent inheritance so
+        an engine worker's spans land on its ``engine{i}`` row even when
+        the serving loop runs serially on the coordinator thread (where
+        the ``serve_batch`` span — a ``main``-track span — is still open
+        and becomes the parent).  Serial, threaded and process-backend
+        traces therefore assign identical tracks, which is what lets the
+        attribution layer group queries by engine regardless of backend.
+        """
+        scoped = getattr(self._local, "track", None)
+        if scoped is not None:
+            return scoped
+        return parent.track if parent else DEFAULT_TRACK
 
     def span(self, name: str, *, track: str | None = None,
              detach: bool = False, **attrs) -> Span:
         """Open a span named ``name``; use as ``with tracer.span(...)``.
 
-        The parent is the innermost open span *on this thread*; the track
-        is inherited from the parent, or from the enclosing
-        :meth:`track` scope for top-level spans.  ``detach=True`` forces
-        a parentless span (used for PCIe transfers, which live on their
-        own track rather than inside the query that issued them).
+        The parent is the innermost open span *on this thread*; the
+        track comes from the enclosing :meth:`track` scope, falling back
+        to the parent's track.  ``detach=True`` forces a parentless span
+        (used for PCIe transfers, which live on their own track rather
+        than inside the query that issued them).
         """
         stack = self._stack()
         parent = stack[-1] if stack and not detach else None
         if track is None:
-            track = parent.track if parent else self._current_track()
+            track = self._resolve_track(parent)
         return Span(self, next(self._ids),
                     parent.span_id if parent else None, name, track,
                     dict(attrs))
@@ -190,7 +203,7 @@ class Tracer:
         stack = self._stack()
         parent = stack[-1] if stack else None
         if track is None:
-            track = parent.track if parent else self._current_track()
+            track = self._resolve_track(parent)
         record = SpanRecord(
             span_id=next(self._ids),
             parent_id=parent.span_id if parent else None,

@@ -1,4 +1,4 @@
-"""Handlers behind ``repro bench run | compare | report | trend | list``.
+"""Handlers behind ``repro bench run|compare|report|trend|attribute|list``.
 
 The top-level parser (``repro.cli``) forwards the raw argument tail here
 so the legacy spelling ``repro bench fig8`` keeps working next to the
@@ -38,7 +38,10 @@ from repro.perfbench.snapshot import (
 )
 
 #: the perfbench verbs (anything else is a legacy experiment id).
-BENCH_COMMANDS = ("run", "compare", "report", "trend", "list")
+BENCH_COMMANDS = ("run", "compare", "report", "trend", "attribute", "list")
+
+#: the scenario whose per-segment metrics `bench attribute` diffs.
+ATTRIBUTION_SCENARIO = "service.attribution"
 
 #: exit code of a failed regression gate (distinct from usage errors).
 GATE_FAILED = 3
@@ -190,6 +193,74 @@ def _cmd_trend(argv: list[str]) -> int:
     return 0
 
 
+def _segment_seconds_from(path: str) -> tuple[dict[str, float], str]:
+    """Per-segment latency totals from one attribution source.
+
+    ``path`` is either a trace directory / ``trace.jsonl`` file (the
+    totals come from :func:`analyze_trace`) or a ``BENCH_<n>.json``
+    snapshot (the medians of the ``service.attribution`` scenario's
+    ``segment/<name>_seconds`` metrics).  Returns the totals plus the
+    resolved source label.
+    """
+    import os
+    import re
+
+    if os.path.isdir(path) or path.endswith(".jsonl"):
+        from repro.observability import analyze_trace, read_jsonl
+
+        trace_path = (os.path.join(path, "trace.jsonl")
+                      if os.path.isdir(path) else path)
+        if not os.path.exists(trace_path):
+            raise ConfigError(
+                f"no trace.jsonl under {path!r} (record one with "
+                f"serve-batch --trace-dir)"
+            )
+        attribution = analyze_trace(read_jsonl(trace_path))
+        return attribution.segment_seconds(), trace_path
+
+    snapshot = load_snapshot(path)
+    stats = snapshot.scenarios.get(ATTRIBUTION_SCENARIO)
+    if stats is None:
+        raise ConfigError(
+            f"{path!r} records no {ATTRIBUTION_SCENARIO!r} scenario; "
+            f"re-run `repro bench run` to capture segment metrics"
+        )
+    segments: dict[str, float] = {}
+    for name, metric in stats.metrics.items():
+        match = re.fullmatch(r"segment/(.+)_seconds", name)
+        if match:
+            segments[match.group(1)] = metric.median
+    return segments, path
+
+
+def _cmd_attribute(argv: list[str]) -> int:
+    parser = _parser("attribute")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="trace dir / trace.jsonl / BENCH_<n>.json "
+                             "(default: second-latest snapshot in --dir)")
+    parser.add_argument("--candidate", default=None, metavar="PATH",
+                        help="trace dir / trace.jsonl / BENCH_<n>.json "
+                             "(default: latest snapshot in --dir)")
+    parser.add_argument("--dir", default=".",
+                        help="snapshot directory (default: cwd)")
+    opts = parser.parse_args(argv)
+
+    from repro.observability import diff_segment_seconds
+    from repro.reporting.trace import regression_table
+
+    baseline_path, candidate_path = opts.baseline, opts.candidate
+    if baseline_path is None or candidate_path is None:
+        default_base, default_cand = _default_compare_pair(opts.dir)
+        baseline_path = baseline_path or default_base
+        candidate_path = candidate_path or default_cand
+    baseline, baseline_src = _segment_seconds_from(baseline_path)
+    candidate, candidate_src = _segment_seconds_from(candidate_path)
+    regression = diff_segment_seconds(baseline, candidate)
+    print(f"attributing {baseline_src} -> {candidate_src}")
+    print(regression_table(regression))
+    return 0
+
+
 def _cmd_list(argv: list[str]) -> int:
     parser = _parser("list")
     parser.parse_args(argv)
@@ -209,6 +280,7 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "report": _cmd_report,
     "trend": _cmd_trend,
+    "attribute": _cmd_attribute,
     "list": _cmd_list,
 }
 

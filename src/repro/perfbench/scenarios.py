@@ -563,6 +563,67 @@ def _build_engine_profile(seed: int) -> dict[str, Metric]:
     return metrics
 
 
+def _build_service_attribution(seed: int) -> dict[str, Metric]:
+    """Gate the latency-attribution reconciliation invariant.
+
+    One traced + profiled batch is attributed twice — from the recorded
+    span trace and from the batch report — and the scenario gates the
+    exactness story end to end: per-query cycle tiling, critical path ==
+    makespan float for float, trace/report agreement, and span hygiene
+    (no span left open).  The per-segment totals are recorded so
+    ``repro bench attribute`` can diff two snapshots and rank segments
+    by their contribution to a regression.
+
+    The batch is served without cross-query sharing: result-cache hits
+    answer without opening a ``query`` span, so a sharing batch's trace
+    covers only the executed queries (documented caveat).
+    """
+    from repro.observability import Tracer, analyze_report, analyze_trace
+
+    service, queries = _service("rt", 4, 24, seed)
+    tracer = Tracer()
+    try:
+        report = service.run(queries, tracer=tracer, profile=True)
+    finally:
+        service.close()
+    trace_attr = analyze_trace(tracer.records())
+    report_attr = analyze_report(report)
+
+    metrics: dict[str, Metric] = {
+        "reconciled": _count(
+            "reconciled",
+            float(trace_attr.reconciled and report_attr.reconciled),
+            headline=True),
+        "trace_report_agree": _count(
+            "trace_report_agree", float(trace_attr.matches(report_attr)),
+            headline=True),
+        "critical_path_is_makespan": _count(
+            "critical_path_is_makespan",
+            float(report_attr.critical_path.length_seconds
+                  == report.makespan_seconds)),
+        "open_spans": _count("open_spans", tracer.open_spans),
+        "attributed_queries": _count(
+            "attributed_queries", trace_attr.num_queries),
+        "makespan_seconds": _modelled(
+            "makespan_seconds", report_attr.makespan_seconds,
+            headline=True),
+        "queue_wait_seconds": _modelled(
+            "queue_wait_seconds",
+            sum(w.queue_wait_seconds for w in report_attr.waterfalls)),
+    }
+    for segment, cycles in report_attr.segment_cycles().items():
+        metrics[f"segment/{segment}_cycles"] = _cycles(
+            f"segment/{segment}_cycles", cycles)
+    for segment, seconds in report_attr.segment_seconds().items():
+        metrics[f"segment/{segment}_seconds"] = _modelled(
+            f"segment/{segment}_seconds", seconds)
+    tail = report_attr.tail()
+    if tail is not None:
+        metrics["tail_mean_seconds"] = _modelled(
+            "tail_mean_seconds", tail.tail_mean_seconds)
+    return metrics
+
+
 def _build_tracing_overhead(seed: int) -> dict[str, Metric]:
     raw = measure_tracing_overhead(seed)
     return {
@@ -648,6 +709,13 @@ def _register_all() -> None:
         "service.deadline.rt",
         "service", "per-query deadline serving on RT (truncation path)",
         True, _build_service_deadline,
+    ))
+    _register(Scenario(
+        "service.attribution",
+        "service", "latency-attribution reconciliation gate: waterfalls "
+        "tile the recorded totals exactly, trace- and report-based "
+        "attribution agree, no span left open",
+        True, _build_service_attribution,
     ))
     _register(Scenario(
         "overhead.tracing",

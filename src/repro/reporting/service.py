@@ -98,9 +98,28 @@ def engine_table(report) -> str:
     )
 
 
+def attribution_section(report) -> str | None:
+    """Critical-path and tail attribution, when the batch was profiled.
+
+    Returns ``None`` for unprofiled reports: the waterfall would degrade
+    to one undifferentiated kernel segment, which the engine table
+    already shows better.
+    """
+    if not getattr(report, "device_profiles", None):
+        return None
+    from repro.reporting.trace import critical_path_table, tail_table
+
+    attribution = report.attribution()
+    return "\n\n".join(
+        (critical_path_table(attribution), tail_table(attribution))
+    )
+
+
 def service_report_table(report) -> str:
     """The full plain-text service report."""
-    return "\n\n".join(
-        (latency_table(report), robustness_table(report),
-         cache_table(report), engine_table(report))
-    )
+    parts = [latency_table(report), robustness_table(report),
+             cache_table(report), engine_table(report)]
+    attribution = attribution_section(report)
+    if attribution is not None:
+        parts.append(attribution)
+    return "\n\n".join(parts)

@@ -169,6 +169,157 @@ def verify_funnel_table(funnel: dict) -> str:
     )
 
 
+def waterfall_table(attribution) -> str:
+    """Per-query latency waterfall of a :class:`BatchAttribution`.
+
+    One row per executed query, in (engine, serve position) order; the
+    kernel columns are the exact cycle split rendered as seconds.  A
+    trailing ``~`` marks rows whose split fell back to an
+    undifferentiated kernel segment (old trace or unprofiled report).
+    """
+    rows = []
+    for wf in attribution.waterfalls:
+        segments = wf.segment_seconds()
+        query = ("-" if wf.source is None
+                 else f"{wf.source}->{wf.target} k={wf.max_hops}")
+        rows.append((
+            f"{wf.engine}/q{wf.position}" + ("" if wf.detailed else " ~"),
+            query,
+            format_seconds(wf.queue_wait_seconds),
+            format_seconds(segments["preprocess"]),
+            format_seconds(segments["kernel_setup"]),
+            format_seconds(segments["kernel_expand"]),
+            format_seconds(segments["kernel_verify"]),
+            format_seconds(segments["kernel_stall"]),
+            format_seconds(segments["kernel_overhead"]),
+            format_seconds(wf.total_seconds),
+            "yes" if wf.reconciled else "NO",
+        ))
+    return render_table(
+        ("query", "s->t", "wait", "preproc", "setup", "expand", "verify",
+         "stall", "overhead", "total", "reconciled"),
+        rows,
+        title="latency waterfalls (modelled clock)",
+    )
+
+
+def critical_path_table(attribution) -> str:
+    """The batch's critical path: what bounds the makespan."""
+    path = attribution.critical_path
+    where = ("serial host CPU (T1)" if path.kind == "host"
+             else f"busiest engine kernel chain ({path.engine})")
+    rows = [
+        ("bound by", where),
+        ("chain length", f"{len(path.steps)} steps"),
+        ("chain time", format_seconds(path.length_seconds)),
+        ("batch makespan", format_seconds(attribution.makespan_seconds)),
+        ("host CPU total (T1)",
+         format_seconds(attribution.host_seconds_total)),
+        ("device makespan (T2)",
+         format_seconds(attribution.device_makespan_seconds)),
+    ]
+    if path.steps:
+        label, seconds = max(path.steps, key=lambda s: s[1])
+        rows.append(("longest step", f"{label} ({format_seconds(seconds)})"))
+    return render_table(("critical path", "value"), rows,
+                        title="critical path")
+
+
+def timeline_table(attribution) -> str:
+    """Per-engine occupancy over the batch."""
+    rows = [
+        (t.engine, t.queries, format_seconds(t.host_seconds),
+         format_seconds(t.device_seconds),
+         f"{attribution.utilization(t):.1%}")
+        for t in attribution.timelines
+    ]
+    return render_table(
+        ("engine", "queries", "host busy", "device busy", "utilization"),
+        rows,
+        title="engine timelines",
+    )
+
+
+def tail_table(attribution, decile: float = 0.1) -> str:
+    """Why the slow queries are slow: tail vs median segment means."""
+    tail = attribution.tail(decile)
+    if tail is None:
+        return "(no queries to attribute)"
+    rows = []
+    for segment in sorted(
+        tail.tail_segments,
+        key=lambda s: -(tail.tail_segments.get(s, 0.0)
+                        - tail.median_segments.get(s, 0.0)),
+    ):
+        t = tail.tail_segments.get(segment, 0.0)
+        m = tail.median_segments.get(segment, 0.0)
+        rows.append((segment, format_seconds(t), format_seconds(m),
+                     format_seconds(t - m)))
+    rows.append(("(queue wait)",
+                 format_seconds(tail.tail_queue_wait_seconds),
+                 format_seconds(tail.median_queue_wait_seconds),
+                 format_seconds(tail.tail_queue_wait_seconds
+                                - tail.median_queue_wait_seconds)))
+    title = (
+        f"tail attribution (slowest {tail.tail_count} vs median; "
+        f"dominant: {tail.dominant_segment})"
+    )
+    return render_table(
+        ("segment", "tail mean", "median", "excess"), rows, title=title
+    )
+
+
+def attribution_report(attribution) -> str:
+    """The full ``repro analyze`` rendering of one batch attribution."""
+    parts = [waterfall_table(attribution)]
+    parts.append("")
+    parts.append(critical_path_table(attribution))
+    parts.append("")
+    parts.append(timeline_table(attribution))
+    parts.append("")
+    parts.append(tail_table(attribution))
+    if not attribution.reconciled:
+        parts.append("")
+        parts.append("WARNING: attribution does NOT reconcile exactly — "
+                     "segments do not tile the recorded totals.")
+    return "\n".join(parts)
+
+
+def regression_table(regression) -> str:
+    """Ranked segment contributions to a latency delta.
+
+    ``regression`` is a
+    :class:`repro.observability.analysis.RegressionAttribution`; rows
+    are sorted by absolute contribution so the first row answers "where
+    did the regression come from".
+    """
+    rows = []
+    for delta in regression.ranked():
+        share = regression.share_of_delta(delta)
+        rows.append((
+            delta.segment,
+            format_seconds(delta.baseline_seconds),
+            format_seconds(delta.candidate_seconds),
+            ("+" if delta.delta_seconds >= 0 else "-")
+            + format_seconds(abs(delta.delta_seconds)),
+            f"{share:+.1%}" if regression.delta_total else "-",
+        ))
+    total_delta = regression.delta_total
+    rows.append((
+        "TOTAL",
+        format_seconds(regression.baseline_total),
+        format_seconds(regression.candidate_total),
+        ("+" if total_delta >= 0 else "-")
+        + format_seconds(abs(total_delta)),
+        "100.0%" if total_delta else "-",
+    ))
+    return render_table(
+        ("segment", "baseline", "candidate", "delta", "share of delta"),
+        rows,
+        title="regression attribution",
+    )
+
+
 def trace_report(records: list[SpanRecord],
                  profile: dict | None = None) -> str:
     """The full ``repro trace-report`` rendering."""
@@ -177,6 +328,11 @@ def trace_report(records: list[SpanRecord],
         parts.append(span_summary_table(records))
         parts.append("")
         parts.append(track_summary_table(records))
+        if any(r.name == "query" for r in records):
+            from repro.observability.analysis import analyze_trace
+
+            parts.append("")
+            parts.append(attribution_report(analyze_trace(records)))
     else:
         parts.append("(no spans recorded)")
     if profile is not None:

@@ -91,7 +91,16 @@ CACHE_STAT_KEYS = (
     "prebfs_hits", "prebfs_misses",
     "forward_hits", "forward_misses",
     "result_hits", "result_misses",
+    "build_failures",
 )
+
+#: sharing/lifecycle counters re-exported under their report-level names
+#: (``ServiceBatchReport.deduped_queries`` et al.) so the Prometheus
+#: exposition carries the same vocabulary the reports and docs use.
+SHARING_COUNTER_ALIASES = {
+    "deduped_queries": "result_hits",
+    "shared_frontiers": "forward_hits",
+}
 
 #: dispatch backends the service supports.
 BACKENDS = ("thread", "process")
@@ -475,6 +484,16 @@ class ServiceBatchReport:
         profiles = self.device_profiles
         return aggregate_profiles(profiles) if profiles else None
 
+    def attribution(self):
+        """Latency attribution of this batch: per-query waterfalls,
+        critical path, per-engine timelines, tail attribution (see
+        :mod:`repro.observability.analysis`).  Exact cycle splits need
+        ``profile=True``; without profiles the kernel time is attributed
+        as one undifferentiated segment."""
+        from repro.observability.analysis import analyze_report
+
+        return analyze_report(self)
+
     def path_sets(self) -> list[frozenset[tuple[int, ...]]]:
         """Per-query answer sets, in batch order (for equivalence checks)."""
         return [frozenset(r.paths) for r in self.reports]
@@ -768,11 +787,15 @@ class BatchQueryService:
 
         wall_seconds = time.perf_counter() - wall_start
         cache_stats = dict(self.cache.stats())
+        deltas: dict[str, int] = {}
         for key in CACHE_STAT_KEYS:
             delta = cache_stats[key] - stats_before[key]
             if worker_stats is not None:
                 delta += worker_stats.get(key, 0)
+            deltas[key] = delta
             self.metrics.increment(key, delta)
+        for alias, key in SHARING_COUNTER_ALIASES.items():
+            self.metrics.increment(alias, deltas[key])
         if worker_stats is not None:
             # Fold the worker-process caches into the reported view; the
             # coordinator cache itself only ever sees the warmup build.
@@ -803,7 +826,37 @@ class BatchQueryService:
             paths=report.total_paths,
             truncated=report.truncated_queries,
         )
+        if profile and report.device_profiles:
+            self._export_attribution_gauges(report)
         return report
+
+    def _export_attribution_gauges(self, report: ServiceBatchReport) -> None:
+        """Publish the latest batch's segment shares as gauges.
+
+        One gauge per service segment (``attribution/<segment>_share``,
+        the segment's fraction of the batch's total modelled service
+        time) plus the critical-path kind — the scrapeable form of the
+        `repro analyze` waterfall.  Only runs under ``profile=True``, so
+        the disabled path stays zero-cost.
+        """
+        attribution = report.attribution()
+        totals = attribution.segment_seconds()
+        total = sum(totals.values())
+        for segment, seconds in totals.items():
+            self.metrics.set_gauge(
+                f"attribution/{segment}_share",
+                seconds / total if total else 0.0,
+            )
+        self.metrics.set_gauge(
+            "attribution/host_bound",
+            1.0 if attribution.critical_path.kind == "host" else 0.0,
+        )
+        queue_wait = sum(
+            wf.queue_wait_seconds for wf in attribution.waterfalls
+        )
+        self.metrics.set_gauge(
+            "attribution/queue_wait_seconds_total", queue_wait
+        )
 
     # -- thread backend, static schedulers ----------------------------
     def _dispatch_thread_static(
@@ -1017,8 +1070,11 @@ class BatchQueryService:
                                    outcome.engine_failures)
         if outcome.requeued:
             self.metrics.increment("requeued_queries", outcome.requeued)
-        if outcome.trace_records:
-            tr.ingest(outcome.trace_records)
+        # One ingest per worker round: each round's tracer numbered its
+        # spans from 1, so remapping them together would cross-wire
+        # parent links between workers.
+        for worker_round in outcome.trace_records:
+            tr.ingest(worker_round)
         failed = [
             e in outcome.failed_engines for e in range(self.num_engines)
         ]

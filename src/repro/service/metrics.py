@@ -208,6 +208,7 @@ class MetricsRegistry:
             )
         self._lock = threading.Lock()
         self._counters: Counter[str] = Counter()
+        self._gauges: dict[str, float] = {}
         self._series: dict[str, _Series] = {}
         self._histograms: dict[str, _Histogram] = {}
         self._capacity = max_samples_per_series
@@ -218,6 +219,7 @@ class MetricsRegistry:
         with self._lock:
             return {
                 "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
                 "series": self._series,
                 "histograms": self._histograms,
                 "capacity": self._capacity,
@@ -227,6 +229,7 @@ class MetricsRegistry:
     def __setstate__(self, state: dict) -> None:
         self._lock = threading.Lock()
         self._counters = Counter(state["counters"])
+        self._gauges = dict(state.get("gauges", {}))
         self._series = state["series"]
         self._histograms = state["histograms"]
         self._capacity = state["capacity"]
@@ -242,6 +245,22 @@ class MetricsRegistry:
         """Current value of counter ``name`` (0 if never incremented)."""
         with self._lock:
             return self._counters.get(name, 0)
+
+    # -- gauges --------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins).
+
+        Gauges carry point-in-time levels — the attribution layer's
+        per-segment latency shares of the most recent batch — where a
+        monotone counter would be meaningless.
+        """
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def gauge(self, name: str) -> float | None:
+        """Current value of gauge ``name`` (``None`` if never set)."""
+        with self._lock:
+            return self._gauges.get(name)
 
     # -- sample series -------------------------------------------------
     def observe(self, name: str, value: float) -> None:
@@ -320,6 +339,7 @@ class MetricsRegistry:
             raise ConfigError("cannot merge a registry into itself")
         with other._lock:
             counters = dict(other._counters)
+            gauges = dict(other._gauges)
             series = {
                 name: (s.count, s.total, s.minimum, s.maximum,
                        list(s.reservoir))
@@ -332,6 +352,9 @@ class MetricsRegistry:
         with self._lock:
             for name, n in counters.items():
                 self._counters[name] += n
+            # Gauges are levels, not totals: the merged-in (newer)
+            # registry's value wins.
+            self._gauges.update(gauges)
             for name, (count, total, mn, mx, reservoir) in series.items():
                 mine = self._series.get(name)
                 if mine is None:
@@ -370,6 +393,7 @@ class MetricsRegistry:
         """
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             series = {
                 name: s.summary()
                 for name, s in self._series.items()
@@ -382,6 +406,7 @@ class MetricsRegistry:
             }
         return {
             "counters": counters,
+            "gauges": gauges,
             "series": series,
             "histograms": histograms,
         }

@@ -86,7 +86,10 @@ class BatchOutcome:
     requeued: int
     #: per-round worker registries, in deterministic (round, worker) order.
     metric_registries: list[MetricsRegistry]
-    trace_records: list
+    #: per-(round, worker) span-record lists, same order.  Kept separate —
+    #: every worker round numbers its spans from 1, so each list must be
+    #: ingested on its own for parent links to remap without colliding.
+    trace_records: list[list]
     #: summed per-run cache-stat deltas of every worker-local cache.
     worker_cache_stats: dict[str, int] = field(default_factory=dict)
 
@@ -518,7 +521,8 @@ class ProcessEnginePool:
             state.host_busy[w] = payload["host_busy"]
             state.device_busy[w] = payload["device_busy"]
             state.metric_registries.append(payload["metrics"])
-            state.trace_records.extend(payload["trace"])
+            if payload["trace"]:
+                state.trace_records.append(payload["trace"])
             state.cache_totals.update(payload["cache_delta"])
             if payload["failed"]:
                 state.failed.add(w)
@@ -584,7 +588,7 @@ class _BatchState:
         self.engine_failures = 0
         self.requeued = 0
         self.metric_registries: list[MetricsRegistry] = []
-        self.trace_records: list = []
+        self.trace_records: list[list] = []
         self.cache_totals: Counter = Counter()
         self.served_by: list[list[int]] = [[] for _ in range(num_engines)]
 

@@ -174,3 +174,84 @@ class TestObservabilityFlags:
                    "--failure-seed", "21"])
         assert rc == 0
         assert "failed" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    @pytest.fixture
+    def traced_dir(self, graph_file, tmp_path):
+        trace_dir = tmp_path / "trace"
+        assert main(["serve-batch", graph_file, "-k", "4", "-n", "6",
+                     "--engines", "2", "--profile",
+                     "--trace-dir", str(trace_dir)]) == 0
+        return trace_dir
+
+    def test_analyze_renders_attribution(self, traced_dir, capsys):
+        capsys.readouterr()
+        rc = main(["analyze", str(traced_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency waterfalls" in out
+        assert "critical path" in out
+        assert "engine timelines" in out
+        assert "tail attribution" in out
+        assert "NO" not in out  # every row reconciled
+
+    def test_analyze_writes_json(self, traced_dir, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "attribution.json"
+        rc = main(["analyze", str(traced_dir), "--json", str(out_path)])
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["reconciled"] is True
+        assert doc["num_queries"] == 6
+
+    def test_analyze_missing_trace(self, tmp_path, capsys):
+        rc = main(["analyze", str(tmp_path / "nothing")])
+        assert rc == 1
+        assert "no trace.jsonl" in capsys.readouterr().err
+
+    def test_bench_attribute_diffs_two_traces(self, traced_dir,
+                                              graph_file, tmp_path,
+                                              capsys):
+        other = tmp_path / "other"
+        assert main(["serve-batch", graph_file, "-k", "4", "-n", "6",
+                     "--engines", "2", "--seed", "9", "--profile",
+                     "--trace-dir", str(other)]) == 0
+        capsys.readouterr()
+        rc = main(["bench", "attribute", "--baseline", str(traced_dir),
+                   "--candidate", str(other)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "regression attribution" in out
+        assert "kernel_verify" in out
+        assert "TOTAL" in out
+
+
+class TestTraceReportDegradation:
+    def test_missing_profile_notes_instead_of_erroring(self, graph_file,
+                                                       tmp_path, capsys):
+        trace_dir = tmp_path / "trace"
+        assert main(["serve-batch", graph_file, "-k", "4", "-n", "4",
+                     "--trace-dir", str(trace_dir)]) == 0
+        assert not (trace_dir / "profile.json").exists()
+        capsys.readouterr()
+        rc = main(["trace-report", str(trace_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no profile.json" in out
+        assert "no metrics.prom" not in out  # that one was written
+
+    def test_missing_metrics_notes_instead_of_erroring(self, graph_file,
+                                                       tmp_path, capsys):
+        trace_dir = tmp_path / "trace"
+        assert main(["serve-batch", graph_file, "-k", "4", "-n", "4",
+                     "--profile", "--trace-dir", str(trace_dir)]) == 0
+        (trace_dir / "metrics.prom").unlink()
+        capsys.readouterr()
+        rc = main(["trace-report", str(trace_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no metrics.prom" in out
+        assert "no profile.json" not in out
+        assert "device cycles" in out  # profile table still rendered

@@ -403,3 +403,120 @@ class TestSeededFaultInjection:
         assert a.failed_engines == b.failed_engines
         assert a.path_sets() == b.path_sets()
         assert a.requeued_queries == b.requeued_queries
+
+
+class TestSpanHygiene:
+    """No span survives an error path: ``open_spans == 0`` afterwards.
+
+    The attribution layer reads finished spans only, so a leaked open
+    span means silently missing latency — these regression-test every
+    failure mode the service can unwind through with a tracer attached.
+    """
+
+    @pytest.fixture()
+    def workload(self):
+        graph = generators.chung_lu(150, 800, seed=6)
+        return graph, generate_queries(graph, 4, 9, seed=5)
+
+    def test_all_engines_failing_leaves_no_open_spans(self, workload):
+        from repro.errors import ServiceError
+
+        graph, queries = workload
+        service = BatchQueryService(
+            graph, num_engines=2, inject_failures=2, use_threads=False
+        )
+        tracer = Tracer()
+        with pytest.raises(ServiceError):
+            service.run(queries, tracer=tracer)
+        assert tracer.open_spans == 0
+        # Failed attempts close their query spans with an error marker
+        # and no modelled time, so attribution skips them.
+        errored = [r for r in tracer.records()
+                   if r.name == "query" and "error" in r.attrs]
+        assert errored
+        assert all(r.modelled_seconds is None for r in errored)
+
+    def test_requeue_after_failure_leaves_no_open_spans(self, workload):
+        graph, queries = workload
+        service = BatchQueryService(
+            graph, num_engines=3, inject_failures=1, failure_seed=99,
+            use_threads=False,
+        )
+        tracer = Tracer()
+        report = service.run(queries, tracer=tracer, profile=True)
+        assert report.engine_failures >= 1
+        assert tracer.open_spans == 0
+        from repro.observability import analyze_trace
+
+        attribution = analyze_trace(tracer.records())
+        assert attribution.num_queries == report.num_queries
+        assert all(wf.reconciled for wf in attribution.waterfalls)
+
+    def test_budget_truncation_leaves_no_open_spans(self, workload):
+        from repro.core.config import QueryBudget
+
+        graph, queries = workload
+        service = BatchQueryService(graph, num_engines=2,
+                                    use_threads=False)
+        tracer = Tracer()
+        report = service.run(
+            queries, budget=QueryBudget(max_results=1), tracer=tracer,
+            profile=True,
+        )
+        assert report.truncated_queries > 0
+        assert tracer.open_spans == 0
+        from repro.observability import analyze_trace
+
+        attribution = analyze_trace(tracer.records())
+        assert attribution.reconciled
+        assert any(wf.truncated for wf in attribution.waterfalls)
+
+
+class TestCounterAndGaugeExposition:
+    def test_gauges_render_as_gauge_metrics(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("attribution/kernel_verify_share", 0.75)
+        text = render_prometheus(registry)
+        assert "# TYPE pefp_attribution_kernel_verify_share gauge" in text
+        assert "pefp_attribution_kernel_verify_share 0.75" in text
+
+    def test_sharing_counters_exported(self):
+        """PR 7's sharing counters reach the Prometheus exposition."""
+        graph = generators.chung_lu(150, 800, seed=4)
+        queries = generate_queries(graph, 4, 6, seed=2)
+        service = BatchQueryService(
+            graph, num_engines=2, sharing=True, use_threads=False
+        )
+        service.run(list(queries) + list(queries))  # force dedupe hits
+        text = render_prometheus(service.metrics)
+        for counter in ("pefp_deduped_queries", "pefp_shared_frontiers",
+                        "pefp_build_failures"):
+            assert f"# TYPE {counter} counter" in text
+        assert service.metrics.counter("deduped_queries") > 0
+        assert service.metrics.counter("deduped_queries") \
+            == service.metrics.counter("result_hits")
+
+    def test_attribution_gauges_set_on_profiled_runs(self):
+        graph = generators.chung_lu(150, 800, seed=4)
+        queries = generate_queries(graph, 4, 6, seed=2)
+        service = BatchQueryService(graph, num_engines=2,
+                                    use_threads=False)
+        service.run(queries, profile=True)
+        text = render_prometheus(service.metrics)
+        assert "pefp_attribution_preprocess_share" in text
+        assert "pefp_attribution_kernel_verify_share" in text
+        shares = [
+            service.metrics.gauge(f"attribution/{segment}_share")
+            for segment in ("preprocess", "kernel_setup", "kernel_expand",
+                            "kernel_verify", "kernel_stall",
+                            "kernel_overhead")
+        ]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_unprofiled_run_sets_no_attribution_gauges(self):
+        graph = generators.chung_lu(150, 800, seed=4)
+        queries = generate_queries(graph, 4, 6, seed=2)
+        service = BatchQueryService(graph, num_engines=2,
+                                    use_threads=False)
+        service.run(queries)
+        assert "attribution" not in render_prometheus(service.metrics)
