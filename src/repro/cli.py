@@ -172,6 +172,11 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         from repro.observability import Tracer
 
         tracer = Tracer()
+    timeline = None
+    if args.timeline_dir is not None or args.slo is not None:
+        from repro.service import MetricsTimeline
+
+        timeline = MetricsTimeline(args.timeline_window)
     try:
         report = service.run(
             queries,
@@ -180,9 +185,17 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             batch_deadline_ms=args.batch_deadline_ms,
             tracer=tracer,
             profile=args.profile,
+            timeline=timeline,
         )
     finally:
         service.close()
+    evaluation = None
+    if args.slo is not None:
+        # Evaluate before exporting so metrics.prom carries the SLO
+        # gauges and trace.jsonl the alert spans.
+        evaluation = _evaluate_slo_arg(args.slo, timeline,
+                                       registry=service.metrics,
+                                       tracer=tracer)
     print(report.render())
     if args.profile:
         from repro.reporting.trace import profile_table
@@ -191,12 +204,37 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         if summary is not None:
             print()
             print(profile_table(summary))
-    if tracer is not None or args.metrics_out is not None:
-        _write_observability_artifacts(args, service, report, tracer)
+    if evaluation is not None:
+        from repro.reporting.monitor import slo_section
+
+        print()
+        print(slo_section(evaluation))
+    if (tracer is not None or args.metrics_out is not None
+            or args.timeline_dir is not None):
+        _write_observability_artifacts(args, service, report, tracer,
+                                       timeline)
     return 0
 
 
-def _write_observability_artifacts(args, service, report, tracer) -> int:
+def _evaluate_slo_arg(slo_arg, timeline, registry=None, tracer=None):
+    """Evaluate ``--slo FILE|default`` over a timeline and publish it."""
+    from repro.observability.slo import (
+        default_slos,
+        evaluate_slos,
+        load_slo_specs,
+        publish_evaluation,
+    )
+
+    slos = default_slos() if slo_arg == "default" else load_slo_specs(
+        slo_arg
+    )
+    evaluation = evaluate_slos(timeline, slos)
+    publish_evaluation(evaluation, registry=registry, tracer=tracer)
+    return evaluation
+
+
+def _write_observability_artifacts(args, service, report, tracer,
+                                   timeline=None) -> int:
     """Persist trace/profile/metrics files after a serve-batch run."""
     import json
     import os
@@ -221,12 +259,49 @@ def _write_observability_artifacts(args, service, report, tracer) -> int:
             with open(profile_path, "w", encoding="utf-8") as fh:
                 json.dump(report.profile_summary(), fh, indent=2)
             written.append(profile_path)
+    if timeline is not None and args.timeline_dir is not None:
+        from repro.observability.timeline import (
+            render_openmetrics,
+            write_timeline_jsonl,
+        )
+
+        os.makedirs(args.timeline_dir, exist_ok=True)
+        timeline_path = os.path.join(args.timeline_dir, "timeline.jsonl")
+        write_timeline_jsonl(timeline, timeline_path)
+        written.append(timeline_path)
+        om_path = os.path.join(args.timeline_dir, "timeline.om")
+        with open(om_path, "w", encoding="utf-8") as fh:
+            fh.write(render_openmetrics(timeline))
+        written.append(om_path)
     if args.metrics_out is not None:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             fh.write(render_prometheus(service.metrics))
         written.append(args.metrics_out)
     for path in written:
         print(f"wrote {path}")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.observability.timeline import read_timeline_jsonl
+    from repro.reporting.monitor import monitor_report
+
+    path = args.timeline
+    if os.path.isdir(path):
+        path = os.path.join(path, "timeline.jsonl")
+    if not os.path.exists(path):
+        print(f"error: no timeline.jsonl under {args.timeline} "
+              "(record one with serve-batch --timeline-dir)",
+              file=sys.stderr)
+        return 1
+    timeline = read_timeline_jsonl(path)
+    evaluation = None
+    if args.slo is not None:
+        evaluation = _evaluate_slo_arg(args.slo, timeline)
+    print(monitor_report(timeline, sliding=args.sliding,
+                         evaluation=evaluation))
     return 0
 
 
@@ -442,7 +517,36 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--metrics-out", default=None, metavar="FILE",
                     help="write the metrics registry to FILE in Prometheus "
                          "text exposition format")
+    sv.add_argument("--timeline-dir", default=None, metavar="DIR",
+                    help="record windowed telemetry on the modelled clock "
+                         "and write timeline.jsonl + timeline.om "
+                         "(OpenMetrics with timestamps) into DIR "
+                         "(render with `repro monitor DIR`)")
+    sv.add_argument("--timeline-window", type=float, default=1e-3,
+                    metavar="SECONDS",
+                    help="tumbling-window width in modelled seconds "
+                         "(default 1e-3)")
+    sv.add_argument("--slo", default=None, metavar="FILE|default",
+                    help="evaluate SLO burn rates over the windowed "
+                         "telemetry: 'default' for the stock latency/"
+                         "availability objectives, or a JSON spec file; "
+                         "alerts land in the trace and metrics exports")
     sv.set_defaults(func=_cmd_serve_batch)
+
+    mon = sub.add_parser(
+        "monitor",
+        help="render recorded windowed telemetry: per-window tables, "
+             "sparklines and (with --slo) burn-rate alerts",
+    )
+    mon.add_argument("timeline",
+                     help="timeline directory (see serve-batch "
+                          "--timeline-dir), or a timeline.jsonl file")
+    mon.add_argument("--sliding", type=int, default=1, metavar="N",
+                     help="merge each trailing N tumbling windows per row "
+                          "(default 1: raw tumbling view)")
+    mon.add_argument("--slo", default=None, metavar="FILE|default",
+                     help="also evaluate SLO burn rates over the timeline")
+    mon.set_defaults(func=_cmd_monitor)
 
     tre = sub.add_parser(
         "trace-report",

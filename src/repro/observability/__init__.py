@@ -12,7 +12,14 @@ Three pieces, all opt-in and zero-cost when off:
   HTTP endpoint) for :class:`repro.service.metrics.MetricsRegistry`;
 - :mod:`repro.observability.analysis` — latency attribution over a
   finished trace or a batch report: per-query waterfalls, critical-path
-  extraction, tail and regression attribution (``repro analyze``).
+  extraction, tail and regression attribution (``repro analyze``);
+- :mod:`repro.observability.timeline` — windowed-telemetry export:
+  timeline JSONL (full sketch fidelity) and OpenMetrics-with-timestamps,
+  plus derived per-window throughput/utilization/in-flight metrics
+  (``repro monitor``);
+- :mod:`repro.observability.slo` — declarative latency/availability
+  SLOs evaluated as multi-window burn rates over a timeline, raising
+  alert spans into the tracer and gauges into the registry.
 
 Device-side profiling counters live with the FPGA model in
 :mod:`repro.fpga.profile`; the batch service folds them into registry
@@ -45,6 +52,24 @@ from repro.observability.prometheus import (
     MetricsHTTPServer,
     render_prometheus,
 )
+from repro.observability.slo import (
+    DEFAULT_POLICIES,
+    BurnPolicy,
+    SLO,
+    SLOAlert,
+    SLOEvaluation,
+    SLOResult,
+    default_slos,
+    evaluate_slos,
+    load_slo_specs,
+    publish_evaluation,
+)
+from repro.observability.timeline import (
+    derive_window_metrics,
+    read_timeline_jsonl,
+    render_openmetrics,
+    write_timeline_jsonl,
+)
 from repro.observability.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -56,7 +81,9 @@ from repro.observability.tracer import (
 
 __all__ = [
     "BatchAttribution",
+    "BurnPolicy",
     "CriticalPath",
+    "DEFAULT_POLICIES",
     "DEVICE_SEGMENTS",
     "EngineTimeline",
     "MetricsHTTPServer",
@@ -65,6 +92,10 @@ __all__ = [
     "QueryWaterfall",
     "RegressionAttribution",
     "SERVICE_SEGMENTS",
+    "SLO",
+    "SLOAlert",
+    "SLOEvaluation",
+    "SLOResult",
     "SegmentDelta",
     "Span",
     "SpanRecord",
@@ -74,9 +105,16 @@ __all__ = [
     "analyze_trace",
     "attribute_regression",
     "chrome_trace",
+    "default_slos",
+    "derive_window_metrics",
     "diff_segment_seconds",
+    "evaluate_slos",
+    "load_slo_specs",
+    "publish_evaluation",
     "query_durations_seconds",
     "read_jsonl",
+    "read_timeline_jsonl",
+    "render_openmetrics",
     "render_prometheus",
     "split_batch_cycles",
     "write_chrome_trace",

@@ -5,16 +5,29 @@ text format (version 0.0.4): counters become ``counter`` metrics, gauges
 (point-in-time levels such as the attribution layer's segment shares)
 become ``gauge`` metrics, sample series become ``summary`` metrics
 (quantiles from the reservoir, exact ``_sum``/``_count``), histograms
-become ``histogram`` metrics with cumulative ``le`` buckets.  :class:`MetricsHTTPServer` serves the
-rendering at ``/metrics`` from a background thread, so a long-running
-service can be scraped while batches are in flight — the registry is
-locked per snapshot, never per scrape line.
+become ``histogram`` metrics with cumulative ``le`` buckets.
+:class:`MetricsHTTPServer` serves the rendering at ``/metrics`` from a
+background thread, so a long-running service can be scraped while
+batches are in flight — the registry is locked per snapshot, never per
+scrape line — and answers ``/healthz`` with a liveness JSON (uptime,
+registry sizes).
+
+Name sanitisation is collision-safe: registry names are free-form
+(``attribution/queue_wait_seconds_total``, ``slo/latency/met``) and the
+character substitution that makes them exposition-legal can map two
+distinct registry names to the same metric name.  Rather than silently
+clobbering one series with the other, colliding names get deterministic
+``_2``/``_3``… suffixes (in sorted registry-name order) and a ``# HELP``
+line recording the original name.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
 
@@ -29,9 +42,49 @@ def _metric_name(prefix: str, name: str) -> str:
     return f"{prefix}_{name}" if prefix else name
 
 
+def _exposition_names(snap: dict, prefix: str) -> dict[tuple[str, str], str]:
+    """Collision-free exposition name for every metric in a snapshot.
+
+    Maps ``(kind, registry name)`` to the final metric name.  Names that
+    sanitise uniquely keep the plain ``_metric_name`` form; a sanitised
+    name claimed by several registry names (within one kind or across
+    kinds — Prometheus metric names share one namespace regardless of
+    type) keeps the plain form for the sorted-first claimant and appends
+    ``_2``, ``_3``… to the rest, skipping suffixed forms some other name
+    already sanitises to.  Deterministic: depends only on the set of
+    names present.
+    """
+    kinds = ("counters", "gauges", "series", "histograms")
+    claims: dict[str, list[tuple[str, str]]] = {}
+    for kind in kinds:
+        for name in snap.get(kind, ()):
+            claims.setdefault(
+                _metric_name(prefix, name), []
+            ).append((kind, name))
+    taken = set(claims)
+    final: dict[tuple[str, str], str] = {}
+    for sanitised in sorted(claims):
+        claimants = sorted(claims[sanitised])
+        final[claimants[0]] = sanitised
+        suffix = 2
+        for key in claimants[1:]:
+            while f"{sanitised}_{suffix}" in taken:
+                suffix += 1
+            renamed = f"{sanitised}_{suffix}"
+            taken.add(renamed)
+            final[key] = renamed
+            suffix += 1
+    return final
+
+
 def _fmt(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
     if value == float("inf"):
         return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
@@ -41,22 +94,30 @@ def render_prometheus(registry: MetricsRegistry,
                       prefix: str = "pefp") -> str:
     """The registry's current state in Prometheus text exposition format."""
     snap = registry.snapshot()
+    names = _exposition_names(snap, prefix)
     lines: list[str] = []
 
+    def header(kind: str, name: str, metric_type: str) -> str:
+        metric = names[(kind, name)]
+        if metric != _metric_name(prefix, name):
+            lines.append(
+                f"# HELP {metric} renamed from colliding metric "
+                f"name {name!r}"
+            )
+        lines.append(f"# TYPE {metric} {metric_type}")
+        return metric
+
     for name in sorted(snap["counters"]):
-        metric = _metric_name(prefix, name)
-        lines.append(f"# TYPE {metric} counter")
+        metric = header("counters", name, "counter")
         lines.append(f"{metric} {snap['counters'][name]}")
 
     for name in sorted(snap.get("gauges", ())):
-        metric = _metric_name(prefix, name)
-        lines.append(f"# TYPE {metric} gauge")
+        metric = header("gauges", name, "gauge")
         lines.append(f"{metric} {_fmt(snap['gauges'][name])}")
 
     for name in sorted(snap["series"]):
         summary = snap["series"][name]
-        metric = _metric_name(prefix, name)
-        lines.append(f"# TYPE {metric} summary")
+        metric = header("series", name, "summary")
         for q, value in (("0.5", summary.p50), ("0.95", summary.p95),
                          ("0.99", summary.p99)):
             lines.append(f'{metric}{{quantile="{q}"}} {_fmt(value)}')
@@ -65,8 +126,7 @@ def render_prometheus(registry: MetricsRegistry,
 
     for name in sorted(snap["histograms"]):
         hist = snap["histograms"][name]
-        metric = _metric_name(prefix, name)
-        lines.append(f"# TYPE {metric} histogram")
+        metric = header("histograms", name, "histogram")
         for le, cumulative in hist.cumulative():
             lines.append(
                 f'{metric}_bucket{{le="{_fmt(le)}"}} {cumulative}'
@@ -78,16 +138,17 @@ def render_prometheus(registry: MetricsRegistry,
 
 
 class MetricsHTTPServer:
-    """Background ``/metrics`` endpoint over one registry.
+    """Background ``/metrics`` + ``/healthz`` endpoint over one registry.
 
     >>> server = MetricsHTTPServer(registry, port=0)   # doctest: +SKIP
     >>> server.url                                     # doctest: +SKIP
     'http://127.0.0.1:43817/metrics'
     >>> server.close()                                 # doctest: +SKIP
 
-    ``port=0`` binds an ephemeral port (see :attr:`port`).  Paths other
-    than ``/metrics`` return 404; the server runs on a daemon thread and
-    never outlives :meth:`close`.
+    ``port=0`` binds an ephemeral port (see :attr:`port`).  ``/healthz``
+    returns liveness JSON (status, uptime, per-kind registry sizes) for
+    load-balancer checks; any other path returns 404.  The server runs
+    on a daemon thread and never outlives :meth:`close`.
     """
 
     def __init__(self, registry: MetricsRegistry, port: int = 0,
@@ -96,16 +157,22 @@ class MetricsHTTPServer:
 
         class _Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 (http.server API)
-                if self.path.split("?", 1)[0] != "/metrics":
+                route = self.path.split("?", 1)[0]
+                if route == "/metrics":
+                    body = render_prometheus(
+                        outer.registry, prefix=outer.prefix
+                    ).encode("utf-8")
+                    content_type = "text/plain; version=0.0.4"
+                elif route == "/healthz":
+                    body = json.dumps(
+                        outer.health(), sort_keys=True
+                    ).encode("utf-8")
+                    content_type = "application/json"
+                else:
                     self.send_error(404)
                     return
-                body = render_prometheus(
-                    outer.registry, prefix=outer.prefix
-                ).encode("utf-8")
                 self.send_response(200)
-                self.send_header(
-                    "Content-Type", "text/plain; version=0.0.4"
-                )
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
@@ -115,6 +182,7 @@ class MetricsHTTPServer:
 
         self.registry = registry
         self.prefix = prefix
+        self._started = time.monotonic()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
@@ -122,6 +190,20 @@ class MetricsHTTPServer:
             daemon=True,
         )
         self._thread.start()
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload: status, uptime, registry sizes."""
+        snap = self.registry.snapshot()
+        return {
+            "status": "ok",
+            "uptime_seconds": time.monotonic() - self._started,
+            "registry": {
+                "counters": len(snap["counters"]),
+                "gauges": len(snap.get("gauges", ())),
+                "series": len(snap["series"]),
+                "histograms": len(snap["histograms"]),
+            },
+        }
 
     @property
     def port(self) -> int:

@@ -1,0 +1,388 @@
+"""Declarative SLOs evaluated as multi-window burn rates.
+
+An :class:`SLO` states an objective over the windowed telemetry of a
+:class:`~repro.service.metrics.MetricsTimeline`:
+
+- a **latency** SLO ("99% of queries complete within 500 µs of modelled
+  time") counts good events with
+  :meth:`~repro.service.metrics.HistogramSketch.rank_at_most` — a
+  deterministic, bucket-granular *undercount* of the good side, so the
+  evaluation errs toward alerting;
+- an **availability** SLO ("99% of queries are served at full fidelity")
+  counts bad events from window counters (degraded + truncated queries
+  by default).
+
+Each SLO is watched by one or more :class:`BurnPolicy` rules, the
+multi-window burn-rate pattern from the Google SRE workbook: the *burn
+rate* over a trailing span of windows is
+
+    burn = (bad events / total events) / (1 - objective)
+
+i.e. how many times faster than the error budget allows the service is
+burning budget.  A policy fires when **both** its long and its short
+trailing span burn at or above ``factor`` — the long window keeps alerts
+meaningful (a real budget dent), the short window makes them reset
+quickly once the condition clears.  Everything is evaluated per tumbling
+window on the modelled clock, so the same seeded workload produces the
+same alerts on every backend.
+
+:func:`evaluate_slos` walks the timeline once and returns an
+:class:`SLOEvaluation`; :func:`publish_evaluation` pushes the outcome
+into a :class:`~repro.service.metrics.MetricsRegistry` (gauges +
+``slo_alerts`` counter, picked up by the Prometheus exposition) and
+raises one ``slo_alert`` span per alert transition into a tracer's
+``slo`` track.  SLO specs load from JSON (:func:`load_slo_specs`) or
+from :func:`default_slos`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # import at runtime would cycle through repro.service
+    from repro.service.metrics import MetricsTimeline
+
+#: SLO kinds this module evaluates.
+SLO_KINDS = ("latency", "availability")
+
+#: window counters that mark a query as "bad" for availability SLOs.
+DEFAULT_BAD_COUNTERS = ("degraded_queries", "truncated_queries")
+
+
+@dataclass(frozen=True)
+class BurnPolicy:
+    """One multi-window burn-rate alerting rule.
+
+    Fires when the burn rate over the trailing ``long_windows`` *and*
+    the trailing ``short_windows`` both reach ``factor`` times the
+    sustainable rate.
+    """
+
+    long_windows: int
+    short_windows: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.long_windows < 1:
+            raise ConfigError(
+                f"long_windows must be >= 1, got {self.long_windows}"
+            )
+        if not 1 <= self.short_windows <= self.long_windows:
+            raise ConfigError(
+                f"short_windows must be in [1, long_windows="
+                f"{self.long_windows}], got {self.short_windows}"
+            )
+        if self.factor <= 0.0:
+            raise ConfigError(f"factor must be positive, got {self.factor}")
+
+    @property
+    def label(self) -> str:
+        return (f"{self.factor:g}x/"
+                f"{self.long_windows}w:{self.short_windows}w")
+
+
+#: default policy pair: a fast-burn rule (short spans, high factor) for
+#: acute breakage and a slow-burn rule for sustained budget leaks —
+#: spans are in *windows* because the modelled clock, not wall time, is
+#: the axis.
+DEFAULT_POLICIES = (
+    BurnPolicy(long_windows=6, short_windows=2, factor=4.0),
+    BurnPolicy(long_windows=12, short_windows=3, factor=2.0),
+)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective over the windowed telemetry.
+
+    ``objective`` is the target good fraction (0 < objective < 1);
+    latency SLOs additionally need ``threshold_seconds`` and read the
+    ``series`` sample series (modelled seconds), availability SLOs
+    count ``bad_counters`` against the ``total_counter``.
+    """
+
+    name: str
+    kind: str
+    objective: float
+    threshold_seconds: float | None = None
+    series: str = "latency_seconds"
+    total_counter: str = "queries"
+    bad_counters: tuple[str, ...] = DEFAULT_BAD_COUNTERS
+    policies: tuple[BurnPolicy, ...] = DEFAULT_POLICIES
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ConfigError(
+                f"unknown SLO kind {self.kind!r}; "
+                f"expected one of {SLO_KINDS}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ConfigError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.kind == "latency":
+            if self.threshold_seconds is None or self.threshold_seconds <= 0:
+                raise ConfigError(
+                    f"latency SLO {self.name!r} needs a positive "
+                    f"threshold_seconds, got {self.threshold_seconds}"
+                )
+        if not self.policies:
+            raise ConfigError(f"SLO {self.name!r} has no burn policies")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    def window_events(self, entry: dict) -> tuple[int, int]:
+        """``(total, bad)`` event counts of one tumbling-window entry."""
+        if self.kind == "latency":
+            sketch = entry["series"].get(self.series)
+            if sketch is None or not sketch.count:
+                return 0, 0
+            good = sketch.rank_at_most(self.threshold_seconds)
+            return sketch.count, sketch.count - good
+        total = entry["counters"].get(self.total_counter, 0)
+        bad = sum(entry["counters"].get(name, 0)
+                  for name in self.bad_counters)
+        return total, min(bad, total)
+
+
+@dataclass(frozen=True)
+class SLOAlert:
+    """One burn-rate alert transition (a policy starting to fire)."""
+
+    slo: str
+    policy: BurnPolicy
+    window_index: int
+    #: modelled time of the firing window's end.
+    modelled_seconds: float
+    long_burn: float
+    short_burn: float
+
+
+@dataclass
+class SLOResult:
+    """One SLO's evaluation over the whole timeline."""
+
+    slo: SLO
+    total_events: int
+    bad_events: int
+    worst_burn_rate: float
+    alerts: list[SLOAlert] = field(default_factory=list)
+    #: per-policy firing window indices (alert *state*, not transitions).
+    firing_windows: dict[str, list[int]] = field(default_factory=dict)
+
+    @property
+    def good_fraction(self) -> float:
+        if not self.total_events:
+            return 1.0
+        return (self.total_events - self.bad_events) / self.total_events
+
+    @property
+    def met(self) -> bool:
+        """Whether the terminal good fraction meets the objective."""
+        return self.good_fraction >= self.slo.objective
+
+
+@dataclass
+class SLOEvaluation:
+    """Every SLO's result over one timeline."""
+
+    window_seconds: float
+    results: list[SLOResult]
+
+    @property
+    def alerts(self) -> list[SLOAlert]:
+        out = [a for r in self.results for a in r.alerts]
+        out.sort(key=lambda a: (a.window_index, a.slo, a.policy.label))
+        return out
+
+    def result(self, name: str) -> SLOResult:
+        for r in self.results:
+            if r.slo.name == name:
+                return r
+        raise ConfigError(f"no SLO named {name!r} in this evaluation")
+
+
+def _trailing_burn(per_window: list[tuple[int, int]], end: int,
+                   span: int, budget: float) -> float:
+    """Burn rate over ``per_window[end-span+1 .. end]`` (clamped at 0)."""
+    total = bad = 0
+    for i in range(max(0, end - span + 1), end + 1):
+        t, b = per_window[i]
+        total += t
+        bad += b
+    if not total:
+        return 0.0
+    return (bad / total) / budget
+
+
+def evaluate_slos(timeline: MetricsTimeline,
+                  slos: list[SLO] | tuple[SLO, ...]) -> SLOEvaluation:
+    """Evaluate every SLO against the timeline's tumbling windows.
+
+    Deterministic: the walk order is the dense window range, burn rates
+    are pure arithmetic on window aggregates, and alerts are recorded at
+    *transitions* into the firing state only (a policy that stays firing
+    across consecutive windows raises one alert).
+    """
+    windows = timeline.sliding(1)
+    results: list[SLOResult] = []
+    for slo in slos:
+        per_window = [slo.window_events(entry) for entry in windows]
+        total_events = sum(t for t, _ in per_window)
+        bad_events = sum(b for _, b in per_window)
+        result = SLOResult(
+            slo=slo,
+            total_events=total_events,
+            bad_events=bad_events,
+            worst_burn_rate=0.0,
+        )
+        budget = slo.error_budget
+        for policy in slo.policies:
+            firing = False
+            fired: list[int] = []
+            for i, entry in enumerate(windows):
+                long_burn = _trailing_burn(per_window, i,
+                                           policy.long_windows, budget)
+                short_burn = _trailing_burn(per_window, i,
+                                            policy.short_windows, budget)
+                result.worst_burn_rate = max(
+                    result.worst_burn_rate, min(long_burn, short_burn)
+                )
+                now_firing = (long_burn >= policy.factor
+                              and short_burn >= policy.factor)
+                if now_firing:
+                    fired.append(entry["index"])
+                    if not firing:
+                        result.alerts.append(SLOAlert(
+                            slo=slo.name,
+                            policy=policy,
+                            window_index=entry["index"],
+                            modelled_seconds=entry["end_seconds"],
+                            long_burn=long_burn,
+                            short_burn=short_burn,
+                        ))
+                firing = now_firing
+            result.firing_windows[policy.label] = fired
+        results.append(result)
+    return SLOEvaluation(window_seconds=timeline.window_seconds,
+                         results=results)
+
+
+def publish_evaluation(evaluation: SLOEvaluation, registry=None,
+                       tracer=None) -> None:
+    """Push an evaluation into a metrics registry and/or a tracer.
+
+    Registry: per-SLO ``slo/{name}/good_fraction``,
+    ``slo/{name}/worst_burn_rate`` and ``slo/{name}/met`` gauges plus
+    one ``slo_alerts`` counter bump per alert — all of which the
+    Prometheus exposition then carries.  Tracer: one completed
+    ``slo_alert`` span per alert on the ``slo`` track, stamped with the
+    firing window's modelled end time.
+    """
+    for result in evaluation.results:
+        name = result.slo.name
+        if registry is not None:
+            registry.set_gauge(f"slo/{name}/good_fraction",
+                               result.good_fraction)
+            registry.set_gauge(f"slo/{name}/worst_burn_rate",
+                               result.worst_burn_rate)
+            registry.set_gauge(f"slo/{name}/met",
+                               1.0 if result.met else 0.0)
+            if result.alerts:
+                registry.increment("slo_alerts", len(result.alerts))
+    if tracer is not None:
+        for alert in evaluation.alerts:
+            tracer.complete(
+                "slo_alert", 0,
+                modelled_seconds=alert.modelled_seconds,
+                track="slo",
+                slo=alert.slo,
+                policy=alert.policy.label,
+                window_index=alert.window_index,
+                long_burn=round(alert.long_burn, 6),
+                short_burn=round(alert.short_burn, 6),
+            )
+
+
+def default_slos() -> list[SLO]:
+    """The stock objectives ``--slo default`` evaluates.
+
+    A p99-style latency objective at 500 µs of modelled time and a
+    full-fidelity availability objective (no degraded or truncated
+    answers for 99% of queries).
+    """
+    return [
+        SLO(name="latency_p99_500us", kind="latency", objective=0.99,
+            threshold_seconds=500e-6),
+        SLO(name="availability_full_fidelity", kind="availability",
+            objective=0.99),
+    ]
+
+
+def load_slo_specs(path) -> list[SLO]:
+    """Load SLO specs from a JSON file.
+
+    The file holds a list (or ``{"slos": [...]}``) of objects::
+
+        {"name": "latency_p99_500us", "kind": "latency",
+         "objective": 0.99, "threshold_seconds": 0.0005,
+         "policies": [{"long_windows": 6, "short_windows": 2,
+                       "factor": 4.0}]}
+
+    ``policies`` is optional (:data:`DEFAULT_POLICIES` otherwise), as
+    are ``series``/``total_counter``/``bad_counters``.
+    """
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path}: not valid JSON: {exc}") from exc
+    if isinstance(doc, dict):
+        doc = doc.get("slos", doc.get("SLOs"))
+    if not isinstance(doc, list):
+        raise ConfigError(
+            f"{path}: expected a list of SLO specs "
+            f"(or an object with a 'slos' list)"
+        )
+    slos: list[SLO] = []
+    for i, spec in enumerate(doc):
+        if not isinstance(spec, dict):
+            raise ConfigError(f"{path}: SLO spec #{i} is not an object")
+        try:
+            policies = tuple(
+                BurnPolicy(
+                    long_windows=int(p["long_windows"]),
+                    short_windows=int(p["short_windows"]),
+                    factor=float(p["factor"]),
+                )
+                for p in spec.get("policies", ())
+            ) or DEFAULT_POLICIES
+            slos.append(SLO(
+                name=str(spec["name"]),
+                kind=str(spec["kind"]),
+                objective=float(spec["objective"]),
+                threshold_seconds=(
+                    float(spec["threshold_seconds"])
+                    if spec.get("threshold_seconds") is not None else None
+                ),
+                series=str(spec.get("series", "latency_seconds")),
+                total_counter=str(spec.get("total_counter", "queries")),
+                bad_counters=tuple(
+                    spec.get("bad_counters", DEFAULT_BAD_COUNTERS)
+                ),
+                policies=policies,
+            ))
+        except KeyError as exc:
+            raise ConfigError(
+                f"{path}: SLO spec #{i} is missing key {exc}"
+            ) from exc
+    if not slos:
+        raise ConfigError(f"{path}: no SLO specs found")
+    return slos

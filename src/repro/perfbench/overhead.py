@@ -1,11 +1,11 @@
-"""The tracing-overhead guard, as a measurable perfbench scenario.
+"""The disabled-observability overhead guards, as perfbench scenarios.
 
-The observability layer promises that a run with ``tracer=None`` (the
-default everywhere) pays only falsy checks and no-op spans.  Formerly a
-one-off CI script (``scripts/check_tracing_overhead.py``); now the same
-measurement is a scenario, so the guard's numbers land in every
-``BENCH_<n>.json`` snapshot and drifts are tracked instead of merely
-pass/failed:
+The observability layer promises that a run with ``tracer=None`` and
+``timeline=None`` (the defaults everywhere) pays only falsy checks and
+no-op spans.  Formerly a one-off CI script
+(``scripts/check_tracing_overhead.py``); now the same measurement is a
+scenario, so the guard's numbers land in every ``BENCH_<n>.json``
+snapshot and drifts are tracked instead of merely pass/failed:
 
 1. run a small serving workload with tracing disabled and enabled,
    reporting both (the enabled cost is informational — it is allowed to
@@ -22,6 +22,13 @@ pass/failed:
 The projection deliberately over-counts (every event priced as a full
 null-span ``with`` block, though hot-loop sites use a bare guard), so a
 pass is conservative.
+
+:func:`measure_telemetry_overhead` applies the same method to the
+windowed-telemetry layer: a serving run with ``timeline=None`` must pay
+only ``if timeline is not None:`` guards at the emission sites.  The
+enabled run counts actual emission events through a counting timeline
+subclass, and the disabled guard is microbenchmarked and projected over
+that event count against the same :data:`MAX_DISABLED_OVERHEAD` budget.
 """
 
 from __future__ import annotations
@@ -94,6 +101,88 @@ def measure_tracing_overhead(seed: int) -> dict[str, float]:
         "disabled_wall_seconds": disabled,
         "enabled_wall_seconds": enabled,
         "trace_events_per_run": events,
+        "per_event_seconds": event_cost,
+        "projected_overhead": overhead,
+        "within_budget": 1.0 if overhead <= MAX_DISABLED_OVERHEAD else 0.0,
+    }
+
+
+def _per_event_disabled_telemetry_cost() -> float:
+    """Seconds per emission event on the ``timeline=None`` path."""
+    timeline = None
+    start = time.perf_counter()
+    for _ in range(GUARD_ITERS):
+        if timeline is not None:  # the emission sites' guard
+            raise AssertionError("unreachable")
+    return (time.perf_counter() - start) / GUARD_ITERS
+
+
+def measure_telemetry_overhead(seed: int) -> dict[str, float]:
+    """The telemetry twin of :func:`measure_tracing_overhead`.
+
+    Runs a small 2-engine batch service with windowed telemetry off
+    (``timeline=None``) and on (a counting timeline that tallies every
+    ``record``/``observe``/``set_gauge`` emission), then projects the
+    microbenchmarked cost of the disabled-path guard over the measured
+    event count.
+    """
+    from repro.service import BatchQueryService
+    from repro.service.metrics import MetricsTimeline
+
+    class _CountingTimeline(MetricsTimeline):
+        """A timeline that counts emission calls (events per run)."""
+
+        def __init__(self, window_seconds):
+            super().__init__(window_seconds)
+            self.events = 0
+
+        def record(self, t, name, n=1):
+            self.events += 1
+            super().record(t, name, n)
+
+        def observe(self, t, name, value):
+            self.events += 1
+            super().observe(t, name, value)
+
+        def set_gauge(self, t, name, value):
+            self.events += 1
+            super().set_gauge(t, name, value)
+
+    graph = generators.chung_lu(400, 2400, seed=seed)
+    n = graph.num_vertices
+    queries = [
+        Query(source=(7 * i) % n, target=(11 * i + 3) % n, max_hops=4)
+        for i in range(NUM_QUERIES)
+    ]
+    queries = [q for q in queries if q.source != q.target]
+    service = BatchQueryService(graph, num_engines=2, use_threads=False)
+
+    def run_once(timeline) -> float:
+        start = time.perf_counter()
+        service.run(list(queries), timeline=timeline)
+        return time.perf_counter() - start
+
+    # Warm the artifact cache so the disabled and enabled runs serve the
+    # exact same (cached) work rather than comparing cold vs warm.
+    run_once(None)
+
+    disabled = sorted(run_once(None) for _ in range(REPEATS))[REPEATS // 2]
+    enabled_walls = []
+    event_counts = []
+    for _ in range(REPEATS):
+        timeline = _CountingTimeline(1e-3)
+        enabled_walls.append(run_once(timeline))
+        event_counts.append(timeline.events)
+    enabled = sorted(enabled_walls)[REPEATS // 2]
+    events = sum(event_counts) / REPEATS
+
+    event_cost = _per_event_disabled_telemetry_cost()
+    projected = events * event_cost
+    overhead = projected / disabled if disabled > 0 else 0.0
+    return {
+        "disabled_wall_seconds": disabled,
+        "enabled_wall_seconds": enabled,
+        "telemetry_events_per_run": events,
         "per_event_seconds": event_cost,
         "projected_overhead": overhead,
         "within_budget": 1.0 if overhead <= MAX_DISABLED_OVERHEAD else 0.0,

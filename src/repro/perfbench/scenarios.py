@@ -11,8 +11,9 @@ A *scenario* is a named, repeatable workload that emits classed metrics
 - **micro-scenarios** exercise the layers the paper experiments do not:
   the multi-engine serving throughput path, the artifact-cache hit path,
   degraded/deadline serving, the kernel device profile (per-stage cycle
-  shares, BRAM/DRAM hit ratios, the verification-funnel kill rates) and
-  the tracing-overhead guard.
+  shares, BRAM/DRAM hit ratios, the verification-funnel kill rates), the
+  windowed-telemetry reconciliation gate and the disabled-tracing and
+  disabled-telemetry overhead guards.
 
 Scenarios marked ``quick`` form the CI perf-gate subset; the full set
 adds heavier experiment sweeps.  Every scenario is deterministic in its
@@ -29,7 +30,10 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
 from repro.errors import ConfigError
-from repro.perfbench.overhead import measure_tracing_overhead
+from repro.perfbench.overhead import (
+    measure_telemetry_overhead,
+    measure_tracing_overhead,
+)
 from repro.perfbench.record import (
     CLASS_COUNT,
     CLASS_CYCLES,
@@ -648,6 +652,113 @@ def _build_tracing_overhead(seed: int) -> dict[str, Metric]:
     }
 
 
+def _build_telemetry_overhead(seed: int) -> dict[str, Metric]:
+    raw = measure_telemetry_overhead(seed)
+    return {
+        "projected_overhead": Metric(
+            "projected_overhead", raw["projected_overhead"], CLASS_WALL,
+            "lower", "", headline=True),
+        "within_budget": Metric(
+            "within_budget", raw["within_budget"], CLASS_COUNT, "higher",
+            "", headline=True),
+        "disabled_wall_seconds": Metric(
+            "disabled_wall_seconds", raw["disabled_wall_seconds"],
+            CLASS_WALL, "lower", "s"),
+        "enabled_wall_seconds": Metric(
+            "enabled_wall_seconds", raw["enabled_wall_seconds"],
+            CLASS_WALL, "lower", "s"),
+        "per_event_seconds": Metric(
+            "per_event_seconds", raw["per_event_seconds"], CLASS_WALL,
+            "lower", "s"),
+        "telemetry_events_per_run": Metric(
+            "telemetry_events_per_run", raw["telemetry_events_per_run"],
+            CLASS_COUNT, "exact"),
+    }
+
+
+def _build_service_slo(seed: int) -> dict[str, Metric]:
+    """Windowed telemetry + SLO burn rates as a gated scenario.
+
+    One deadline-pressured batch (RT, k=4, 24 queries, 2 engines, an
+    8 ms batch deadline that pushes late queries degraded) is served by
+    the serial, thread and process backends, each recording a fresh
+    timeline.  Two exact gates:
+
+    - ``windows_reconcile`` — every backend's per-window sums equal its
+      terminal registry counters bit for bit
+      (:meth:`~repro.service.metrics.MetricsTimeline.reconcile` returns
+      no mismatches);
+    - ``backends_agree`` — the three timelines are byte-identical
+      (``canonical_bytes``): windowed telemetry is as interleaving-
+      independent as the modelled clock it is keyed on.
+
+    The default SLOs are then evaluated on the serial timeline; alert
+    counts and good fractions are exact-class metrics because burn
+    rates are pure functions of the deterministic timeline.
+    """
+    from repro.datasets import load_dataset
+    from repro.observability.slo import default_slos, evaluate_slos
+    from repro.service import BatchQueryService, MetricsTimeline
+    from repro.workloads.queries import generate_queries
+
+    graph = load_dataset("rt")
+    graph.reverse()  # same uncharged warm as _service (determinism)
+    queries = generate_queries(graph, 4, 24, seed=seed)
+
+    def serve(**service_kwargs):
+        service = BatchQueryService(graph, num_engines=2,
+                                    **service_kwargs)
+        timeline = MetricsTimeline()
+        try:
+            report = service.run(list(queries), batch_deadline_ms=8.0,
+                                 timeline=timeline)
+        finally:
+            service.close()
+        return report, timeline
+
+    serial_report, serial_tl = serve(use_threads=False)
+    thread_report, thread_tl = serve(use_threads=True)
+    process_report, process_tl = serve(backend="process",
+                                       use_threads=False)
+
+    reconciled = not (
+        serial_tl.reconcile(serial_report.metrics)
+        or thread_tl.reconcile(thread_report.metrics)
+        or process_tl.reconcile(process_report.metrics)
+    )
+    agree = (serial_tl.canonical_bytes() == thread_tl.canonical_bytes()
+             == process_tl.canonical_bytes())
+
+    evaluation = evaluate_slos(serial_tl, default_slos())
+    latency = evaluation.result("latency_p99_500us")
+    availability = evaluation.result("availability_full_fidelity")
+    return {
+        "windows_reconcile": _count(
+            "windows_reconcile", float(reconciled), headline=True),
+        "backends_agree": _count(
+            "backends_agree", float(agree), headline=True),
+        "num_windows": _count("num_windows", serial_tl.num_windows),
+        "slo_alerts": _count(
+            "slo_alerts", len(evaluation.alerts), headline=True),
+        "latency_good_fraction": Metric(
+            "latency_good_fraction", latency.good_fraction,
+            CLASS_COUNT, "exact"),
+        "availability_good_fraction": Metric(
+            "availability_good_fraction", availability.good_fraction,
+            CLASS_COUNT, "exact"),
+        "worst_burn_rate": Metric(
+            "worst_burn_rate",
+            max(r.worst_burn_rate for r in evaluation.results),
+            CLASS_COUNT, "exact"),
+        "degraded_queries": _count(
+            "degraded_queries",
+            serial_report.metrics.counter("degraded_queries")),
+        "makespan_seconds": _modelled(
+            "makespan_seconds", serial_report.makespan_seconds,
+            headline=True),
+    }
+
+
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
@@ -718,9 +829,21 @@ def _register_all() -> None:
         True, _build_service_attribution,
     ))
     _register(Scenario(
+        "service.slo",
+        "service", "windowed-telemetry reconciliation gate: per-window "
+        "sums equal terminal counters bit for bit, serial/thread/process "
+        "timelines byte-identical, SLO burn-rate alerts deterministic",
+        True, _build_service_slo,
+    ))
+    _register(Scenario(
         "overhead.tracing",
         "overhead", "disabled-tracing overhead guard (<2% budget)",
         True, _build_tracing_overhead,
+    ))
+    _register(Scenario(
+        "overhead.telemetry",
+        "overhead", "disabled-telemetry overhead guard (<2% budget)",
+        True, _build_telemetry_overhead,
     ))
     # -- full-set-only: heavier experiment sweeps ----------------------
     _experiment_scenario(

@@ -1,0 +1,182 @@
+"""Post-hoc monitor rendering for windowed telemetry (``repro monitor``).
+
+Turns a :class:`~repro.service.metrics.MetricsTimeline` into the
+terminal view an operator would watch live: a per-window table
+(throughput, latency quantiles, queue depth, utilization), unicode
+sparklines of the headline series over modelled time, and — when SLOs
+are supplied — a burn-rate section listing each objective's good
+fraction, worst burn and alert transitions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.reporting.tables import format_seconds, render_table
+
+if TYPE_CHECKING:
+    from repro.observability.slo import SLOEvaluation
+    from repro.service.metrics import MetricsTimeline
+
+#: eight-level block ramp used for sparklines.
+SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """Unicode sparkline of ``values`` (empty string for no data).
+
+    Scaled to the series' own [min, max]; a flat non-zero series renders
+    as a mid-level bar so it reads as "constant", not "empty".
+    """
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        level = 0 if hi == 0 else 4
+        return SPARK_CHARS[level] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(SPARK_CHARS) - 1))
+        out.append(SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def _engines_of(windows: list[dict]) -> list[str]:
+    engines = set()
+    for entry in windows:
+        for name in entry["counters"]:
+            if name.startswith("engine") and name.endswith("_queries"):
+                engines.add(name[: -len("_queries")])
+    return sorted(engines, key=lambda e: (len(e), e))
+
+
+def window_table(timeline: MetricsTimeline, sliding: int = 1) -> str:
+    """Per-window table over the dense window range.
+
+    ``sliding`` > 1 renders trailing-window aggregates (each row merges
+    the last N tumbling windows) — the smoothed view burn rates use.
+    """
+    from repro.observability.timeline import derive_window_metrics
+
+    windows = derive_window_metrics(timeline, timeline.sliding(sliding),
+                                    span=sliding)
+    if not windows:
+        return "(empty timeline)"
+    engines = _engines_of(windows)
+    headers = ["window", "t_end", "queries", "qps", "p50", "p99",
+               "degraded", "hits"]
+    headers += [f"{e} util" for e in engines]
+    headers += [f"{e} queue" for e in engines]
+    rows = []
+    for entry in windows:
+        latency = entry["series"].get("latency_seconds")
+        p50 = format_seconds(latency.quantile(0.50)) if (
+            latency is not None and latency.count
+        ) else "-"
+        p99 = format_seconds(latency.quantile(0.99)) if (
+            latency is not None and latency.count
+        ) else "-"
+        row = [
+            entry["index"],
+            format_seconds(entry["end_seconds"]),
+            entry["counters"].get("queries", 0),
+            f"{entry['derived']['throughput_qps']:,.0f}",
+            p50,
+            p99,
+            entry["counters"].get("degraded_queries", 0),
+            entry["counters"].get("result_hits", 0),
+        ]
+        for e in engines:
+            util = entry["derived"].get(f"{e}/utilization")
+            row.append("-" if util is None else f"{util:.2f}")
+        for e in engines:
+            depth = entry["gauges"].get(f"{e}/queue_depth")
+            row.append("-" if depth is None else int(depth))
+        rows.append(row)
+    title = (f"{len(windows)} window(s) x "
+             f"{format_seconds(timeline.window_seconds)}"
+             + (f", sliding over {sliding}" if sliding > 1 else ""))
+    return render_table(headers, rows, title=title)
+
+
+def sparkline_section(timeline: MetricsTimeline) -> str:
+    """Headline series as labelled sparklines over the window range."""
+    from repro.observability.timeline import derive_window_metrics
+
+    windows = derive_window_metrics(timeline)
+    if not windows:
+        return "(empty timeline)"
+
+    def series_values(pick) -> list[float]:
+        return [float(pick(entry)) for entry in windows]
+
+    def p99(entry) -> float:
+        sketch = entry["series"].get("latency_seconds")
+        return sketch.quantile(0.99) if sketch is not None and sketch.count \
+            else 0.0
+
+    tracks = [
+        ("queries/window",
+         series_values(lambda e: e["counters"].get("queries", 0))),
+        ("p99 latency",
+         series_values(p99)),
+        ("degraded",
+         series_values(lambda e: e["counters"].get("degraded_queries", 0))),
+        ("in-flight engines",
+         series_values(lambda e: e["derived"]["in_flight_engines"])),
+    ]
+    label_width = max(len(label) for label, _ in tracks)
+    lines = []
+    for label, values in tracks:
+        peak = max(values) if values else 0.0
+        peak_text = (format_seconds(peak) if "latency" in label
+                     else f"{peak:g}")
+        lines.append(f"{label.ljust(label_width)}  {sparkline(values)}"
+                     f"  (peak {peak_text})")
+    return "\n".join(lines)
+
+
+def slo_section(evaluation: SLOEvaluation) -> str:
+    """Burn-rate summary of one SLO evaluation."""
+    rows = []
+    for result in evaluation.results:
+        rows.append((
+            result.slo.name,
+            result.slo.kind,
+            f"{result.slo.objective:.4g}",
+            f"{result.good_fraction:.6g}",
+            "yes" if result.met else "NO",
+            f"{result.worst_burn_rate:.2f}",
+            len(result.alerts),
+        ))
+    table = render_table(
+        ("slo", "kind", "objective", "good", "met", "worst burn",
+         "alerts"),
+        rows,
+        title="SLO burn rates (multi-window)",
+    )
+    lines = [table]
+    alerts = evaluation.alerts
+    if alerts:
+        lines.append("")
+        lines.append("alerts (transitions into firing):")
+        for alert in alerts:
+            lines.append(
+                f"  window {alert.window_index} "
+                f"(t={format_seconds(alert.modelled_seconds)}): "
+                f"{alert.slo} [{alert.policy.label}] "
+                f"long={alert.long_burn:.2f}x short={alert.short_burn:.2f}x"
+            )
+    return "\n".join(lines)
+
+
+def monitor_report(timeline: MetricsTimeline, sliding: int = 1,
+                   evaluation: SLOEvaluation | None = None) -> str:
+    """The full ``repro monitor`` rendering."""
+    sections = [window_table(timeline, sliding=sliding),
+                sparkline_section(timeline)]
+    if evaluation is not None:
+        sections.append(slo_section(evaluation))
+    return "\n\n".join(sections)

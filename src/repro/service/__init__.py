@@ -9,8 +9,11 @@ from repro.service.batch import (
 )
 from repro.service.cache import GraphArtifactCache
 from repro.service.metrics import (
+    ExactSum,
+    HistogramSketch,
     LatencySummary,
     MetricsRegistry,
+    MetricsTimeline,
     percentile,
 )
 from repro.service.parallel import BatchOutcome, ProcessEnginePool
@@ -36,8 +39,11 @@ __all__ = [
     "FlakyEngine",
     "ServiceBatchReport",
     "GraphArtifactCache",
+    "ExactSum",
+    "HistogramSketch",
     "LatencySummary",
     "MetricsRegistry",
+    "MetricsTimeline",
     "percentile",
     "BatchOutcome",
     "ProcessEnginePool",

@@ -72,7 +72,11 @@ from repro.host.query import Query
 from repro.host.system import PathEnumerationSystem, SystemReport
 from repro.observability.tracer import NULL_TRACER
 from repro.service.cache import GraphArtifactCache
-from repro.service.metrics import LatencySummary, MetricsRegistry
+from repro.service.metrics import (
+    LatencySummary,
+    MetricsRegistry,
+    MetricsTimeline,
+)
 from repro.service.scheduler import (
     SCHEDULER_NAMES,
     SCHEDULERS,
@@ -171,7 +175,7 @@ class EngineServer:
 
     __slots__ = ("system", "budget", "batch_deadline_s",
                  "degraded_cycle_budget", "profile", "share",
-                 "host_busy", "device_busy")
+                 "host_busy", "device_busy", "last_result_hit")
 
     def __init__(self, system, budget: QueryBudget,
                  batch_deadline_s: float | None,
@@ -185,6 +189,12 @@ class EngineServer:
         self.share = share
         self.host_busy = 0.0
         self.device_busy = 0.0
+        #: whether the most recent :meth:`serve` was answered from the
+        #: result cache.  The dispatcher reads this to timestamp cache
+        #: hits on the telemetry timeline — per-query attributable and
+        #: deterministic, unlike diffing shared cache stats under
+        #: concurrent engines.
+        self.last_result_hit = False
 
     def serve(self, query: Query, tracer=None):
         """Answer one query; returns ``(report, degraded)``.
@@ -192,6 +202,7 @@ class EngineServer:
         Propagates :class:`~repro.errors.EngineFailure` — requeueing is
         the dispatcher's job, not the engine's.
         """
+        self.last_result_hit = False
         q_budget = self.budget
         degraded = False
         if (
@@ -243,6 +254,7 @@ class EngineServer:
             self.system.graph, query, (q_budget, self.profile),
             build, counter=probe_ops, tracer=tracer,
         )
+        self.last_result_hit = hit
         if not hit:
             self.host_busy += cached.preprocess_seconds
             self.device_busy += cached.query_seconds
@@ -259,13 +271,23 @@ class EngineServer:
 
 
 def observe_report(metrics: MetricsRegistry, report: SystemReport,
-                   engine_idx: int, degraded: bool = False) -> None:
+                   engine_idx: int, degraded: bool = False,
+                   timeline: MetricsTimeline | None = None,
+                   t_end: float | None = None) -> None:
     """Fold one query's outcome into a metrics registry.
 
     A module function (not a service method) because the process backend
     runs it inside worker processes against worker-local registries that
     are merged on the coordinator afterwards — both backends must observe
     identically for the merged view to match the thread backend's.
+
+    With a ``timeline``, every counter bump and latency sample is also
+    recorded into the tumbling window of ``t_end`` — the serving engine's
+    modelled completion time for this query (its accumulated host +
+    device busy seconds), which every backend computes identically.  A
+    per-engine ``engine{i}_device_seconds`` series is dual-written to the
+    registry and the timeline so per-window utilization stays
+    reconcilable against a terminal total.
     """
     metrics.observe("latency_seconds", report.total_seconds)
     metrics.observe("preprocess_seconds", report.preprocess_seconds)
@@ -280,17 +302,46 @@ def observe_report(metrics: MetricsRegistry, report: SystemReport,
     if degraded:
         metrics.increment("degraded_queries")
         metrics.observe("degraded_latency_seconds", report.total_seconds)
+    if timeline is not None:
+        metrics.observe(f"engine{engine_idx}_device_seconds",
+                        report.query_seconds)
+        timeline.observe(t_end, "latency_seconds", report.total_seconds)
+        timeline.observe(t_end, "preprocess_seconds",
+                         report.preprocess_seconds)
+        timeline.observe(t_end, "query_seconds", report.query_seconds)
+        timeline.observe(t_end, f"engine{engine_idx}_device_seconds",
+                         report.query_seconds)
+        timeline.record(t_end, "queries")
+        timeline.record(t_end, "paths_found", report.num_paths)
+        timeline.record(t_end, f"engine{engine_idx}_queries")
+        if report.device is None:
+            timeline.record(t_end, "empty_queries")
+        if report.truncated:
+            timeline.record(t_end, "truncated_queries")
+        if degraded:
+            timeline.record(t_end, "degraded_queries")
+            timeline.observe(t_end, "degraded_latency_seconds",
+                             report.total_seconds)
     if report.profile is not None:
-        observe_profile(metrics, report.profile)
+        observe_profile(metrics, report.profile, timeline=timeline,
+                        t_end=t_end)
 
 
-def observe_profile(metrics: MetricsRegistry, prof) -> None:
+def observe_profile(metrics: MetricsRegistry, prof,
+                    timeline: MetricsTimeline | None = None,
+                    t_end: float | None = None) -> None:
     """Fold one kernel run's device profile into a registry."""
     metrics.increment("profiled_queries")
     metrics.increment("device_cycles", prof.total_cycles)
     metrics.increment("device_expand_cycles", prof.expand_cycles)
     metrics.increment("device_verify_cycles", prof.verify_cycles)
     metrics.increment("device_stall_cycles", prof.stall_cycles)
+    if timeline is not None:
+        timeline.record(t_end, "profiled_queries")
+        timeline.record(t_end, "device_cycles", prof.total_cycles)
+        timeline.record(t_end, "device_expand_cycles", prof.expand_cycles)
+        timeline.record(t_end, "device_verify_cycles", prof.verify_cycles)
+        timeline.record(t_end, "device_stall_cycles", prof.stall_cycles)
     for batch in prof.batches:
         metrics.observe_hist("batch_cycles", batch.cycles,
                              bounds=CYCLE_BUCKETS)
@@ -306,6 +357,9 @@ def observe_profile(metrics: MetricsRegistry, prof) -> None:
     for label, counters in prof.cache_counters.items():
         metrics.increment(f"{label}_hits", counters["hits"])
         metrics.increment(f"{label}_misses", counters["misses"])
+        if timeline is not None:
+            timeline.record(t_end, f"{label}_hits", counters["hits"])
+            timeline.record(t_end, f"{label}_misses", counters["misses"])
         metrics.observe_hist(
             f"{label}_hit_rate", prof.cache_hit_rate(label),
             bounds=FRACTION_BUCKETS,
@@ -368,6 +422,9 @@ class ServiceBatchReport:
     backend: str = "thread"
     #: whether cross-query sharing (result cache + source groups) was on.
     sharing: bool = False
+    #: windowed telemetry on the modelled clock, when a timeline was
+    #: passed to :meth:`BatchQueryService.run` (``None`` otherwise).
+    timeline: MetricsTimeline | None = None
 
     @property
     def num_queries(self) -> int:
@@ -666,6 +723,7 @@ class BatchQueryService:
         degraded_cycle_budget: int | None = None,
         tracer=None,
         profile: bool = False,
+        timeline: MetricsTimeline | None = None,
     ) -> ServiceBatchReport:
         """Serve one batch end to end and report answers plus metrics.
 
@@ -686,6 +744,18 @@ class BatchQueryService:
         every kernel run (attached to each :class:`SystemReport` and fed
         into the registry's histograms).  Both default off and cost
         nothing when off.
+
+        ``timeline`` (a :class:`repro.service.metrics.MetricsTimeline`)
+        turns on windowed telemetry: every query's counters and latency
+        samples are also bucketed by its modelled completion time, per-
+        engine queue depths become window gauges (static schedulers
+        only — a stolen queue's length is not deterministic), and result-
+        cache hits are timestamped per query.  The same timeline may be
+        passed to several runs to accumulate; it is attached to the
+        returned report and reconciles exactly against ``self.metrics``
+        when it covered every run of a fresh service (see
+        :meth:`MetricsTimeline.reconcile`).  Defaults off and costs
+        nothing when off.
         """
         tr = tracer or NULL_TRACER
         with tr.span("serve_batch", queries=len(queries),
@@ -693,7 +763,8 @@ class BatchQueryService:
                      scheduler=self.scheduler) as bspan:
             return self._run_traced(
                 queries, budget, deadline_ms, batch_deadline_ms,
-                degraded_cycle_budget, tracer, profile, tr, bspan,
+                degraded_cycle_budget, tracer, profile, timeline,
+                tr, bspan,
             )
 
     def _resolve_budget(
@@ -733,7 +804,7 @@ class BatchQueryService:
 
     def _run_traced(
         self, queries, budget, deadline_ms, batch_deadline_ms,
-        degraded_cycle_budget, tracer, profile, tr, bspan,
+        degraded_cycle_budget, tracer, profile, timeline, tr, bspan,
     ) -> ServiceBatchReport:
         wall_start = time.perf_counter()
         stats_before = self.cache.stats()
@@ -752,17 +823,17 @@ class BatchQueryService:
         if self.backend == "process":
             outcome = self._dispatch_process(
                 queries, effective, batch_deadline_s,
-                degraded_cycle_budget, tracer, tr, profile,
+                degraded_cycle_budget, tracer, tr, profile, timeline,
             )
         elif self.scheduler == WORK_STEALING:
             outcome = self._dispatch_thread_stealing(
                 queries, effective, batch_deadline_s,
-                degraded_cycle_budget, tracer, tr, profile,
+                degraded_cycle_budget, tracer, tr, profile, timeline,
             )
         else:
             outcome = self._dispatch_thread_static(
                 queries, effective, batch_deadline_s,
-                degraded_cycle_budget, tracer, tr, profile,
+                degraded_cycle_budget, tracer, tr, profile, timeline,
             )
         reports, assignment, host_busy, device_busy, failed, worker_stats = (
             outcome
@@ -821,6 +892,7 @@ class BatchQueryService:
             failure_plan=list(self.failure_plan),
             backend=self.backend,
             sharing=self.sharing,
+            timeline=timeline,
         )
         bspan.set_modelled(report.makespan_seconds).set(
             paths=report.total_paths,
@@ -861,7 +933,7 @@ class BatchQueryService:
     # -- thread backend, static schedulers ----------------------------
     def _dispatch_thread_static(
         self, queries, effective, batch_deadline_s, degraded_cycle_budget,
-        tracer, tr, profile,
+        tracer, tr, profile, timeline,
     ):
         if self.sharing:
             assignment = grouped_assignment(
@@ -898,8 +970,17 @@ class BatchQueryService:
                         self.metrics.increment("engine_failures")
                         return indices[pos:]
                     reports[query_idx] = report
+                    t_end = server.host_busy + server.device_busy
                     observe_report(self.metrics, report, engine_idx,
-                                   degraded=degraded)
+                                   degraded=degraded, timeline=timeline,
+                                   t_end=t_end)
+                    if timeline is not None:
+                        if server.last_result_hit:
+                            timeline.record(t_end, "result_hits")
+                        timeline.set_gauge(
+                            t_end, f"engine{engine_idx}/queue_depth",
+                            len(indices) - pos - 1,
+                        )
             return []
 
         work = [list(part) for part in assignment]
@@ -959,7 +1040,7 @@ class BatchQueryService:
     # -- thread backend, work stealing ---------------------------------
     def _dispatch_thread_stealing(
         self, queries, effective, batch_deadline_s, degraded_cycle_budget,
-        tracer, tr, profile,
+        tracer, tr, profile, timeline,
     ):
         if self.sharing:
             items = grouped_steal_order(queries, graph=self.graph,
@@ -1005,8 +1086,14 @@ class BatchQueryService:
                             return
                         reports[query_idx] = report
                         assignment[engine_idx].append(query_idx)
+                        t_end = server.host_busy + server.device_busy
                         observe_report(self.metrics, report, engine_idx,
-                                       degraded=degraded)
+                                       degraded=degraded,
+                                       timeline=timeline, t_end=t_end)
+                        # No queue-depth gauge here: the shared steal
+                        # queue's length depends on thread interleaving.
+                        if timeline is not None and server.last_result_hit:
+                            timeline.record(t_end, "result_hits")
 
         while len(queue):
             active = [
@@ -1037,7 +1124,7 @@ class BatchQueryService:
     # -- process backend -----------------------------------------------
     def _dispatch_process(
         self, queries, effective, batch_deadline_s, degraded_cycle_budget,
-        tracer, tr, profile,
+        tracer, tr, profile, timeline,
     ):
         from repro.service.parallel import ProcessEnginePool
 
@@ -1062,9 +1149,22 @@ class BatchQueryService:
             degraded_cycle_budget=degraded_cycle_budget,
             profile=profile,
             trace=bool(tr),
+            window_seconds=(
+                timeline.window_seconds if timeline is not None else None
+            ),
+            sketch_gamma=(
+                timeline.gamma if timeline is not None else None
+            ),
         )
         for registry in outcome.metric_registries:
             self.metrics.merge(registry)
+        if timeline is not None:
+            # Worker shards arrive in (round, worker) order and merge
+            # exactly, so the combined timeline is byte-identical to the
+            # thread backend's (every merge here is commutative anyway;
+            # the sort just makes the iteration order self-evident).
+            for shard in outcome.timelines:
+                timeline.merge(shard)
         if outcome.engine_failures:
             self.metrics.increment("engine_failures",
                                    outcome.engine_failures)

@@ -10,10 +10,14 @@ kinds:
   (Vitter's Algorithm R): the first ``max_samples_per_series``
   observations are kept verbatim, after which each new observation
   replaces a uniformly random reservoir slot with probability
-  ``capacity / count`` — so a million-query run holds a fixed-size
-  uniform sample instead of every observation, while count, mean, min
-  and max stay exact (they are tracked as running aggregates, not
-  derived from the reservoir);
+  ``capacity / count``.  Count, min and max stay exact; the running sum
+  is kept as an :class:`ExactSum` (Shewchuk partials), so the mean is
+  the correctly-rounded sum of every observation no matter the
+  observation or merge order.  Each series also feeds a
+  :class:`HistogramSketch` — a mergeable log-bucketed histogram — and
+  quantiles switch from the (exact) retained samples to the sketch once
+  the series outgrows the reservoir, so merged shards never over-weight
+  a small worker (see :meth:`MetricsRegistry.merge`);
 - **histograms** — Prometheus-style cumulative-bucket distributions for
   high-volume device counters (per-batch cycles, stage occupancy) where
   even a reservoir is more than needed.
@@ -22,11 +26,36 @@ The registry snapshots into a plain dict for rendering or export, and
 :mod:`repro.observability.prometheus` renders it in the Prometheus text
 exposition format.  No wall-clock reads happen here; callers observe
 whatever notion of latency (modelled or measured) they want to track.
+
+Windowed telemetry
+------------------
+:class:`MetricsTimeline` is the registry's time-resolved sibling: the
+same counter/gauge/sample vocabulary bucketed into tumbling windows of
+*modelled* time.  Events are timestamped with the serving layer's
+deterministic engine clocks (an engine's accumulated host + device busy
+seconds), so the same seeded workload produces bit-identical timelines
+no matter which dispatch backend served it:
+
+- window *counters* are plain integers and add commutatively;
+- window *sample series* are :class:`HistogramSketch` instances whose
+  bucket counts add exactly and whose totals are :class:`ExactSum`
+  accumulations — merging per-worker shards in any order yields the
+  same bytes;
+- window *gauges* keep the lexicographically largest ``(timestamp,
+  value)`` pair, a commutative/associative last-write-wins.
+
+:meth:`MetricsTimeline.reconcile` checks the streaming view against the
+terminal registry: every windowed counter must sum to the registry
+counter bit for bit, and every windowed series must reproduce the
+registry's exact count and correctly-rounded total.  The
+``service.slo`` perfbench scenario gates this.
 """
 
 from __future__ import annotations
 
 import bisect
+import json
+import math
 import random
 import threading
 from collections import Counter
@@ -45,6 +74,17 @@ DEFAULT_SECONDS_BUCKETS = tuple(
     for base in (1.0, 2.5, 5.0)
 )
 
+#: log-bucket growth factor of :class:`HistogramSketch`: 2^(1/8) per
+#: bucket (~9.05% wide), bounding a mid-bucket quantile estimate to
+#: ~4.4% relative error while keeping a microsecond..minute latency
+#: range inside ~300 buckets.
+SKETCH_GAMMA = 2.0 ** 0.125
+
+#: default tumbling-window width of :class:`MetricsTimeline`, in
+#: modelled seconds (batch makespans on the bundled datasets are a few
+#: to a few tens of milliseconds, so 1 ms yields a useful series).
+DEFAULT_WINDOW_SECONDS = 1e-3
+
 
 def percentile(samples: list[float], q: float) -> float:
     """Nearest-rank percentile of ``samples`` (``q`` in [0, 100]).
@@ -62,6 +102,215 @@ def percentile(samples: list[float], q: float) -> float:
         return ordered[0]
     rank = max(1, -(-len(ordered) * q // 100))  # ceil(n * q / 100)
     return ordered[int(rank) - 1]
+
+
+class ExactSum:
+    """Exactly-rounded floating-point accumulation (Shewchuk partials).
+
+    Keeps the running sum as a list of non-overlapping partials whose
+    mathematical sum *is* the real-number sum of everything added, so
+    :attr:`value` — ``math.fsum`` of the partials — is the correctly
+    rounded total regardless of addition order.  That property is what
+    lets per-worker shards (process backend) and interleaved observers
+    (thread backend) produce bit-identical totals: exact real arithmetic
+    commutes, a left-fold of rounded floats does not.
+    """
+
+    __slots__ = ("partials",)
+
+    def __init__(self, partials=None) -> None:
+        self.partials: list[float] = list(partials or ())
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        partials = self.partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+
+    def merge(self, other: "ExactSum") -> None:
+        """Fold another accumulation in (exact, order-independent)."""
+        for p in list(other.partials):
+            self.add(p)
+
+    @property
+    def value(self) -> float:
+        """The correctly rounded sum of every value added so far."""
+        return math.fsum(self.partials)
+
+    def copy(self) -> "ExactSum":
+        return ExactSum(self.partials)
+
+
+class HistogramSketch:
+    """Mergeable log-bucketed histogram of one sample series.
+
+    Values land in geometric buckets ``[gamma^i, gamma^(i+1))`` (split
+    by sign, with a dedicated zero bucket), so a bucket index is a pure
+    function of the value: two shards that observed the same multiset of
+    values hold identical bucket maps, and merging shards is exact —
+    integer bucket counts add commutatively, the total is an
+    :class:`ExactSum`, min/max combine losslessly.  Quantiles are
+    bucket-resolution estimates (the geometric bucket midpoint, clamped
+    to the observed min/max): deterministic, shard-order independent,
+    and within ``(gamma - 1) / 2`` relative error — unlike concatenating
+    bounded reservoirs, which silently over-weights small shards.
+    """
+
+    __slots__ = ("gamma", "_log_gamma", "count", "_total", "minimum",
+                 "maximum", "zero", "positive", "negative")
+
+    def __init__(self, gamma: float = SKETCH_GAMMA) -> None:
+        if not gamma > 1.0:
+            raise ConfigError(f"sketch gamma must be > 1, got {gamma}")
+        self.gamma = float(gamma)
+        self._log_gamma = math.log(self.gamma)
+        self.count = 0
+        self._total = ExactSum()
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.zero = 0
+        self.positive: dict[int, int] = {}
+        self.negative: dict[int, int] = {}
+
+    @property
+    def total(self) -> float:
+        """Correctly rounded sum of every observed value."""
+        return self._total.value
+
+    def _index(self, magnitude: float) -> int:
+        return math.floor(math.log(magnitude) / self._log_gamma)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self._total.add(value)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if value > 0.0:
+            idx = self._index(value)
+            self.positive[idx] = self.positive.get(idx, 0) + 1
+        elif value < 0.0:
+            idx = self._index(-value)
+            self.negative[idx] = self.negative.get(idx, 0) + 1
+        else:
+            self.zero += 1
+
+    def merge(self, other: "HistogramSketch") -> None:
+        """Add another sketch's buckets (exact; bounds must agree)."""
+        if other.gamma != self.gamma:
+            raise ConfigError(
+                f"cannot merge sketches with different gamma: "
+                f"{self.gamma} vs {other.gamma}"
+            )
+        self.count += other.count
+        self._total.merge(other._total)
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        self.zero += other.zero
+        for idx, n in other.positive.items():
+            self.positive[idx] = self.positive.get(idx, 0) + n
+        for idx, n in other.negative.items():
+            self.negative[idx] = self.negative.get(idx, 0) + n
+
+    def _buckets_ascending(self):
+        """(representative value, count) pairs in ascending value order."""
+        for idx in sorted(self.negative, reverse=True):
+            yield -(self.gamma ** (idx + 0.5)), self.negative[idx]
+        if self.zero:
+            yield 0.0, self.zero
+        for idx in sorted(self.positive):
+            yield self.gamma ** (idx + 0.5), self.positive[idx]
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate (``q`` in [0, 1])."""
+        if not self.count:
+            raise ValueError("quantile of an empty sketch")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        rank = min(self.count, max(1, math.ceil(self.count * q)))
+        running = 0
+        value = self.maximum
+        for rep, n in self._buckets_ascending():
+            running += n
+            if running >= rank:
+                value = rep
+                break
+        return min(self.maximum, max(self.minimum, value))
+
+    def rank_at_most(self, threshold: float) -> int:
+        """Observations known to be ``<= threshold``.
+
+        Bucket-granular: values in the bucket straddling ``threshold``
+        are not counted, so the result is a deterministic *undercount*
+        by at most one bucket's population — the conservative direction
+        for SLO "good event" counting.
+        """
+        threshold = float(threshold)
+        n = 0
+        if threshold >= 0.0:
+            n += self.zero + sum(self.negative.values())
+            for idx, count in self.positive.items():
+                if self.gamma ** (idx + 1) <= threshold:
+                    n += count
+        else:
+            magnitude = -threshold
+            for idx, count in self.negative.items():
+                if self.gamma ** idx >= magnitude:
+                    n += count
+        return n
+
+    def copy(self) -> "HistogramSketch":
+        dup = HistogramSketch(self.gamma)
+        dup.count = self.count
+        dup._total = self._total.copy()
+        dup.minimum = self.minimum
+        dup.maximum = self.maximum
+        dup.zero = self.zero
+        dup.positive = dict(self.positive)
+        dup.negative = dict(self.negative)
+        return dup
+
+    def to_dict(self) -> dict:
+        """JSON-safe view (totals rounded; infinities mapped to None)."""
+        return {
+            "gamma": self.gamma,
+            "count": self.count,
+            "total": self.total,
+            "minimum": self.minimum if self.count else None,
+            "maximum": self.maximum if self.count else None,
+            "zero": self.zero,
+            "positive": {str(i): self.positive[i]
+                         for i in sorted(self.positive)},
+            "negative": {str(i): self.negative[i]
+                         for i in sorted(self.negative)},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "HistogramSketch":
+        sketch = cls(d.get("gamma", SKETCH_GAMMA))
+        sketch.count = int(d["count"])
+        sketch._total = ExactSum((d["total"],) if d["total"] else ())
+        sketch.minimum = (float("inf") if d.get("minimum") is None
+                          else float(d["minimum"]))
+        sketch.maximum = (float("-inf") if d.get("maximum") is None
+                          else float(d["maximum"]))
+        sketch.zero = int(d.get("zero", 0))
+        sketch.positive = {int(i): int(n)
+                           for i, n in d.get("positive", {}).items()}
+        sketch.negative = {int(i): int(n)
+                           for i, n in d.get("negative", {}).items()}
+        return sketch
 
 
 @dataclass(frozen=True)
@@ -93,25 +342,32 @@ class LatencySummary:
 
 
 class _Series:
-    """One sample series: exact running aggregates + a bounded reservoir."""
+    """One sample series: exact aggregates + reservoir + log sketch."""
 
-    __slots__ = ("count", "total", "minimum", "maximum", "reservoir")
+    __slots__ = ("count", "_total", "minimum", "maximum", "reservoir",
+                 "sketch")
 
     def __init__(self) -> None:
         self.count = 0
-        self.total = 0.0
+        self._total = ExactSum()
         self.minimum = float("inf")
         self.maximum = float("-inf")
         self.reservoir: list[float] = []
+        self.sketch = HistogramSketch()
+
+    @property
+    def total(self) -> float:
+        return self._total.value
 
     def observe(self, value: float, capacity: int,
                 rng: random.Random) -> None:
         self.count += 1
-        self.total += value
+        self._total.add(value)
         if value < self.minimum:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        self.sketch.observe(value)
         if len(self.reservoir) < capacity:
             self.reservoir.append(value)
         else:
@@ -122,14 +378,27 @@ class _Series:
                 self.reservoir[slot] = value
 
     def summary(self) -> LatencySummary:
+        # While every observation is still retained the reservoir *is*
+        # the series and its nearest-rank percentiles are exact; past
+        # that (overflow, or a merge that combined more samples than the
+        # cap) quantiles come from the sketch — deterministic and free
+        # of the small-shard bias a truncated reservoir concat has.
+        if self.count == len(self.reservoir):
+            p50 = percentile(self.reservoir, 50)
+            p95 = percentile(self.reservoir, 95)
+            p99 = percentile(self.reservoir, 99)
+        else:
+            p50 = self.sketch.quantile(0.50)
+            p95 = self.sketch.quantile(0.95)
+            p99 = self.sketch.quantile(0.99)
         return LatencySummary(
             count=self.count,
             mean=self.total / self.count,
             minimum=self.minimum,
             maximum=self.maximum,
-            p50=percentile(self.reservoir, 50),
-            p95=percentile(self.reservoir, 95),
-            p99=percentile(self.reservoir, 99),
+            p50=p50,
+            p95=p95,
+            p99=p99,
         )
 
 
@@ -288,11 +557,30 @@ class MetricsRegistry:
             series = self._series.get(name)
             return series.count if series else 0
 
+    def sample_total(self, name: str) -> float | None:
+        """Correctly rounded sum of every observation of series ``name``.
+
+        Exact in the real-arithmetic sense (Shewchuk partials), so the
+        same observations produce the same float no matter the order
+        they arrived in — the terminal side of the windowed-telemetry
+        reconciliation invariant.
+        """
+        with self._lock:
+            series = self._series.get(name)
+            return series.total if series else None
+
+    def sketch(self, name: str) -> HistogramSketch | None:
+        """Copy of series ``name``'s log-bucketed sketch, or ``None``."""
+        with self._lock:
+            series = self._series.get(name)
+            return series.sketch.copy() if series else None
+
     def summary(self, name: str) -> LatencySummary | None:
         """Summary of series ``name``, or ``None`` when it has no samples.
 
-        Count, mean, min and max are exact; percentiles are computed
-        over the reservoir (exact until the series exceeds the cap).
+        Count, mean, min and max are exact; percentiles are exact while
+        every observation is retained and sketch estimates (bounded
+        relative error, deterministic) past the reservoir cap.
         """
         with self._lock:
             series = self._series.get(name)
@@ -328,12 +616,17 @@ class MetricsRegistry:
         The process-parallel serving backend gives each worker its own
         registry (a lock cannot span processes) and merges them on the
         coordinator: counters add, sample series combine their exact
-        aggregates (count/mean/min/max stay exact), and histograms add
-        bucket counts (their bounds must match, else
-        :class:`~repro.errors.ConfigError`).  Merged reservoirs are the
-        concatenation truncated to capacity — exact while the combined
-        series fits the reservoir, an approximation past it (the same
-        regime where a single registry is already sampling).
+        aggregates (count/mean/min/max stay exact — the totals are
+        :class:`ExactSum` partials, so even float sums merge to the
+        correctly rounded result), histogram bucket counts add (their
+        bounds must match, else :class:`~repro.errors.ConfigError`), and
+        the per-series :class:`HistogramSketch` buckets add exactly —
+        merged quantiles come from the combined sketch, never from the
+        truncated reservoir concatenation (which kept an over-weighted
+        share of a small worker's samples).  The reservoir itself is
+        still concatenated and truncated, but only as the *retained
+        sample* view (:meth:`samples`); quantiles stop reading it the
+        moment it no longer holds every observation.
         """
         if other is self:
             raise ConfigError("cannot merge a registry into itself")
@@ -341,8 +634,8 @@ class MetricsRegistry:
             counters = dict(other._counters)
             gauges = dict(other._gauges)
             series = {
-                name: (s.count, s.total, s.minimum, s.maximum,
-                       list(s.reservoir))
+                name: (s.count, s._total.copy(), s.minimum, s.maximum,
+                       list(s.reservoir), s.sketch.copy())
                 for name, s in other._series.items()
             }
             histograms = {
@@ -355,17 +648,19 @@ class MetricsRegistry:
             # Gauges are levels, not totals: the merged-in (newer)
             # registry's value wins.
             self._gauges.update(gauges)
-            for name, (count, total, mn, mx, reservoir) in series.items():
+            for name, (count, total, mn, mx, reservoir,
+                       sketch) in series.items():
                 mine = self._series.get(name)
                 if mine is None:
                     mine = self._series[name] = _Series()
                 mine.count += count
-                mine.total += total
+                mine._total.merge(total)
                 mine.minimum = min(mine.minimum, mn)
                 mine.maximum = max(mine.maximum, mx)
                 mine.reservoir = (
                     mine.reservoir + reservoir
                 )[: self._capacity]
+                mine.sketch.merge(sketch)
             for name, (bounds, counts, count, total) in histograms.items():
                 mine_h = self._histograms.get(name)
                 if mine_h is None:
@@ -410,3 +705,324 @@ class MetricsRegistry:
             "series": series,
             "histograms": histograms,
         }
+
+
+class _Window:
+    """One tumbling window's accumulation."""
+
+    __slots__ = ("counters", "gauges", "series")
+
+    def __init__(self) -> None:
+        self.counters: Counter[str] = Counter()
+        #: gauge name -> (modelled timestamp, value); merge keeps the
+        #: lexicographic max, so last-write-wins is order-independent.
+        self.gauges: dict[str, tuple[float, float]] = {}
+        self.series: dict[str, HistogramSketch] = {}
+
+
+class MetricsTimeline:
+    """Tumbling-window telemetry on the modelled clock.
+
+    Counters, gauges and sample series bucketed by
+    ``floor(t / window_seconds)``, where ``t`` is a *modelled* timestamp
+    (the serving layer uses each engine's accumulated busy seconds).
+    Every accumulation is exactly mergeable — see the module docstring —
+    so per-worker shards combine into the same timeline bytes no matter
+    the backend, worker count or merge order.  Thread-safe; picklable
+    (the process backend ships per-round worker timelines back to the
+    coordinator the same way it ships registries).
+    """
+
+    def __init__(self, window_seconds: float = DEFAULT_WINDOW_SECONDS,
+                 gamma: float = SKETCH_GAMMA) -> None:
+        window_seconds = float(window_seconds)
+        if not window_seconds > 0.0:
+            raise ConfigError(
+                f"window_seconds must be positive, got {window_seconds}"
+            )
+        self.window_seconds = window_seconds
+        self.gamma = float(gamma)
+        self._lock = threading.Lock()
+        self._windows: dict[int, _Window] = {}
+
+    # -- pickling ------------------------------------------------------
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "window_seconds": self.window_seconds,
+                "gamma": self.gamma,
+                "windows": self._windows,
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.window_seconds = state["window_seconds"]
+        self.gamma = state["gamma"]
+        self._lock = threading.Lock()
+        self._windows = state["windows"]
+
+    # -- recording -----------------------------------------------------
+    def window_index(self, t: float) -> int:
+        """The tumbling window a modelled timestamp falls in."""
+        return int(float(t) // self.window_seconds)
+
+    def _window(self, t: float) -> _Window:
+        # Caller holds the lock.
+        idx = self.window_index(t)
+        win = self._windows.get(idx)
+        if win is None:
+            win = self._windows[idx] = _Window()
+        return win
+
+    def record(self, t: float, name: str, n: int = 1) -> None:
+        """Add ``n`` to window counter ``name`` at modelled time ``t``."""
+        if not n:
+            return
+        with self._lock:
+            self._window(t).counters[name] += int(n)
+
+    def observe(self, t: float, name: str, value: float) -> None:
+        """Record one sample into window series ``name`` at time ``t``."""
+        with self._lock:
+            win = self._window(t)
+            sketch = win.series.get(name)
+            if sketch is None:
+                sketch = win.series[name] = HistogramSketch(self.gamma)
+            sketch.observe(value)
+
+    def set_gauge(self, t: float, name: str, value: float) -> None:
+        """Set window gauge ``name``; the latest ``(t, value)`` wins."""
+        entry = (float(t), float(value))
+        with self._lock:
+            win = self._window(t)
+            current = win.gauges.get(name)
+            if current is None or entry >= current:
+                win.gauges[name] = entry
+
+    # -- merging -------------------------------------------------------
+    def merge(self, other: "MetricsTimeline") -> None:
+        """Fold another timeline's windows in (exact, order-independent)."""
+        if other is self:
+            raise ConfigError("cannot merge a timeline into itself")
+        if other.window_seconds != self.window_seconds:
+            raise ConfigError(
+                f"cannot merge timelines with different windows: "
+                f"{self.window_seconds} vs {other.window_seconds}"
+            )
+        with other._lock:
+            shards = {
+                idx: (Counter(win.counters), dict(win.gauges),
+                      {name: sk.copy() for name, sk in win.series.items()})
+                for idx, win in other._windows.items()
+            }
+        with self._lock:
+            for idx, (counters, gauges, series) in shards.items():
+                win = self._windows.get(idx)
+                if win is None:
+                    win = self._windows[idx] = _Window()
+                win.counters.update(counters)
+                for name, entry in gauges.items():
+                    current = win.gauges.get(name)
+                    if current is None or entry >= current:
+                        win.gauges[name] = entry
+                for name, sketch in series.items():
+                    mine = win.series.get(name)
+                    if mine is None:
+                        win.series[name] = sketch
+                    else:
+                        mine.merge(sketch)
+
+    # -- views ---------------------------------------------------------
+    @property
+    def num_windows(self) -> int:
+        with self._lock:
+            return len(self._windows)
+
+    def indices(self) -> list[int]:
+        """Sorted indices of the non-empty windows."""
+        with self._lock:
+            return sorted(self._windows)
+
+    def span(self) -> tuple[int, int] | None:
+        """(first, last) non-empty window index, or ``None`` if empty."""
+        with self._lock:
+            if not self._windows:
+                return None
+            return min(self._windows), max(self._windows)
+
+    def counter_totals(self) -> dict[str, int]:
+        """Every windowed counter summed over all windows."""
+        totals: Counter[str] = Counter()
+        with self._lock:
+            for win in self._windows.values():
+                totals.update(win.counters)
+        return dict(totals)
+
+    def series_names(self) -> list[str]:
+        with self._lock:
+            names = set()
+            for win in self._windows.values():
+                names.update(win.series)
+            return sorted(names)
+
+    def sliding(self, windows: int = 1) -> list[dict]:
+        """Trailing-window views over the *contiguous* index range.
+
+        One entry per index from the first to the last non-empty window
+        (zero-traffic windows included, so rates read correctly), each
+        merging the trailing ``windows`` tumbling windows: counters sum,
+        sketches merge, gauges keep the latest ``(t, value)``.
+        ``windows=1`` is the dense tumbling view.
+        """
+        if windows < 1:
+            raise ConfigError(f"windows must be >= 1, got {windows}")
+        bounds = self.span()
+        if bounds is None:
+            return []
+        first, last = bounds
+        out = []
+        with self._lock:
+            for idx in range(first, last + 1):
+                counters: Counter[str] = Counter()
+                gauges: dict[str, tuple[float, float]] = {}
+                series: dict[str, HistogramSketch] = {}
+                for back in range(idx - windows + 1, idx + 1):
+                    win = self._windows.get(back)
+                    if win is None:
+                        continue
+                    counters.update(win.counters)
+                    for name, entry in win.gauges.items():
+                        current = gauges.get(name)
+                        if current is None or entry >= current:
+                            gauges[name] = entry
+                    for name, sketch in win.series.items():
+                        mine = series.get(name)
+                        if mine is None:
+                            series[name] = sketch.copy()
+                        else:
+                            mine.merge(sketch)
+                out.append({
+                    "index": idx,
+                    "start_seconds": idx * self.window_seconds,
+                    "end_seconds": (idx + 1) * self.window_seconds,
+                    "counters": dict(counters),
+                    "gauges": {name: value
+                               for name, (_t, value) in gauges.items()},
+                    "series": series,
+                })
+        return out
+
+    # -- reconciliation ------------------------------------------------
+    def reconcile(self, registry: MetricsRegistry) -> list[str]:
+        """Check the windowed view against a terminal registry, exactly.
+
+        Returns a list of mismatch descriptions (empty == reconciled):
+
+        - every windowed counter's sum over windows must equal the
+          registry counter bit for bit (integer arithmetic commutes, so
+          any mismatch means an event was dropped or double-bucketed);
+        - every windowed series must reproduce the registry series'
+          exact observation count, and merging the window sketches'
+          :class:`ExactSum` partials must round to the registry's
+          :meth:`~MetricsRegistry.sample_total` bit for bit.
+
+        Valid whenever this timeline saw every batch the registry saw
+        (a fresh service with the timeline passed to each run); gauges
+        are levels, not totals, and are exempt by construction.
+        """
+        problems: list[str] = []
+        with self._lock:
+            counter_totals: Counter[str] = Counter()
+            series_counts: Counter[str] = Counter()
+            series_totals: dict[str, ExactSum] = {}
+            for win in self._windows.values():
+                counter_totals.update(win.counters)
+                for name, sketch in win.series.items():
+                    series_counts[name] += sketch.count
+                    total = series_totals.get(name)
+                    if total is None:
+                        total = series_totals[name] = ExactSum()
+                    total.merge(sketch._total)
+        for name in sorted(counter_totals):
+            want = counter_totals[name]
+            have = registry.counter(name)
+            if have != want:
+                problems.append(
+                    f"counter {name}: windows sum to {want}, "
+                    f"registry has {have}"
+                )
+        for name in sorted(series_counts):
+            want_count = series_counts[name]
+            have_count = registry.sample_count(name)
+            if have_count != want_count:
+                problems.append(
+                    f"series {name}: windows hold {want_count} samples, "
+                    f"registry has {have_count}"
+                )
+            want_total = series_totals[name].value
+            have_total = registry.sample_total(name)
+            if have_total != want_total:
+                problems.append(
+                    f"series {name}: windows total {want_total!r}, "
+                    f"registry has {have_total!r}"
+                )
+        return problems
+
+    # -- export --------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe view (sorted names, non-empty windows)."""
+        with self._lock:
+            windows = []
+            for idx in sorted(self._windows):
+                win = self._windows[idx]
+                windows.append({
+                    "index": idx,
+                    "start_seconds": idx * self.window_seconds,
+                    "end_seconds": (idx + 1) * self.window_seconds,
+                    "counters": {name: win.counters[name]
+                                 for name in sorted(win.counters)},
+                    "gauges": {
+                        name: {"t": win.gauges[name][0],
+                               "value": win.gauges[name][1]}
+                        for name in sorted(win.gauges)
+                    },
+                    "series": {name: win.series[name].to_dict()
+                               for name in sorted(win.series)},
+                })
+        return {
+            "version": 1,
+            "window_seconds": self.window_seconds,
+            "gamma": self.gamma,
+            "windows": windows,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MetricsTimeline":
+        timeline = cls(d["window_seconds"], gamma=d.get("gamma",
+                                                        SKETCH_GAMMA))
+        for entry in d.get("windows", ()):
+            win = timeline._windows[int(entry["index"])] = _Window()
+            win.counters = Counter({
+                name: int(n)
+                for name, n in entry.get("counters", {}).items()
+            })
+            win.gauges = {
+                name: (float(g["t"]), float(g["value"]))
+                for name, g in entry.get("gauges", {}).items()
+            }
+            win.series = {
+                name: HistogramSketch.from_dict(sk)
+                for name, sk in entry.get("series", {}).items()
+            }
+        return timeline
+
+    def canonical_bytes(self) -> bytes:
+        """Deterministic bytes of the whole timeline.
+
+        Two runs that produced the same windowed events yield identical
+        bytes regardless of dispatch backend, thread interleaving or
+        worker merge order — the ``service.slo`` scenario's
+        backend-agreement gate compares exactly this.
+        """
+        return json.dumps(
+            self.to_dict(), separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")

@@ -46,7 +46,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import EngineFailure, ServiceError
 from repro.service.cache import GraphArtifactCache
-from repro.service.metrics import MetricsRegistry
+from repro.service.metrics import MetricsRegistry, MetricsTimeline
 from repro.service.scheduler import (
     SCHEDULERS,
     WORK_STEALING,
@@ -92,6 +92,10 @@ class BatchOutcome:
     trace_records: list[list]
     #: summed per-run cache-stat deltas of every worker-local cache.
     worker_cache_stats: dict[str, int] = field(default_factory=dict)
+    #: per-(round, worker) telemetry timelines, same deterministic order
+    #: as ``metric_registries`` (only populated when the batch ran with
+    #: windowed telemetry on).
+    timelines: list[MetricsTimeline] = field(default_factory=list)
 
 
 def _worker_main(worker_idx, spec, fail_after, cmd_queue, result_queue,
@@ -123,6 +127,8 @@ def _worker_main(worker_idx, spec, fail_after, cmd_queue, result_queue,
 
         server = None
         trace = False
+        window_seconds = None
+        sketch_gamma = None
         while True:
             cmd = cmd_queue.get()
             kind = cmd[0]
@@ -140,6 +146,8 @@ def _worker_main(worker_idx, spec, fail_after, cmd_queue, result_queue,
                     share=sharing,
                 )
                 trace = opts["trace"]
+                window_seconds = opts.get("window_seconds")
+                sketch_gamma = opts.get("sketch_gamma")
                 continue
 
             # kind is "serve" (a task list) or "steal" (pull from the
@@ -147,6 +155,12 @@ def _worker_main(worker_idx, spec, fail_after, cmd_queue, result_queue,
             metrics = MetricsRegistry()
             tracer = Tracer() if trace else None
             tr = tracer or NULL_TRACER
+            timeline = None
+            if window_seconds is not None:
+                timeline = MetricsTimeline(
+                    window_seconds,
+                    **({"gamma": sketch_gamma} if sketch_gamma else {}),
+                )
             stats_before = cache.stats()
             unserved: list[int] = []
             failed_now = False
@@ -163,8 +177,21 @@ def _worker_main(worker_idx, spec, fail_after, cmd_queue, result_queue,
                         result_queue.put(
                             ("result", worker_idx, idx, report, degraded)
                         )
+                        t_end = server.host_busy + server.device_busy
                         observe_report(metrics, report, worker_idx,
-                                       degraded=degraded)
+                                       degraded=degraded,
+                                       timeline=timeline, t_end=t_end)
+                        # Identical emission to the thread backend's
+                        # static dispatcher, so the merged timelines are
+                        # byte-for-byte the same.
+                        if timeline is not None:
+                            if server.last_result_hit:
+                                timeline.record(t_end, "result_hits")
+                            timeline.set_gauge(
+                                t_end,
+                                f"engine{worker_idx}/queue_depth",
+                                len(tasks) - pos - 1,
+                            )
                 else:
                     while True:
                         try:
@@ -191,8 +218,15 @@ def _worker_main(worker_idx, spec, fail_after, cmd_queue, result_queue,
                                 ("result", worker_idx, idx, report,
                                  degraded)
                             )
+                            t_end = server.host_busy + server.device_busy
                             observe_report(metrics, report, worker_idx,
-                                           degraded=degraded)
+                                           degraded=degraded,
+                                           timeline=timeline, t_end=t_end)
+                            # No queue-depth gauge while stealing — the
+                            # shared queue's length is racy by design.
+                            if (timeline is not None
+                                    and server.last_result_hit):
+                                timeline.record(t_end, "result_hits")
                         if failed_now:
                             break
             stats_after = cache.stats()
@@ -203,6 +237,7 @@ def _worker_main(worker_idx, spec, fail_after, cmd_queue, result_queue,
                 "device_busy": server.device_busy,
                 "metrics": metrics,
                 "trace": tracer.records() if tracer else [],
+                "timeline": timeline,
                 "cache_delta": {
                     key: stats_after.get(key, 0) - stats_before.get(key, 0)
                     for key in _CACHE_KEYS
@@ -333,8 +368,16 @@ class ProcessEnginePool:
     # -- batch serving -------------------------------------------------
     def run_batch(self, queries, scheduler, graph, budget,
                   batch_deadline_s, degraded_cycle_budget, profile,
-                  trace, cache=None) -> BatchOutcome:
-        """Serve one batch over the worker pool; see the module docstring."""
+                  trace, cache=None, window_seconds=None,
+                  sketch_gamma=None) -> BatchOutcome:
+        """Serve one batch over the worker pool; see the module docstring.
+
+        ``window_seconds`` (with optional ``sketch_gamma``) turns on
+        windowed telemetry: each worker accumulates a per-round
+        :class:`~repro.service.metrics.MetricsTimeline` shipped back on
+        ``round_done`` and surfaced as ``BatchOutcome.timelines`` in
+        deterministic (round, worker) order.
+        """
         self._ensure_started()
         live = [w for w in range(self.num_engines)
                 if w not in self._crashed]
@@ -350,6 +393,8 @@ class ProcessEnginePool:
                 "degraded_cycle_budget": degraded_cycle_budget,
                 "profile": profile,
                 "trace": trace,
+                "window_seconds": window_seconds,
+                "sketch_gamma": sketch_gamma,
             }))
 
         state = _BatchState(len(queries), self.num_engines)
@@ -377,6 +422,7 @@ class ProcessEnginePool:
             metric_registries=state.metric_registries,
             trace_records=state.trace_records,
             worker_cache_stats=dict(state.cache_totals),
+            timelines=state.timelines,
         )
 
     def _run_static(self, queries, scheduler, graph, live, state,
@@ -523,6 +569,8 @@ class ProcessEnginePool:
             state.metric_registries.append(payload["metrics"])
             if payload["trace"]:
                 state.trace_records.append(payload["trace"])
+            if payload.get("timeline") is not None:
+                state.timelines.append(payload["timeline"])
             state.cache_totals.update(payload["cache_delta"])
             if payload["failed"]:
                 state.failed.add(w)
@@ -578,7 +626,7 @@ class _BatchState:
 
     __slots__ = ("reports", "host_busy", "device_busy", "failed",
                  "engine_failures", "requeued", "metric_registries",
-                 "trace_records", "cache_totals", "served_by")
+                 "trace_records", "timelines", "cache_totals", "served_by")
 
     def __init__(self, num_queries: int, num_engines: int) -> None:
         self.reports = [None] * num_queries
@@ -589,6 +637,7 @@ class _BatchState:
         self.requeued = 0
         self.metric_registries: list[MetricsRegistry] = []
         self.trace_records: list[list] = []
+        self.timelines: list[MetricsTimeline] = []
         self.cache_totals: Counter = Counter()
         self.served_by: list[list[int]] = [[] for _ in range(num_engines)]
 

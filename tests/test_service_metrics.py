@@ -197,3 +197,53 @@ class TestHistograms:
         registry.observe_hist("h", 1.0, bounds=(2.0,))
         snap = registry.snapshot()
         assert snap["histograms"]["h"].count == 1
+
+
+class TestMergeQuantileBias:
+    """Regression: merged quantiles must not over-weight small workers.
+
+    ``merge`` concatenates and truncates reservoirs, so a tiny shard's
+    samples can make up a far larger share of the merged reservoir than
+    of the merged population.  Quantiles therefore route through the
+    mergeable sketch (exact per-shard counts) once a series outgrows its
+    reservoir; the retained samples stay available via ``samples()``.
+    """
+
+    def test_merged_p95_matches_pooled_truth(self):
+        from repro.service.metrics import percentile
+
+        # Big worker: 2000 fast queries.  Small worker: 10 slow ones.
+        big = MetricsRegistry(max_samples_per_series=64)
+        fast = [1.0 + i * 1e-6 for i in range(2000)]
+        for v in fast:
+            big.observe("latency_seconds", v)
+        small = MetricsRegistry(max_samples_per_series=64)
+        slow = [100.0] * 10
+        for v in slow:
+            small.observe("latency_seconds", v)
+
+        big.merge(small)
+        merged = big.summary("latency_seconds")
+        pooled = fast + slow
+        truth = percentile(pooled, 95)
+
+        # The slow shard is 0.5% of the population but would be ~13% of
+        # a concatenated 74-sample reservoir, dragging p95 to 100.0.
+        assert truth < 2.0
+        assert merged.p95 == pytest.approx(truth, rel=0.05)
+        # Exact aggregates are untouched by the sketch switch.
+        assert merged.count == 2010
+        assert merged.mean * merged.count == pytest.approx(sum(pooled))
+        assert merged.maximum == 100.0
+
+    def test_small_series_keeps_exact_quantiles(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            a.observe("x", v)
+        b.observe("x", 4.0)
+        a.merge(b)
+        # Both shards fit their reservoirs, so the merged reservoir is
+        # the full population and quantiles stay nearest-rank exact.
+        assert a.summary("x").p50 == 2.0
+        assert sorted(a.samples("x")) == [1.0, 2.0, 3.0, 4.0]
