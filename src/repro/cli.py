@@ -45,6 +45,16 @@ def _load_graph(path: str):
     return read_edge_list(path)
 
 
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """Engine construction kwargs from the shared device flags."""
+    if getattr(args, "num_pes", 1) == 1:
+        return {}
+    from repro.fpga.device import DeviceConfig
+
+    return {"device_config": DeviceConfig(num_pes=args.num_pes,
+                                          pe_partition=args.pe_partition)}
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     query = Query(args.source, args.target, args.max_hops)
@@ -57,7 +67,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         t2 = cost.seconds(result.enumerate_ops)
         paths = result.paths
     else:
-        system = PathEnumerationSystem.for_variant(graph, args.algorithm)
+        system = PathEnumerationSystem.for_variant(
+            graph, args.algorithm, **_engine_kwargs(args))
         report = system.execute(query)
         t1, t2 = report.preprocess_seconds, report.query_seconds
         paths = report.paths
@@ -162,6 +173,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         sharing=args.sharing,
         inject_failures=args.inject_failures,
         failure_seed=args.failure_seed,
+        **_engine_kwargs(args),
     )
     budget = None
     if args.max_results is not None or args.cycle_budget is not None:
@@ -397,6 +409,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_pe_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--num-pes", type=int, default=1, metavar="N",
+                       help="processing elements per simulated device "
+                            "(default 1; N>1 partitions the vertex set "
+                            "and routes frontier records between PEs)")
+        p.add_argument("--pe-partition", default="range",
+                       choices=("range", "hash"),
+                       help="vertex-ownership strategy for --num-pes > 1 "
+                            "(default range)")
+
     q = sub.add_parser("query", help="enumerate s-t k-paths on a graph")
     q.add_argument("graph", help="edge-list file or a dataset key "
                                  "(see `repro datasets`)")
@@ -415,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--device-report", action="store_true",
                    help="print BRAM/DRAM utilization after the query "
                         "(FPGA variants only)")
+    _add_pe_flags(q)
     q.set_defaults(func=_cmd_query)
 
     s = sub.add_parser("stats", help="Table II statistics of a graph")
@@ -531,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "telemetry: 'default' for the stock latency/"
                          "availability objectives, or a JSON spec file; "
                          "alerts land in the trace and metrics exports")
+    _add_pe_flags(sv)
     sv.set_defaults(func=_cmd_serve_batch)
 
     mon = sub.add_parser(

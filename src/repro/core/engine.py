@@ -103,6 +103,19 @@ class EngineStats:
     new_paths_by_parent_length: dict[int, int] = field(default_factory=dict)
     #: expansions scheduled keyed by parent path length.
     expansions_by_parent_length: dict[int, int] = field(default_factory=dict)
+    #: frontier records routed between PEs (multi-PE runs only; all five
+    #: inter-PE counters stay 0 on single-PE runs, so stats equality with
+    #: the single-pipeline engines is preserved).
+    inter_pe_messages: int = 0
+    #: interconnect routing cycles charged to the global clock
+    #: (hop latency + record streaming), summed over supersteps.
+    inter_pe_route_cycles: int = 0
+    #: round-robin arbiter grant-rotation cycles (contention).
+    inter_pe_arbiter_cycles: int = 0
+    #: backpressure cycles for records beyond the destination FIFO depth.
+    inter_pe_stall_cycles: int = 0
+    #: barrier-sync cycles at superstep boundaries.
+    inter_pe_barrier_cycles: int = 0
     #: raw (pre-overlap) cycle totals per dataflow stage plus the serial
     #: events; `sum(stage_cycles.values())` exceeds the clock because the
     #: five stages overlap — see the module docstring.
@@ -214,6 +227,14 @@ class PEFPEngine:
         Both default off and cost nothing when disabled — the hot loop
         pays one falsy check per batch.
         """
+        if self.device_config.num_pes > 1:
+            from repro.core.multi_pe import run_multi_pe
+
+            return run_multi_pe(
+                self, graph, source, target, max_hops, barrier,
+                on_result=on_result, collect_paths=collect_paths,
+                budget=budget, tracer=tracer, profile=profile,
+            )
         if not 0 <= source < graph.num_vertices:
             raise QueryError(f"source {source} not in graph")
         if not 0 <= target < graph.num_vertices:

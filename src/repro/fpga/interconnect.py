@@ -1,0 +1,122 @@
+"""Inter-PE interconnect model: per-destination FIFOs behind a
+round-robin arbiter.
+
+Frontier records whose tail vertex is owned by another PE cross a
+crossbar into the destination PE's input FIFO at superstep boundaries
+(the lockstep model in :mod:`repro.core.multi_pe`).  Each destination
+has one FIFO fed by up to ``num_pes - 1`` source links; a round-robin
+arbiter interleaves contending sources one record per grant, rotating
+its grant pointer across supersteps so no source is starved.
+
+Cycle charges per destination ``d`` receiving ``m`` records from ``c``
+distinct sources in one superstep:
+
+======================  =================================================
+``hop``                 ``inter_pe_hop_cycles`` once — crossbar traversal
+                        latency of the first record.
+``stream``              ``m - 1`` — one record head per cycle after the
+                        first (the link is fully pipelined).
+``arbiter``             ``(c - 1) * inter_pe_arbiter_cycles`` — grant
+                        rotation penalty for each extra contender.
+``stall``               ``max(0, m - inter_pe_fifo_records)`` — records
+                        beyond the FIFO depth backpressure the sender
+                        one cycle each.
+======================  =================================================
+
+Destinations drain in parallel (dedicated FIFOs), so a superstep's
+routing cost is the **max** over destinations, not the sum.  All
+quantities are integers; the totals tile the ``inter_pe`` segment of
+:class:`~repro.fpga.profile.DeviceProfile` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.device import DeviceConfig
+
+
+@dataclass(frozen=True)
+class RouteCharge:
+    """Cycle breakdown for one destination FIFO in one superstep."""
+
+    destination: int
+    messages: int
+    contenders: int
+    hop_cycles: int
+    stream_cycles: int
+    arbiter_cycles: int
+    stall_cycles: int
+
+    @property
+    def total(self) -> int:
+        return (self.hop_cycles + self.stream_cycles
+                + self.arbiter_cycles + self.stall_cycles)
+
+
+class RoundRobinArbiter:
+    """Deterministic round-robin merge of per-source output queues.
+
+    One grant pointer per destination persists across supersteps, so the
+    interleaving (and therefore the destination buffer's stack order —
+    and the enumeration order of paths) is a pure function of the
+    message sequence.
+    """
+
+    def __init__(self, config: DeviceConfig) -> None:
+        self.hop_cycles = config.inter_pe_hop_cycles
+        self.arbiter_cycles = config.inter_pe_arbiter_cycles
+        self.fifo_records = config.inter_pe_fifo_records
+        self.num_pes = config.num_pes
+        self._grant = [0] * config.num_pes
+
+    def merge(self, destination: int,
+              queues: dict[int, list]) -> tuple[list, RouteCharge]:
+        """Grant records round-robin across source queues.
+
+        ``queues`` maps source PE index -> records bound for
+        ``destination`` this superstep.  Returns the delivery list in
+        grant order plus the cycle charge.
+        """
+        messages = sum(len(q) for q in queues.values())
+        contenders = sum(1 for q in queues.values() if q)
+        delivered: list = []
+        if messages:
+            pending = {src: list(q) for src, q in queues.items() if q}
+            cursor = self._grant[destination]
+            while pending:
+                # visit sources cyclically from the grant pointer, one
+                # record per grant
+                for _ in range(self.num_pes):
+                    src = cursor % self.num_pes
+                    cursor += 1
+                    q = pending.get(src)
+                    if q:
+                        delivered.append(q.pop(0))
+                        if not q:
+                            del pending[src]
+                        break
+            self._grant[destination] = cursor % self.num_pes
+        charge = RouteCharge(
+            destination=destination,
+            messages=messages,
+            contenders=contenders,
+            hop_cycles=self.hop_cycles if messages else 0,
+            stream_cycles=max(0, messages - 1),
+            arbiter_cycles=max(0, contenders - 1) * self.arbiter_cycles,
+            stall_cycles=max(0, messages - self.fifo_records),
+        )
+        return delivered, charge
+
+
+def barrier_sync_cycles(config: DeviceConfig) -> int:
+    """Cost of one barrier sync: a reduction tree over the PEs.
+
+    ``pe_barrier_cycles`` per tree stage, ``ceil(log2(num_pes))``
+    stages; zero when there is a single PE (nothing to synchronise).
+    """
+    n = config.num_pes
+    if n <= 1:
+        return 0
+    stages = (n - 1).bit_length()
+    return config.pe_barrier_cycles * stages

@@ -1,0 +1,115 @@
+"""Deterministic vertex partitioning for the multi-PE device model.
+
+Each processing element owns a subset of the vertex set; a frontier
+record belongs to the PE that owns its tail vertex, so expansions of a
+path always read the owner's CSR slice.  Two strategies:
+
+``range``
+    Balanced contiguous blocks: vertex ``v`` goes to
+    ``(v * num_pes) // num_vertices``.  Block sizes differ by at most
+    one vertex; good locality for id-clustered graphs.
+
+``hash``
+    Multiplicative (Knuth/Fibonacci) hash
+    ``((v * 2654435761) mod 2**32) mod num_pes``.  Spreads hub
+    neighbourhoods across PEs.  The constant is fixed — the mapping is
+    identical across runs, processes and platforms (Python's builtin
+    ``hash`` is salted per process, so it is deliberately *not* used).
+
+Both strategies are pure functions of ``(num_vertices, num_pes)`` — the
+partition itself charges no modelled cycles (it is host-side setup,
+folded into T1 conceptually); only the inter-PE records it induces cost
+cycles at run time (see :mod:`repro.fpga.interconnect`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Knuth's multiplicative hash constant (2**32 / golden ratio, odd).
+HASH_MULTIPLIER = 2654435761
+_MASK32 = 0xFFFFFFFF
+
+STRATEGIES = ("range", "hash")
+
+
+def hash_owner(vertex: int, num_pes: int) -> int:
+    """Owner PE of ``vertex`` under the multiplicative-hash strategy."""
+    return ((vertex * HASH_MULTIPLIER) & _MASK32) % num_pes
+
+
+def range_owner(vertex: int, num_vertices: int, num_pes: int) -> int:
+    """Owner PE of ``vertex`` under the balanced-range strategy."""
+    return (vertex * num_pes) // num_vertices
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Per-PE share of the CSR: how balanced the partition came out."""
+
+    pe: int
+    num_vertices: int
+    num_edges: int
+
+
+class VertexPartitioner:
+    """Deterministic vertex -> PE ownership map over ``num_vertices`` ids.
+
+    ``owners`` is a dense int array (``owners[v]`` is v's PE); ``owner``
+    is the scalar lookup.  Degenerate shapes are legal: an empty vertex
+    set yields an empty map, and ``num_pes > num_vertices`` simply
+    leaves some PEs without vertices (they idle at run time).
+    """
+
+    def __init__(self, num_vertices: int, num_pes: int,
+                 strategy: str = "range") -> None:
+        if num_pes < 1:
+            raise ConfigError("num_pes must be >= 1")
+        if num_vertices < 0:
+            raise ConfigError("num_vertices must be non-negative")
+        if strategy not in STRATEGIES:
+            raise ConfigError(
+                f"unknown partition strategy {strategy!r}; "
+                f"expected one of {STRATEGIES}"
+            )
+        self.num_vertices = num_vertices
+        self.num_pes = num_pes
+        self.strategy = strategy
+        ids = np.arange(num_vertices, dtype=np.int64)
+        if num_pes == 1 or num_vertices == 0:
+            owners = np.zeros(num_vertices, dtype=np.int64)
+        elif strategy == "range":
+            owners = (ids * num_pes) // num_vertices
+        else:
+            owners = ((ids * HASH_MULTIPLIER) & _MASK32) % num_pes
+        self.owners = owners
+
+    def owner(self, vertex: int) -> int:
+        """PE that owns ``vertex``."""
+        return int(self.owners[vertex])
+
+    def vertices_of(self, pe: int) -> np.ndarray:
+        """Sorted vertex ids owned by ``pe``."""
+        return np.flatnonzero(self.owners == pe).astype(np.int64)
+
+    def stats(self, indptr: np.ndarray) -> list[PartitionStats]:
+        """Per-PE vertex and out-edge counts against a CSR ``indptr``.
+
+        The partition covers every CSR edge exactly once because each
+        edge is charged to its (unique) source vertex's owner.
+        """
+        degrees = np.asarray(indptr[1:], dtype=np.int64) - \
+            np.asarray(indptr[:-1], dtype=np.int64)
+        out = []
+        for pe in range(self.num_pes):
+            mask = self.owners == pe
+            out.append(PartitionStats(
+                pe=pe,
+                num_vertices=int(mask.sum()),
+                num_edges=int(degrees[mask].sum()) if len(degrees) else 0,
+            ))
+        return out

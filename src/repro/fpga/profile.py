@@ -100,6 +100,26 @@ class RefillProfile:
 
 
 @dataclass(frozen=True)
+class InterPeProfile:
+    """Interconnect charges of one multi-PE superstep boundary.
+
+    ``cycles`` is the global-clock delta the boundary consumed — the
+    critical destination FIFO's routing cost plus the barrier sync —
+    and decomposes exactly as ``route + barrier`` where ``route`` is
+    itself ``hop + stream + arbiter + stall`` (integers throughout; see
+    :mod:`repro.fpga.interconnect`).
+    """
+
+    superstep: int
+    cycles: int
+    messages: int
+    route_cycles: int
+    arbiter_cycles: int
+    stall_cycles: int
+    barrier_cycles: int
+
+
+@dataclass(frozen=True)
 class DeviceProfile:
     """Everything the profiler collected over one kernel run."""
 
@@ -127,15 +147,21 @@ class DeviceProfile:
     #: DRAM-resident buffer is unbounded, so its ``buffer_peak_paths``
     #: high-water mark is not comparable with BRAM-mode runs.
     buffer_domain: str = "bram"
+    #: interconnect charges, one per multi-PE superstep boundary that
+    #: cost cycles; always empty on single-PE runs.
+    inter_pe: tuple[InterPeProfile, ...] = ()
+    #: processing elements the run used (1 = the classic single pipeline).
+    num_pes: int = 1
 
     # -- reconciliation ------------------------------------------------
     @property
     def accounted_cycles(self) -> int:
-        """Setup + batches + refills; equals ``total_cycles`` exactly."""
+        """Setup + batches + refills + inter-PE; equals ``total_cycles``."""
         return (
             self.setup_cycles
             + sum(b.cycles for b in self.batches)
             + sum(r.cycles for r in self.refills)
+            + sum(i.cycles for i in self.inter_pe)
         )
 
     # -- aggregates ----------------------------------------------------
@@ -163,6 +189,16 @@ class DeviceProfile:
     def stall_cycles(self) -> int:
         """DRAM-bound waits + flush stalls + refill stalls, summed."""
         return sum(b.stall_cycles for b in self.batches) + self.refill_cycles
+
+    @property
+    def inter_pe_cycles(self) -> int:
+        """Total interconnect cycles (routing + barriers), all supersteps."""
+        return sum(i.cycles for i in self.inter_pe)
+
+    @property
+    def inter_pe_messages(self) -> int:
+        """Frontier records that crossed between PEs."""
+        return sum(i.messages for i in self.inter_pe)
 
     def stage_cycle_totals(self) -> dict[str, int]:
         """Raw per-stage cycles summed over every batch."""
@@ -211,6 +247,9 @@ class DeviceProfile:
             "buffer_domain": self.buffer_domain,
             "dram_peak_paths": self.dram_peak_paths,
             "verify_funnel": dict(self.verify_funnel),
+            "num_pes": self.num_pes,
+            "inter_pe_cycles": self.inter_pe_cycles,
+            "inter_pe_messages": self.inter_pe_messages,
         }
 
 
@@ -239,14 +278,19 @@ def aggregate_profiles(profiles: list[DeviceProfile]) -> dict:
         "buffer_domains": [],
         "dram_peak_paths": 0,
         "verify_funnel": {},
+        "num_pes": 1,
+        "inter_pe_cycles": 0,
+        "inter_pe_messages": 0,
     }
     domains: set[str] = set()
     for profile in profiles:
         d = profile.to_dict()
         for key in ("total_cycles", "setup_cycles", "num_batches",
                     "num_refills", "expand_cycles", "verify_cycles",
-                    "stall_cycles", "flush_cycles", "refill_cycles"):
-            out[key] += d[key]
+                    "stall_cycles", "flush_cycles", "refill_cycles",
+                    "inter_pe_cycles", "inter_pe_messages"):
+            out[key] += d.get(key, 0)
+        out["num_pes"] = max(out["num_pes"], d.get("num_pes", 1))
         for stage, cycles in d["stage_cycles"].items():
             out["stage_cycles"][stage] = (
                 out["stage_cycles"].get(stage, 0) + cycles
@@ -291,6 +335,7 @@ class DeviceProfiler:
         self.setup_cycles = 0
         self._batches: list[BatchProfile] = []
         self._refills: list[RefillProfile] = []
+        self._inter_pe: list[InterPeProfile] = []
 
     def mark_setup(self, cycles: int) -> None:
         """Cycles consumed before the main loop (seed reads + push)."""
@@ -303,10 +348,14 @@ class DeviceProfiler:
     def record_refill(self, cycles: int, paths: int) -> None:
         self._refills.append(RefillProfile(cycles=cycles, paths=paths))
 
+    def record_inter_pe(self, **kwargs) -> None:
+        self._inter_pe.append(InterPeProfile(**kwargs))
+
     def finish(self, device, cached_arrays, buffer_peak_paths: int,
                dram_peak_paths: int,
                verify_funnel: dict[str, int] | None = None,
-               buffer_domain: str = "bram") -> DeviceProfile:
+               buffer_domain: str = "bram",
+               num_pes: int = 1) -> DeviceProfile:
         """Freeze the collected events into a :class:`DeviceProfile`.
 
         ``cached_arrays`` is the engine's list of
@@ -330,4 +379,6 @@ class DeviceProfiler:
             dram_peak_paths=dram_peak_paths,
             verify_funnel=dict(verify_funnel or {}),
             buffer_domain=buffer_domain,
+            inter_pe=tuple(self._inter_pe),
+            num_pes=num_pes,
         )

@@ -101,7 +101,16 @@ class DeviceReport:
 
 
 def device_report(device: Device) -> DeviceReport:
-    """Snapshot ``device`` into a :class:`DeviceReport`."""
+    """Snapshot ``device`` into a :class:`DeviceReport`.
+
+    Accepts a single :class:`Device` or a
+    :class:`~repro.fpga.device.MultiPEDevice`; for the latter, per-PE
+    capacities/allocations/traffic are summed (allocation labels get a
+    ``pe<i>/`` prefix) and the cycle count is the global lockstep clock.
+    """
+    pes = getattr(device, "pes", None)
+    if pes is not None:
+        return _multi_pe_report(device, pes)
 
     def snap(mem) -> MemoryReport:
         return MemoryReport(
@@ -120,4 +129,33 @@ def device_report(device: Device) -> DeviceReport:
         dram=snap(device.dram),
         bram_allocations=device.bram.allocations(),
         dram_allocations=device.dram.allocations(),
+    )
+
+
+def _multi_pe_report(device, pes: list[Device]) -> DeviceReport:
+    def snap(name: str) -> MemoryReport:
+        mems = [getattr(pe, name) for pe in pes]
+        return MemoryReport(
+            name=name,
+            capacity_words=sum(m.capacity_words for m in mems),
+            allocated_words=sum(m.allocated_words for m in mems),
+            read_words=sum(m.port.read_words for m in mems),
+            write_words=sum(m.port.write_words for m in mems),
+            stall_cycles=sum(m.port.stall_cycles for m in mems),
+        )
+
+    def allocations(name: str) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for i, pe in enumerate(pes):
+            for label, words in getattr(pe, name).allocations().items():
+                out[f"pe{i}/{label}"] = words
+        return out
+
+    return DeviceReport(
+        cycles=device.cycles,
+        frequency_hz=device.config.frequency_hz,
+        bram=snap("bram"),
+        dram=snap("dram"),
+        bram_allocations=allocations("bram"),
+        dram_allocations=allocations("dram"),
     )

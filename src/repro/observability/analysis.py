@@ -54,6 +54,7 @@ DEVICE_SEGMENTS = (
     "kernel_verify",
     "kernel_stall",
     "kernel_overhead",
+    "kernel_inter_pe",
 )
 
 #: the segments that sum to a query's service time (``total_seconds``).
@@ -592,6 +593,9 @@ def _fold_kernel_children(spans: list[SpanRecord],
             device_cycles["kernel_setup"] += _span_cycles(span, frequency)
         elif span.name == "refill":
             device_cycles["kernel_stall"] += _span_cycles(span, frequency)
+        elif span.name == "inter_pe":
+            device_cycles["kernel_inter_pe"] += _span_cycles(span,
+                                                             frequency)
         elif span.name == "batch":
             cycles = _span_cycles(span, frequency)
             if "busy_cycles" in span.attrs:
@@ -688,6 +692,8 @@ def _waterfall_from_system_report(r, engine: str, position: int,
             device_cycles["kernel_stall"] += stall
             device_cycles["kernel_overhead"] += overhead
         device_cycles["kernel_stall"] += profile.refill_cycles
+        device_cycles["kernel_inter_pe"] += getattr(
+            profile, "inter_pe_cycles", 0)
     elif r.fpga_cycles:
         device_cycles["kernel_expand"] = r.fpga_cycles
         detailed = False

@@ -567,6 +567,78 @@ def _build_engine_profile(seed: int) -> dict[str, Metric]:
     return metrics
 
 
+def _build_pe_scaling(seed: int) -> dict[str, Metric]:
+    """Multi-PE sweep N in {1, 2, 4, 8} on RT: invariance + scaling.
+
+    Two exact gates anchor the PE-count-invariance bar: ``n1_matches_single``
+    (the N=1 device model is byte-equal — cycles and paths — to the plain
+    single-pipeline engine) and ``all_pe_counts_agree`` (every N enumerates
+    the identical sorted path set).  Per-N device cycles and path counts
+    are exact-class metrics; ``paths_per_second_per_pe`` records the
+    modelled per-PE throughput so scaling regressions (e.g. an interconnect
+    charge accidentally doubled) surface as metric diffs.
+    """
+    from repro.datasets import load_dataset
+    from repro.fpga.device import DeviceConfig
+    from repro.fpga.profile import aggregate_profiles
+    from repro.host.system import PathEnumerationSystem
+    from repro.workloads.queries import generate_queries
+
+    graph = load_dataset("rt")
+    graph.reverse()  # same uncharged warm as _service (determinism)
+    queries = generate_queries(graph, 4, 6, seed=seed)
+
+    def sweep(**engine_kwargs):
+        system = PathEnumerationSystem.for_variant(graph, "pefp",
+                                                   **engine_kwargs)
+        reports = [system.execute(q, profile=True) for q in queries]
+        agg = aggregate_profiles(
+            [r.profile for r in reports if r.profile is not None])
+        return {
+            "cycles": agg["total_cycles"],
+            "paths": sum(r.num_paths for r in reports),
+            "path_sets": [tuple(sorted(r.paths)) for r in reports],
+            "seconds": sum(r.query_seconds for r in reports),
+            "inter_pe_cycles": agg["inter_pe_cycles"],
+            "inter_pe_messages": agg["inter_pe_messages"],
+        }
+
+    plain = sweep()
+    runs = {
+        n: sweep(device_config=DeviceConfig(num_pes=n,
+                                            pe_partition="hash"))
+        for n in (1, 2, 4, 8)
+    }
+
+    metrics: dict[str, Metric] = {
+        "n1_matches_single": _count(
+            "n1_matches_single",
+            float(runs[1]["cycles"] == plain["cycles"]
+                  and runs[1]["path_sets"] == plain["path_sets"]
+                  and runs[1]["inter_pe_cycles"] == 0),
+            headline=True),
+        "all_pe_counts_agree": _count(
+            "all_pe_counts_agree",
+            float(all(r["path_sets"] == runs[1]["path_sets"]
+                      for r in runs.values())),
+            headline=True),
+    }
+    for n, r in runs.items():
+        per_pe = r["paths"] / (r["seconds"] * n) if r["seconds"] else 0.0
+        metrics[f"n{n}/total_cycles"] = _cycles(
+            f"n{n}/total_cycles", r["cycles"], headline=(n == 8))
+        metrics[f"n{n}/total_paths"] = _count(
+            f"n{n}/total_paths", r["paths"])
+        metrics[f"n{n}/inter_pe_cycles"] = _cycles(
+            f"n{n}/inter_pe_cycles", r["inter_pe_cycles"])
+        metrics[f"n{n}/inter_pe_messages"] = _count(
+            f"n{n}/inter_pe_messages", r["inter_pe_messages"])
+        metrics[f"n{n}/paths_per_second_per_pe"] = _modelled(
+            f"n{n}/paths_per_second_per_pe", per_pe, "higher", "p/s",
+            headline=(n == 8))
+    return metrics
+
+
 def _build_service_attribution(seed: int) -> dict[str, Metric]:
     """Gate the latency-attribution reconciliation invariant.
 
@@ -785,6 +857,13 @@ def _register_all() -> None:
         "engine", "profiled PEFP kernel on RT: stage cycle shares, "
         "BRAM hit ratios, verification-funnel kill rates",
         True, _build_engine_profile,
+    ))
+    _register(Scenario(
+        "device.pe_scaling",
+        "engine", "multi-PE sweep N=1,2,4,8 on RT: PE-count invariance "
+        "gates (N=1 byte-equal, identical path sets) plus per-PE "
+        "throughput and interconnect cycle shares",
+        True, _build_pe_scaling,
     ))
     _register(Scenario(
         "service.throughput.rt",

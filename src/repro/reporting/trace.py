@@ -89,6 +89,9 @@ def profile_table(profile: dict) -> str:
                 "refill_cycles"):
         rows.append((key.removesuffix("_cycles"), profile.get(key, 0),
                      pct(profile.get(key, 0))))
+    if profile.get("inter_pe_cycles"):
+        rows.append(("inter_pe", profile["inter_pe_cycles"],
+                     pct(profile["inter_pe_cycles"])))
     lines = [render_table(("where", "cycles", "share of total"), rows,
                           title="device cycles (clock deltas)")]
 
@@ -132,6 +135,10 @@ def profile_table(profile: dict) -> str:
         ("batches", profile.get("num_batches", 0)),
         ("refills", profile.get("num_refills", 0)),
     ]
+    if profile.get("num_pes", 1) > 1:
+        rows.append(("processing elements", profile["num_pes"]))
+        rows.append(("inter-PE messages",
+                     profile.get("inter_pe_messages", 0)))
     lines.append("")
     lines.append(render_table(("high-water mark", "value"), rows,
                               title="occupancy peaks"))
@@ -192,12 +199,13 @@ def waterfall_table(attribution) -> str:
             format_seconds(segments["kernel_verify"]),
             format_seconds(segments["kernel_stall"]),
             format_seconds(segments["kernel_overhead"]),
+            format_seconds(segments["kernel_inter_pe"]),
             format_seconds(wf.total_seconds),
             "yes" if wf.reconciled else "NO",
         ))
     return render_table(
         ("query", "s->t", "wait", "preproc", "setup", "expand", "verify",
-         "stall", "overhead", "total", "reconciled"),
+         "stall", "overhead", "interPE", "total", "reconciled"),
         rows,
         title="latency waterfalls (modelled clock)",
     )

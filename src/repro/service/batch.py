@@ -336,12 +336,22 @@ def observe_profile(metrics: MetricsRegistry, prof,
     metrics.increment("device_expand_cycles", prof.expand_cycles)
     metrics.increment("device_verify_cycles", prof.verify_cycles)
     metrics.increment("device_stall_cycles", prof.stall_cycles)
+    inter_pe_cycles = getattr(prof, "inter_pe_cycles", 0)
+    if inter_pe_cycles:
+        metrics.increment("device_inter_pe_cycles", inter_pe_cycles)
+        metrics.increment("inter_pe_messages",
+                          getattr(prof, "inter_pe_messages", 0))
     if timeline is not None:
         timeline.record(t_end, "profiled_queries")
         timeline.record(t_end, "device_cycles", prof.total_cycles)
         timeline.record(t_end, "device_expand_cycles", prof.expand_cycles)
         timeline.record(t_end, "device_verify_cycles", prof.verify_cycles)
         timeline.record(t_end, "device_stall_cycles", prof.stall_cycles)
+        if inter_pe_cycles:
+            timeline.record(t_end, "device_inter_pe_cycles",
+                            inter_pe_cycles)
+            timeline.record(t_end, "inter_pe_messages",
+                            getattr(prof, "inter_pe_messages", 0))
     for batch in prof.batches:
         metrics.observe_hist("batch_cycles", batch.cycles,
                              bounds=CYCLE_BUCKETS)

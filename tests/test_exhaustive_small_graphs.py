@@ -8,8 +8,11 @@ cases (self-contained cycles, disconnected pieces, sinks, diamonds) that
 random testing may miss.
 """
 
+import pytest
+
 from conftest import brute_force_paths
 from repro.baselines import BCDFS, HPIndex, Join, Yens
+from repro.fpga.device import DeviceConfig
 from repro.graph.csr import CSRGraph
 from repro.host.query import Query
 from repro.host.system import PEFPEnumerator
@@ -55,3 +58,22 @@ def test_other_enumerators_on_interesting_masks():
         for engine in engines:
             got = engine.enumerate_paths(g, QUERY).path_set()
             assert got == expected, (engine.name, hex(mask))
+
+
+@pytest.mark.parametrize("num_pes", (2, 4, 8))
+@pytest.mark.parametrize("strategy", ("range", "hash"))
+def test_multi_pe_on_interesting_masks(num_pes, strategy):
+    """The multi-PE device enumerates exactly the brute-force path set on
+    small graphs — with N up to 8 on a 4-vertex CSR, so most PEs own one
+    vertex or none (the sharpest partition-degeneracy shapes)."""
+    engine = PEFPEnumerator(device_config=DeviceConfig(
+        num_pes=num_pes, pe_partition=strategy))
+    masks = set(range(0, 1 << len(ALL_PAIRS), 128))
+    masks.update({(1 << len(ALL_PAIRS)) - 1, 0b111111111111 ^ 0b1,
+                  0xAAA, 0x555, 0xF0F})
+    for mask in sorted(masks):
+        g = graph_from_mask(mask)
+        expected = brute_force_paths(g, QUERY.source, QUERY.target,
+                                     QUERY.max_hops)
+        got = engine.enumerate_paths(g, QUERY).path_set()
+        assert got == expected, (num_pes, strategy, hex(mask))

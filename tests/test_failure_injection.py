@@ -13,7 +13,10 @@ from repro.graph import generators as G
 from repro.graph.csr import CSRGraph
 from repro.host.query import Query
 from repro.host.system import PathEnumerationSystem
+from repro.observability import Tracer, analyze_trace
 from repro.preprocess.bfs import distances_with_default, k_hop_bfs
+from repro.service import BatchQueryService
+from repro.workloads.queries import generate_queries
 
 
 def run(graph, s, t, k, engine):
@@ -129,3 +132,59 @@ class TestPathologicalBarriers:
         barrier = np.full(random_graph.num_vertices, 99, dtype=np.int64)
         result = PEFPEngine().run(random_graph, 0, 7, 4, barrier)
         assert result.paths == []
+
+
+class TestMultiPEFailures:
+    """Failure injection and adversarial shapes under the multi-PE device."""
+
+    def setup_method(self):
+        self.graph = G.gnm_random(35, 160, seed=21)
+        self.queries = generate_queries(self.graph, 4, 10, seed=3)
+        self.dcfg = DeviceConfig(num_pes=4, pe_partition="hash")
+
+    def test_flaky_requeue_preserves_answers_and_spans(self):
+        """A failed engine's queries requeue onto surviving multi-PE
+        engines: identical answers, no leaked spans, and the trace still
+        reconciles (the ``inter_pe`` segment tiles like any other)."""
+        baseline = BatchQueryService(self.graph, num_engines=3,
+                                     device_config=self.dcfg).run(
+            self.queries)
+        service = BatchQueryService(self.graph, num_engines=3,
+                                    inject_failures=1, use_threads=False,
+                                    device_config=self.dcfg)
+        tracer = Tracer()
+        batch = service.run(self.queries, tracer=tracer, profile=True)
+        assert batch.path_sets() == baseline.path_sets()
+        assert batch.engine_failures == 1
+        assert batch.requeued_queries >= 1
+        assert tracer.open_spans == 0
+        attribution = analyze_trace(tracer.records())
+        assert attribution.num_queries == batch.num_queries
+        assert all(wf.reconciled for wf in attribution.waterfalls)
+
+    def test_multi_pe_answers_match_single_pe_service(self):
+        single = BatchQueryService(self.graph, num_engines=3).run(
+            self.queries)
+        multi = BatchQueryService(self.graph, num_engines=3,
+                                  device_config=self.dcfg).run(self.queries)
+        assert multi.path_sets() == single.path_sets()
+
+    def test_minimal_buffer_multi_pe_still_correct(self, complete5):
+        """Buffer of 1 path on every PE: constant flushing plus inter-PE
+        routing, identical answers."""
+        cfg = PEFPConfig(theta1=1, theta2=1, buffer_capacity_paths=1,
+                         graph_cache_words=8, barrier_cache_words=4)
+        single = run(complete5, 0, 1, 4, PEFPEngine(cfg))
+        multi = run(complete5, 0, 1, 4, PEFPEngine(cfg, self.dcfg))
+        assert sorted(multi.paths) == sorted(single.paths)
+        assert multi.stats.flushes > 0
+
+    def test_bad_pe_configs_raise(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(num_pes=0)
+        with pytest.raises(ConfigError):
+            DeviceConfig(num_pes=2, pe_partition="modulo")
+        with pytest.raises(ConfigError):
+            DeviceConfig(num_pes=2, inter_pe_fifo_records=0)
+        with pytest.raises(ConfigError):
+            DeviceConfig(num_pes=2, inter_pe_hop_cycles=-1)

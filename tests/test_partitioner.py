@@ -1,0 +1,205 @@
+"""Property tests for the deterministic CSR vertex partitioner.
+
+The multi-PE correctness argument leans on three partitioner invariants
+(see ``docs/TIMING_MODEL.md``): every vertex is assigned to exactly one
+PE, the per-PE CSR slices cover every edge exactly once (each edge is
+charged to its unique source vertex's owner), and the mapping is a pure
+function of ``(num_vertices, num_pes, strategy)`` — stable across runs
+*and processes* (the hash strategy uses a fixed multiplicative constant,
+never Python's per-process-salted ``hash``).  This suite fuzzes those
+invariants over random shapes and nails down the degenerate cases.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fpga.partition import (
+    HASH_MULTIPLIER,
+    STRATEGIES,
+    VertexPartitioner,
+    hash_owner,
+    range_owner,
+)
+from repro.graph import generators as G
+
+
+def _random_shapes(count, seed):
+    rng = random.Random(seed)
+    shapes = []
+    while len(shapes) < count:
+        shapes.append((rng.randint(0, 200), rng.choice((1, 2, 3, 4, 5, 8,
+                                                        16))))
+    return shapes
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_every_vertex_assigned_exactly_once(strategy):
+    """``owners`` is dense and total: one PE in [0, N) per vertex."""
+    for num_vertices, num_pes in _random_shapes(40, seed=101):
+        p = VertexPartitioner(num_vertices, num_pes, strategy)
+        assert p.owners.shape == (num_vertices,)
+        if num_vertices:
+            assert p.owners.min() >= 0
+            assert p.owners.max() < num_pes
+        # vertices_of() partitions the id space: disjoint, covering.
+        seen = np.concatenate(
+            [p.vertices_of(pe) for pe in range(num_pes)]
+        ) if num_pes else np.empty(0, dtype=np.int64)
+        assert sorted(seen.tolist()) == list(range(num_vertices))
+        # scalar lookup agrees with the dense array
+        for v in range(0, num_vertices, max(1, num_vertices // 7)):
+            assert p.owner(v) == p.owners[v]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("num_pes", (1, 2, 4, 8))
+def test_partition_union_covers_all_csr_edges(strategy, num_pes):
+    """Per-PE edge counts from ``stats`` sum to the graph's edge count."""
+    graphs = [
+        G.chung_lu(60, 320, seed=11),
+        G.grid_graph(7, 7),
+        G.preferential_attachment(70, 3, seed=5),
+    ]
+    for graph in graphs:
+        p = VertexPartitioner(graph.num_vertices, num_pes, strategy)
+        stats = p.stats(graph.indptr)
+        assert len(stats) == num_pes
+        assert sum(s.num_vertices for s in stats) == graph.num_vertices
+        assert sum(s.num_edges for s in stats) == graph.num_edges
+        # each PE's edge count is exactly the out-degrees of its vertices
+        degrees = np.diff(np.asarray(graph.indptr, dtype=np.int64))
+        for s in stats:
+            mine = p.vertices_of(s.pe)
+            assert s.num_vertices == len(mine)
+            assert s.num_edges == int(degrees[mine].sum())
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_partition_is_stable_across_runs(strategy):
+    for num_vertices, num_pes in _random_shapes(15, seed=7):
+        a = VertexPartitioner(num_vertices, num_pes, strategy)
+        b = VertexPartitioner(num_vertices, num_pes, strategy)
+        assert np.array_equal(a.owners, b.owners)
+
+
+def test_hash_owner_matches_fixed_formula():
+    """The hash is the documented closed form — not ``hash()``."""
+    rng = random.Random(13)
+    for _ in range(200):
+        v = rng.randrange(0, 2**31)
+        n = rng.choice((2, 3, 4, 8, 16))
+        assert hash_owner(v, n) == ((v * HASH_MULTIPLIER) % 2**32) % n
+
+
+def test_range_owner_matches_fixed_formula():
+    rng = random.Random(17)
+    for _ in range(200):
+        nv = rng.randint(1, 10_000)
+        n = rng.choice((1, 2, 4, 8))
+        v = rng.randrange(nv)
+        assert range_owner(v, nv, n) == (v * n) // nv
+
+
+def test_hash_partition_stable_across_processes():
+    """A fresh interpreter computes the identical ownership checksum.
+
+    Python's builtin ``hash`` is salted per process; the partitioner must
+    not be.  Compare an owners-array checksum against one computed by a
+    subprocess with its own (differently salted) interpreter.
+    """
+    num_vertices, num_pes = 997, 8
+    local = VertexPartitioner(num_vertices, num_pes, "hash")
+    checksum = int(
+        (local.owners * np.arange(1, num_vertices + 1)).sum()
+    )
+    code = (
+        "from repro.fpga.partition import VertexPartitioner\n"
+        "import numpy as np\n"
+        f"p = VertexPartitioner({num_vertices}, {num_pes}, 'hash')\n"
+        f"print(int((p.owners * np.arange(1, {num_vertices} + 1)).sum()))\n"
+    )
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, check=True,
+        env={**os.environ, "PYTHONPATH": src, "PYTHONHASHSEED": "random"},
+    )
+    assert int(out.stdout.strip()) == checksum
+
+
+def test_range_blocks_are_contiguous_and_balanced():
+    for num_vertices, num_pes in _random_shapes(25, seed=23):
+        if num_vertices == 0:
+            continue
+        p = VertexPartitioner(num_vertices, num_pes, "range")
+        sizes = []
+        for pe in range(num_pes):
+            mine = p.vertices_of(pe)
+            sizes.append(len(mine))
+            if len(mine) > 1:
+                assert np.array_equal(
+                    mine, np.arange(mine[0], mine[-1] + 1)
+                ), "range blocks must be contiguous"
+        assert sum(sizes) == num_vertices
+        nonempty = [s for s in sizes if s]
+        if nonempty:
+            assert max(sizes) - min(nonempty) <= 1 or min(sizes) == 0
+        # balanced within one vertex across *all* PEs when N <= |V|
+        if num_pes <= num_vertices:
+            assert max(sizes) - min(sizes) <= 1
+
+
+# ---------------------------------------------------------------------------
+# degenerate shapes
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_empty_graph(strategy):
+    p = VertexPartitioner(0, 4, strategy)
+    assert p.owners.shape == (0,)
+    for pe in range(4):
+        assert len(p.vertices_of(pe)) == 0
+    stats = p.stats(np.zeros(1, dtype=np.int64))
+    assert sum(s.num_vertices for s in stats) == 0
+    assert sum(s.num_edges for s in stats) == 0
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_more_pes_than_vertices(strategy):
+    """N > |V| leaves some PEs empty but assigns every vertex once."""
+    p = VertexPartitioner(3, 8, strategy)
+    assert sorted(
+        v for pe in range(8) for v in p.vertices_of(pe).tolist()
+    ) == [0, 1, 2]
+    assert p.owners.max() < 8
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_single_vertex(strategy):
+    p = VertexPartitioner(1, 4, strategy)
+    assert p.owners.shape == (1,)
+    assert 0 <= p.owner(0) < 4
+
+
+def test_single_pe_maps_everything_to_zero():
+    for strategy in STRATEGIES:
+        p = VertexPartitioner(50, 1, strategy)
+        assert np.array_equal(p.owners, np.zeros(50, dtype=np.int64))
+
+
+def test_invalid_configs_raise():
+    with pytest.raises(ConfigError):
+        VertexPartitioner(10, 0)
+    with pytest.raises(ConfigError):
+        VertexPartitioner(-1, 2)
+    with pytest.raises(ConfigError):
+        VertexPartitioner(10, 2, "round-robin")
